@@ -1,0 +1,9 @@
+//! Comparison baselines: the Eyeriss-style fixed-point accelerator
+//! (simulated analytically at iso-area) and the reported SC/mixed-signal
+//! datapoints the paper cites.
+
+mod eyeriss;
+mod reported;
+
+pub use eyeriss::{mac_energy_pj, pe_area_um2, EyerissConfig};
+pub use reported::{all as reported_points, conv_ram, mdl_cnn, scope, sm_sc, ReportedPoint};

@@ -1,0 +1,274 @@
+//! Compiler from network descriptors to GEO programs.
+//!
+//! Implements the paper's schedule: weight-stationary with the vertically
+//! sliding window, activation broadcast across rows, and — when a kernel
+//! exceeds the row's MAC capacity — near-memory partial-sum accumulation
+//! (§III-C). Accelerators without near-memory support fall back to the
+//! strict output-stationary schedule with its reload penalty.
+
+use crate::accel::AccelConfig;
+use crate::dataflow::{count_accesses, kernel_passes, ArraySpec, Dataflow};
+use crate::isa::{Instr, Program};
+use crate::network::{LayerShape, NetworkDesc};
+
+/// Output layers always run 128-cycle streams (×2 split-unipolar): small
+/// performance impact, noticeable accuracy benefit (§IV).
+pub const OUTPUT_STREAM: usize = 128;
+
+/// The array geometry of an accelerator config, for dataflow accounting.
+pub fn array_spec(accel: &AccelConfig) -> ArraySpec {
+    ArraySpec::new(accel.rows, accel.row_macs, accel.positions_per_pass)
+}
+
+/// Stream length assigned to a layer.
+fn stream_len(accel: &AccelConfig, layer: &LayerShape, is_output: bool) -> usize {
+    if is_output {
+        OUTPUT_STREAM
+    } else if layer.pooled() {
+        accel.stream_pooled
+    } else {
+        accel.stream_other
+    }
+}
+
+/// Stream cycles for a layer (×2 for split-unipolar halves).
+fn stream_cycles(accel: &AccelConfig, layer: &LayerShape, is_output: bool) -> u64 {
+    2 * stream_len(accel, layer, is_output) as u64
+}
+
+/// Operand bits loaded per value: the LFSR width under progressive
+/// truncation, the full 8 bits otherwise.
+fn operand_bits(accel: &AccelConfig, layer: &LayerShape, is_output: bool) -> u8 {
+    let width = stream_len(accel, layer, is_output).trailing_zeros() as u8;
+    width.min(8)
+}
+
+/// Compiles `net` for `accel`.
+pub fn compile(net: &NetworkDesc, accel: &AccelConfig) -> Program {
+    let mut prog = Program::new(&net.name);
+    let spec = array_spec(accel);
+    let near_mem = accel.opts.near_memory;
+    for (li, layer) in net.layers.iter().enumerate() {
+        let is_output = li + 1 == net.layers.len();
+        prog.begin_layer();
+        let v = layer.kernel_volume();
+        let cout = layer.output_channels();
+        let (oh, ow) = layer.output_hw();
+        let outputs = (oh * ow).max(1);
+
+        let col_passes = kernel_passes(v, accel.row_macs);
+        let cout_groups = cout.div_ceil(accel.rows) as u64;
+        let pos_groups = outputs.div_ceil(accel.positions_per_pass) as u64;
+        let cycles = stream_cycles(accel, layer, is_output);
+
+        // Traffic totals come from the dataflow model; the compiler
+        // spreads them uniformly over the passes it emits.
+        let dataflow = if near_mem || col_passes == 1 {
+            Dataflow::WeightStationary
+        } else {
+            Dataflow::OutputStationary
+        };
+        let acc = count_accesses(layer, dataflow, &spec);
+        let gen_passes = (cout_groups * col_passes * pos_groups).max(1);
+        // Sliding-window operand reuse needs the shadow stages to carry
+        // bits across passes; without them every pass refetches its full
+        // window (×Kh traffic). Progressive truncation loads only the
+        // LFSR-width top bits of each 8-bit operand (§II-B).
+        let act_traffic = if accel.opts.progressive_shadow {
+            let width = u64::from(operand_bits(accel, layer, is_output));
+            acc.act_reads * width / 8
+        } else {
+            let kh = match layer {
+                LayerShape::Conv { kernel, .. } => *kernel as u64,
+                LayerShape::Fc { .. } => 1,
+            };
+            acc.act_reads * kh
+        };
+        let act_bytes_per_pass = act_traffic.div_ceil(gen_passes).max(1);
+        let wgt_loads = (cout_groups * col_passes).max(1);
+        let wgt_bytes_per_load = acc.weight_reads.div_ceil(if near_mem || col_passes == 1 {
+            wgt_loads
+        } else {
+            gen_passes // strict OS reloads weights every pass
+        });
+
+        let rows_active = accel.rows.min(cout) as u64;
+        let active_macs = rows_active * (accel.row_macs.min(v) as u64);
+
+        for _cg in 0..cout_groups {
+            if accel.external.is_some() {
+                prog.push(Instr::LoadWeightsExternal {
+                    bytes: acc.weight_reads / cout_groups,
+                });
+            }
+            for cp in 0..col_passes {
+                if near_mem || col_passes == 1 {
+                    prog.push(Instr::LoadWeights {
+                        bytes: wgt_bytes_per_load,
+                    });
+                }
+                for _pg in 0..pos_groups {
+                    if !(near_mem || col_passes == 1) {
+                        // Strict output-stationary: weights reload per pass.
+                        prog.push(Instr::LoadWeights {
+                            bytes: wgt_bytes_per_load,
+                        });
+                    }
+                    prog.push(Instr::LoadActivations {
+                        bytes: act_bytes_per_pass,
+                    });
+                    prog.push(Instr::Generate {
+                        cycles,
+                        active_macs,
+                    });
+                }
+                if near_mem && cp > 0 {
+                    // Accumulate this column pass's partial sums into the
+                    // running sums in activation memory.
+                    prog.push(Instr::NearMemAccumulate {
+                        elements: rows_active * pos_groups * accel.positions_per_pass as u64,
+                    });
+                }
+            }
+        }
+        // Writeback after pooling: 4× fewer elements on pooled layers
+        // (pooling happens in the output converters before BN — §III-B).
+        let out_elems = if layer.pooled() {
+            layer.outputs() / 4
+        } else {
+            layer.outputs()
+        };
+        if near_mem {
+            prog.push(Instr::NearMemBatchNorm { elements: out_elems });
+        }
+        prog.push(Instr::WriteActivations { bytes: out_elems });
+        prog.push(Instr::Sync);
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkDesc;
+
+    #[test]
+    fn compiles_cnn4_with_expected_pass_structure() {
+        let net = NetworkDesc::cnn4_cifar();
+        let accel = AccelConfig::ulp_geo(32, 64);
+        let prog = compile(&net, &accel);
+        assert_eq!(prog.layer_starts.len(), 4);
+        // Layer 1: V=75 fits (1 col pass), Cout=32 = rows (1 group),
+        // outputs 32×32=1024 → 128 position groups.
+        let gens = prog.generate_count();
+        assert!(gens >= 128, "at least layer-1 passes, got {gens}");
+        let (_, wgt, act, wb) = prog.traffic();
+        assert!(wgt > 0 && act > 0 && wb > 0);
+    }
+
+    #[test]
+    fn output_layer_uses_128_streams() {
+        let net = NetworkDesc::lenet5_mnist();
+        let accel = AccelConfig::ulp_geo(16, 32);
+        let prog = compile(&net, &accel);
+        // Find the last Generate: must be 2×128 cycles.
+        let last_gen = prog
+            .instrs
+            .iter()
+            .rev()
+            .find_map(|i| match i {
+                Instr::Generate { cycles, .. } => Some(*cycles),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_gen, 256);
+        // And the first conv (pooled) runs 2×16.
+        let first_gen = prog
+            .instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::Generate { cycles, .. } => Some(*cycles),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_gen, 32);
+    }
+
+    #[test]
+    fn near_memory_emits_accumulates_for_spilled_kernels() {
+        // VGG's 512-channel layers spill the 1024-MAC rows.
+        let net = NetworkDesc::vgg16_scaled_cifar();
+        let accel = AccelConfig::lp_geo(64, 128);
+        let prog = compile(&net, &accel);
+        let nmacc = prog
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::NearMemAccumulate { .. }))
+            .count();
+        assert!(nmacc > 0, "spilled kernels need near-memory accumulation");
+    }
+
+    #[test]
+    fn no_near_memory_falls_back_to_reloading() {
+        // Isolate one deep layer whose kernel spills the MAC rows — the
+        // case §III-C's 10.3× warning is about.
+        let net = NetworkDesc {
+            name: "deep-conv".into(),
+            layers: vec![crate::network::LayerShape::Conv {
+                cin: 512,
+                cout: 512,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                in_h: 8,
+                in_w: 8,
+                pooled: false,
+            }],
+        };
+        let mut with = AccelConfig::lp_geo(64, 128);
+        with.external = None; // compare on-chip traffic only
+        let mut without = with.clone();
+        without.opts.near_memory = false;
+        without.name = "LP-no-nearmem".into();
+        let p_with = compile(&net, &with);
+        let p_without = compile(&net, &without);
+        let (_, wgt_with, act_with, _) = p_with.traffic();
+        let (_, wgt_without, act_without, _) = p_without.traffic();
+        assert!(
+            wgt_without + act_without > 3 * (wgt_with + act_with),
+            "strict OS reloads: {} vs {}",
+            wgt_without + act_without,
+            wgt_with + act_with
+        );
+        // And no near-memory instructions are emitted.
+        assert!(p_without
+            .instrs
+            .iter()
+            .all(|i| !matches!(i, Instr::NearMemAccumulate { .. } | Instr::NearMemBatchNorm { .. })));
+    }
+
+    #[test]
+    fn external_memory_loads_only_for_lp() {
+        let net = NetworkDesc::cnn4_cifar();
+        let ulp = compile(&net, &AccelConfig::ulp_geo(32, 64));
+        assert_eq!(ulp.traffic().0, 0, "ULP has no external loads");
+        let lp = compile(&net, &AccelConfig::lp_geo(64, 128));
+        assert!(lp.traffic().0 > 0, "LP streams weights from HBM2");
+    }
+
+    #[test]
+    fn pooled_layers_write_quarter_outputs() {
+        let net = NetworkDesc::cnn4_cifar(); // layer 1: 32×32×32 outputs, pooled
+        let accel = AccelConfig::ulp_geo(32, 64);
+        let prog = compile(&net, &accel);
+        let first_wb = prog
+            .instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::WriteActivations { bytes } => Some(*bytes),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_wb, 32 * 32 * 32 / 4);
+    }
+}

@@ -1,0 +1,217 @@
+//! Binary instruction encoding for the GEO ISA.
+//!
+//! GEO is programmable with its own instruction memory (§III-A); this
+//! module defines a compact fixed-width encoding (8 bytes per instruction:
+//! 1 opcode byte + 7 bytes of immediate) so compiled programs have a
+//! concrete footprint, and the control/instruction-memory budget of a
+//! design point can be checked against real networks.
+
+use crate::isa::{Instr, Program};
+use std::fmt;
+
+/// Bytes per encoded instruction.
+pub const INSTR_BYTES: usize = 8;
+
+/// Errors produced when decoding an instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The byte stream length is not a multiple of [`INSTR_BYTES`].
+    TruncatedStream {
+        /// Offending length.
+        len: usize,
+    },
+    /// An unknown opcode byte.
+    UnknownOpcode {
+        /// The rejected opcode.
+        opcode: u8,
+        /// Instruction index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedStream { len } => {
+                write!(f, "stream of {len} bytes is not a whole number of instructions")
+            }
+            DecodeError::UnknownOpcode { opcode, index } => {
+                write!(f, "unknown opcode {opcode:#04x} at instruction {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_LDW_EXT: u8 = 0x01;
+const OP_LDW: u8 = 0x02;
+const OP_LDA: u8 = 0x03;
+const OP_GEN: u8 = 0x04;
+const OP_NMACC: u8 = 0x05;
+const OP_NMBN: u8 = 0x06;
+const OP_STA: u8 = 0x07;
+const OP_SYNC: u8 = 0x08;
+
+fn put(buf: &mut Vec<u8>, opcode: u8, imm: u64) {
+    buf.push(opcode);
+    buf.extend_from_slice(&imm.to_le_bytes()[..7]);
+}
+
+fn imm(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b[..7].copy_from_slice(&bytes[1..8]);
+    u64::from_le_bytes(b)
+}
+
+/// Encodes one instruction into `buf`.
+///
+/// `Generate`'s two fields pack as 28-bit cycles + 28-bit active-MAC count
+/// (both far beyond any realizable pass).
+pub fn encode_instr(instr: &Instr, buf: &mut Vec<u8>) {
+    match *instr {
+        Instr::LoadWeightsExternal { bytes } => put(buf, OP_LDW_EXT, bytes),
+        Instr::LoadWeights { bytes } => put(buf, OP_LDW, bytes),
+        Instr::LoadActivations { bytes } => put(buf, OP_LDA, bytes),
+        Instr::Generate {
+            cycles,
+            active_macs,
+        } => put(buf, OP_GEN, (cycles & 0xFFF_FFFF) | ((active_macs & 0xFFF_FFFF) << 28)),
+        Instr::NearMemAccumulate { elements } => put(buf, OP_NMACC, elements),
+        Instr::NearMemBatchNorm { elements } => put(buf, OP_NMBN, elements),
+        Instr::WriteActivations { bytes } => put(buf, OP_STA, bytes),
+        Instr::Sync => put(buf, OP_SYNC, 0),
+    }
+}
+
+/// Encodes a whole program; its length is the instruction-memory footprint
+/// in bytes.
+pub fn encode(program: &Program) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(program.instrs.len() * INSTR_BYTES);
+    for i in &program.instrs {
+        encode_instr(i, &mut buf);
+    }
+    buf
+}
+
+/// Decodes an instruction stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for truncated streams or unknown opcodes.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
+    if bytes.len() % INSTR_BYTES != 0 {
+        return Err(DecodeError::TruncatedStream { len: bytes.len() });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / INSTR_BYTES);
+    for (index, chunk) in bytes.chunks(INSTR_BYTES).enumerate() {
+        let v = imm(chunk);
+        out.push(match chunk[0] {
+            OP_LDW_EXT => Instr::LoadWeightsExternal { bytes: v },
+            OP_LDW => Instr::LoadWeights { bytes: v },
+            OP_LDA => Instr::LoadActivations { bytes: v },
+            OP_GEN => Instr::Generate {
+                cycles: v & 0xFFF_FFFF,
+                active_macs: (v >> 28) & 0xFFF_FFFF,
+            },
+            OP_NMACC => Instr::NearMemAccumulate { elements: v },
+            OP_NMBN => Instr::NearMemBatchNorm { elements: v },
+            OP_STA => Instr::WriteActivations { bytes: v },
+            OP_SYNC => Instr::Sync,
+            opcode => return Err(DecodeError::UnknownOpcode { opcode, index }),
+        });
+    }
+    Ok(out)
+}
+
+/// Instruction-memory footprint of a program in bytes.
+pub fn footprint_bytes(program: &Program) -> usize {
+    program.instrs.len() * INSTR_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelConfig;
+    use crate::compiler::compile;
+    use crate::network::NetworkDesc;
+
+    fn sample_instrs() -> Vec<Instr> {
+        vec![
+            Instr::LoadWeightsExternal { bytes: 123_456 },
+            Instr::LoadWeights { bytes: 2400 },
+            Instr::LoadActivations { bytes: 75 },
+            Instr::Generate {
+                cycles: 256,
+                active_macs: 25_600,
+            },
+            Instr::NearMemAccumulate { elements: 8192 },
+            Instr::NearMemBatchNorm { elements: 2048 },
+            Instr::WriteActivations { bytes: 8192 },
+            Instr::Sync,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        let mut buf = Vec::new();
+        for i in &sample_instrs() {
+            encode_instr(i, &mut buf);
+        }
+        let decoded = decode(&buf).unwrap();
+        assert_eq!(decoded, sample_instrs());
+    }
+
+    #[test]
+    fn compiled_programs_round_trip() {
+        let net = NetworkDesc::cnn4_cifar();
+        let program = compile(&net, &AccelConfig::ulp_geo(32, 64));
+        let bytes = encode(&program);
+        assert_eq!(bytes.len(), footprint_bytes(&program));
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, program.instrs);
+    }
+
+    #[test]
+    fn footprints_fit_a_small_instruction_memory() {
+        // §III-A: GEO has its own instruction memory; the evaluation
+        // networks must compile into a few KB.
+        for net in [
+            NetworkDesc::cnn4_cifar(),
+            NetworkDesc::lenet5_mnist(),
+            NetworkDesc::vgg16_scaled_cifar(),
+        ] {
+            let program = compile(&net, &AccelConfig::ulp_geo(32, 64));
+            let kb = footprint_bytes(&program) as f64 / 1024.0;
+            assert!(kb < 64.0, "{}: {kb:.1} KiB", net.name);
+        }
+    }
+
+    #[test]
+    fn generate_packing_preserves_large_fields() {
+        let mut buf = Vec::new();
+        let i = Instr::Generate {
+            cycles: 0xABC_DEF,
+            active_macs: 0x123_456,
+        };
+        encode_instr(&i, &mut buf);
+        assert_eq!(decode(&buf).unwrap()[0], i);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_streams() {
+        assert_eq!(
+            decode(&[0u8; 7]).unwrap_err(),
+            DecodeError::TruncatedStream { len: 7 }
+        );
+        let mut buf = vec![0xFFu8];
+        buf.extend_from_slice(&[0; 7]);
+        assert!(matches!(
+            decode(&buf).unwrap_err(),
+            DecodeError::UnknownOpcode { opcode: 0xFF, index: 0 }
+        ));
+        let e = DecodeError::TruncatedStream { len: 7 };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! The GEO instruction set.
+//!
+//! GEO is fully programmable with its own ISA and instruction memory
+//! (§III-A); the enhancements reuse the ACOUSTIC ISA with minor
+//! modifications, most notably the 2-cycle read-add-write vector
+//! instruction for near-memory partial-sum accumulation (§III-C) and
+//! near-memory batch normalization.
+
+use serde::{Deserialize, Serialize};
+
+/// One GEO instruction, parameterized by its data volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Load weights from external memory into a weight-memory bank
+    /// (ping-pong: overlaps with compute).
+    LoadWeightsExternal {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// Load weight operands from weight memory into the weight SNG buffers.
+    LoadWeights {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// Load activation operands from activation memory into the activation
+    /// SNG buffers.
+    LoadActivations {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// One stream-generation + MAC compute pass.
+    Generate {
+        /// Stream cycles (already ×2 for split-unipolar).
+        cycles: u64,
+        /// MAC units active this pass (for energy accounting).
+        active_macs: u64,
+    },
+    /// Near-memory read-add-write vector accumulate: 2 cycles per element
+    /// group (§III-C).
+    NearMemAccumulate {
+        /// Partial-sum elements accumulated.
+        elements: u64,
+    },
+    /// Near-memory batch normalization over output elements.
+    NearMemBatchNorm {
+        /// Elements normalized.
+        elements: u64,
+    },
+    /// Write outputs (post pooling/ReLU) back to activation memory.
+    WriteActivations {
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// Synchronization barrier between layers.
+    Sync,
+}
+
+impl Instr {
+    /// Short mnemonic, for program listings.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::LoadWeightsExternal { .. } => "LDW.EXT",
+            Instr::LoadWeights { .. } => "LDW",
+            Instr::LoadActivations { .. } => "LDA",
+            Instr::Generate { .. } => "GEN",
+            Instr::NearMemAccumulate { .. } => "NMACC",
+            Instr::NearMemBatchNorm { .. } => "NMBN",
+            Instr::WriteActivations { .. } => "STA",
+            Instr::Sync => "SYNC",
+        }
+    }
+}
+
+/// A compiled program: instruction stream plus per-layer markers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Program {
+    /// Network name.
+    pub name: String,
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Indices into `instrs` where each layer starts.
+    pub layer_starts: Vec<usize>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new(name: &str) -> Self {
+        Program {
+            name: name.to_string(),
+            instrs: Vec::new(),
+            layer_starts: Vec::new(),
+        }
+    }
+
+    /// Marks the start of a new layer.
+    pub fn begin_layer(&mut self) {
+        self.layer_starts.push(self.instrs.len());
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    /// Number of compute (GEN) passes.
+    pub fn generate_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Generate { .. }))
+            .count()
+    }
+
+    /// Total bytes moved by each memory class:
+    /// `(external, weight, activation, writeback)`.
+    pub fn traffic(&self) -> (u64, u64, u64, u64) {
+        let mut ext = 0;
+        let mut wgt = 0;
+        let mut act = 0;
+        let mut wb = 0;
+        for i in &self.instrs {
+            match i {
+                Instr::LoadWeightsExternal { bytes } => ext += bytes,
+                Instr::LoadWeights { bytes } => wgt += bytes,
+                Instr::LoadActivations { bytes } => act += bytes,
+                Instr::WriteActivations { bytes } => wb += bytes,
+                _ => {}
+            }
+        }
+        (ext, wgt, act, wb)
+    }
+
+    /// Human-readable listing (one line per instruction).
+    pub fn listing(&self) -> String {
+        self.instrs
+            .iter()
+            .map(|i| format!("{:<8} {:?}", i.mnemonic(), i))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_accumulates_instructions_and_layers() {
+        let mut p = Program::new("test");
+        p.begin_layer();
+        p.push(Instr::LoadWeights { bytes: 100 });
+        p.push(Instr::LoadActivations { bytes: 50 });
+        p.push(Instr::Generate {
+            cycles: 64,
+            active_macs: 1000,
+        });
+        p.begin_layer();
+        p.push(Instr::WriteActivations { bytes: 25 });
+        p.push(Instr::Sync);
+        assert_eq!(p.instrs.len(), 5);
+        assert_eq!(p.layer_starts, vec![0, 3]);
+        assert_eq!(p.generate_count(), 1);
+        assert_eq!(p.traffic(), (0, 100, 50, 25));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let all = [
+            Instr::LoadWeightsExternal { bytes: 1 },
+            Instr::LoadWeights { bytes: 1 },
+            Instr::LoadActivations { bytes: 1 },
+            Instr::Generate {
+                cycles: 1,
+                active_macs: 1,
+            },
+            Instr::NearMemAccumulate { elements: 1 },
+            Instr::NearMemBatchNorm { elements: 1 },
+            Instr::WriteActivations { bytes: 1 },
+            Instr::Sync,
+        ];
+        let set: std::collections::HashSet<&str> = all.iter().map(|i| i.mnemonic()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn listing_mentions_every_instruction() {
+        let mut p = Program::new("l");
+        p.push(Instr::Generate {
+            cycles: 8,
+            active_macs: 2,
+        });
+        p.push(Instr::Sync);
+        let text = p.listing();
+        assert!(text.contains("GEN"));
+        assert!(text.contains("SYNC"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Memory models: on-chip SRAM (CACTI-like analytic fit) and HBM2 external
+//! memory (after O'Connor et al., the model the paper cites for its LP
+//! variant).
+
+use serde::{Deserialize, Serialize};
+
+/// An on-chip SRAM macro.
+///
+/// Analytic stand-in for CACTI 6.5 (see DESIGN.md §3): area linear in
+/// capacity, access energy growing with the square root of capacity (wire
+/// dominated), leakage linear in capacity. Constants anchored to published
+/// 28 nm SRAM macros (≈0.35 µm²/bit including periphery; a 32 KB macro
+/// reads 64 bits for ≈6 pJ).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sram {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Read/write port width in bits.
+    pub width_bits: usize,
+}
+
+impl Sram {
+    /// Creates an SRAM macro model.
+    pub fn new(bytes: usize, width_bits: usize) -> Self {
+        Sram { bytes, width_bits }
+    }
+
+    /// Macro area in µm².
+    pub fn area_um2(&self) -> f64 {
+        const UM2_PER_BIT: f64 = 0.35;
+        (self.bytes * 8) as f64 * UM2_PER_BIT
+    }
+
+    /// Energy of one full-width access, in picojoules.
+    pub fn access_pj(&self) -> f64 {
+        // E = (a + b·√bits_capacity) scaled by port width.
+        let cap_bits = (self.bytes * 8) as f64;
+        let per_bit = 0.004 + 0.00018 * cap_bits.sqrt();
+        per_bit * self.width_bits as f64
+    }
+
+    /// Energy per byte moved, in picojoules.
+    pub fn pj_per_byte(&self) -> f64 {
+        self.access_pj() * 8.0 / self.width_bits as f64
+    }
+
+    /// Leakage power in nanowatts.
+    pub fn leak_nw(&self) -> f64 {
+        const NW_PER_BIT: f64 = 0.01;
+        (self.bytes * 8) as f64 * NW_PER_BIT
+    }
+
+    /// Accesses needed to move `bytes` through the port.
+    pub fn accesses_for(&self, bytes: usize) -> u64 {
+        ((bytes * 8).div_ceil(self.width_bits)) as u64
+    }
+}
+
+/// HBM2 external memory model (O'Connor et al., MICRO 2017): ≈3.9 pJ/bit
+/// end-to-end access energy, 256 GB/s per stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hbm2 {
+    /// Access energy per bit, picojoules.
+    pub pj_per_bit: f64,
+    /// Peak bandwidth, gigabytes per second.
+    pub bandwidth_gbs: f64,
+}
+
+impl Default for Hbm2 {
+    fn default() -> Self {
+        Hbm2 {
+            pj_per_bit: 3.9,
+            bandwidth_gbs: 256.0,
+        }
+    }
+}
+
+impl Hbm2 {
+    /// Energy to move `bytes`, in picojoules.
+    pub fn energy_pj(&self, bytes: u64) -> f64 {
+        self.pj_per_bit * (bytes * 8) as f64
+    }
+
+    /// Time to move `bytes` at peak bandwidth, in nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_gbs
+    }
+
+    /// Cycles to move `bytes` at `freq_mhz`.
+    pub fn transfer_cycles(&self, bytes: u64, freq_mhz: f64) -> u64 {
+        (self.transfer_ns(bytes) * freq_mhz / 1e3).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_area_is_linear_in_capacity() {
+        let a = Sram::new(32 * 1024, 64);
+        let b = Sram::new(64 * 1024, 64);
+        assert!((b.area_um2() / a.area_um2() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_access_energy_grows_sublinearly() {
+        let small = Sram::new(8 * 1024, 64);
+        let big = Sram::new(128 * 1024, 64);
+        let ratio = big.access_pj() / small.access_pj();
+        assert!(ratio > 1.5 && ratio < 16.0, "sublinear in capacity: {ratio}");
+    }
+
+    #[test]
+    fn sram_32kb_access_is_a_few_pj() {
+        let m = Sram::new(32 * 1024, 64);
+        let pj = m.access_pj();
+        assert!(pj > 2.0 && pj < 15.0, "28nm-plausible access energy: {pj} pJ");
+    }
+
+    #[test]
+    fn wider_ports_cost_proportionally_more_per_access() {
+        let narrow = Sram::new(32 * 1024, 32);
+        let wide = Sram::new(32 * 1024, 128);
+        assert!((wide.access_pj() / narrow.access_pj() - 4.0).abs() < 1e-9);
+        // But the same per byte.
+        assert!((wide.pj_per_byte() - narrow.pj_per_byte()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_counting() {
+        let m = Sram::new(1024, 64);
+        assert_eq!(m.accesses_for(8), 1);
+        assert_eq!(m.accesses_for(9), 2);
+        assert_eq!(m.accesses_for(64), 8);
+    }
+
+    #[test]
+    fn hbm2_defaults_match_cited_model() {
+        let h = Hbm2::default();
+        assert_eq!(h.pj_per_bit, 3.9);
+        assert_eq!(h.bandwidth_gbs, 256.0);
+        // 1 KB transfer: 8192 bits × 3.9 pJ.
+        assert!((h.energy_pj(1024) - 31948.8).abs() < 0.1);
+        assert!(h.transfer_ns(256) > 0.9 && h.transfer_ns(256) < 1.1);
+        assert_eq!(h.transfer_cycles(256_000, 400.0), 400);
+    }
+
+    #[test]
+    fn external_access_dwarfs_on_chip() {
+        // The paper's "modest energy reduction is caused by the high cost
+        // of external memory accesses" requires HBM ≫ SRAM per byte.
+        let sram = Sram::new(256 * 1024, 128);
+        let hbm = Hbm2::default();
+        let hbm_per_byte = hbm.energy_pj(1) ;
+        assert!(hbm_per_byte > 3.0 * sram.pj_per_byte());
+    }
+}

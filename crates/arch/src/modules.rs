@@ -1,0 +1,216 @@
+//! Gate-level cost models of GEO's hardware blocks (paper §III, Fig. 4):
+//! LFSRs, SNG comparators, SNG buffers (with progressive shadow buffers),
+//! SC MAC gates, parallel counters, output converters, and near-memory
+//! compute units.
+
+use crate::tech::{ge, BlockCost};
+
+/// Activity factors used to adjust active power, mirroring the paper's
+/// RTL-derived activity adjustment ("many modules, such as SNG buffers and
+/// batch normalization modules are idle most of the time").
+pub mod activity {
+    /// LFSRs toggle every compute cycle.
+    pub const LFSR: f64 = 0.5;
+    /// SNG comparators evaluate every compute cycle.
+    pub const SNG_CMP: f64 = 0.4;
+    /// SNG buffers only toggle while (re)loading.
+    pub const SNG_BUFFER: f64 = 0.05;
+    /// SC MAC gates toggle with stream data.
+    pub const SC_MAC: f64 = 0.35;
+    /// Counters/converters toggle with accumulation.
+    pub const CONVERTER: f64 = 0.3;
+    /// Near-memory units are time-multiplexed and mostly idle.
+    pub const NEAR_MEM: f64 = 0.1;
+}
+
+/// An `n`-bit maximal-length LFSR: `n` flip-flops plus feedback XORs.
+pub fn lfsr(bits: u8) -> BlockCost {
+    let n = f64::from(bits);
+    BlockCost::from_ge(n * ge::DFF + 3.0 * ge::XOR2, activity::LFSR)
+}
+
+/// An SNG comparator of `bits` bits (random number vs. target value).
+pub fn sng_comparator(bits: u8) -> BlockCost {
+    BlockCost::from_ge(f64::from(bits) * ge::CMP_BIT, activity::SNG_CMP)
+}
+
+/// An 8-bit SNG operand buffer. With `shadow = true` it includes the 2-bit
+/// progressive shadow stage (§III-D) — only ¼ the flip-flops a full-width
+/// shadow would need.
+pub fn sng_buffer(shadow: bool) -> BlockCost {
+    let bits = if shadow { 8.0 + 2.0 } else { 8.0 };
+    BlockCost::from_ge(bits * ge::DFF, activity::SNG_BUFFER)
+}
+
+/// A full-width (8-bit) shadow buffer — what shadow buffering would cost
+/// *without* progressive generation; used to quantify the 4× saving.
+pub fn sng_buffer_full_shadow() -> BlockCost {
+    BlockCost::from_ge(16.0 * ge::DFF, activity::SNG_BUFFER)
+}
+
+/// One split-unipolar SC multiplier: two AND gates (positive and negative
+/// halves).
+pub fn sc_multiplier() -> BlockCost {
+    BlockCost::from_ge(2.0 * ge::GATE2, activity::SC_MAC)
+}
+
+/// An OR-accumulation tree over `inputs` streams (per split half):
+/// `inputs − 1` OR gates.
+pub fn or_tree(inputs: usize) -> BlockCost {
+    BlockCost::from_ge((inputs.saturating_sub(1)) as f64 * ge::GATE2, activity::SC_MAC)
+}
+
+/// An exact parallel counter over `inputs` one-bit streams: a full-adder
+/// tree producing a `log2(inputs)+1`-bit sum each cycle. An `n`-input
+/// counter reduces `n` bits to `⌈log2(n+1)⌉` with ≈ `n − 1` full-adder
+/// equivalents (each FA absorbs one bit, counting the widening low-level
+/// adders).
+pub fn parallel_counter(inputs: usize) -> BlockCost {
+    if inputs <= 1 {
+        return BlockCost::from_ge(0.0, activity::CONVERTER);
+    }
+    let fas = (inputs - 1) as f64;
+    BlockCost::from_ge(fas * ge::FULL_ADDER, activity::CONVERTER)
+}
+
+/// Full fixed-point conversion fabric: every product stream gets its own
+/// accumulating counter slice before a wide adder tree ("directly
+/// converting each multiplication result and adding them in the
+/// fixed-point domain", §I) — the expensive FXP extreme of Fig. 5.
+pub fn fxp_conversion_fabric(inputs: usize) -> BlockCost {
+    // Per product: a 2-bit counter slice (FA + FF per bit) feeding the
+    // shared accumulation tree.
+    let per_input = 2.0 * (ge::FULL_ADDER + ge::DFF);
+    BlockCost::from_ge(inputs as f64 * per_input, activity::CONVERTER)
+        .plus(parallel_counter(inputs))
+}
+
+/// An approximate parallel counter (Kim et al. [24]): one AND/OR compressor
+/// layer halves the inputs before the conversion fabric — cheaper than FXP
+/// but, as Fig. 5 shows, still several times a PBW counter for large
+/// kernels.
+pub fn approximate_parallel_counter(inputs: usize) -> BlockCost {
+    let compressor = BlockCost::from_ge(inputs as f64 * ge::GATE2, activity::CONVERTER);
+    fxp_conversion_fabric(inputs.div_ceil(2)).plus(compressor)
+}
+
+/// An `bits`-bit accumulating register (adder + flip-flops).
+pub fn accumulator(bits: u8) -> BlockCost {
+    let n = f64::from(bits);
+    BlockCost::from_ge(n * (ge::FULL_ADDER + ge::DFF), activity::CONVERTER)
+}
+
+/// One output-converter module: two counters (split-unipolar halves), a
+/// subtractor, and the configurable pooling adder (Fig. 4).
+///
+/// `counter_bits` grows with partial binary accumulation's wider per-cycle
+/// sums ("parallel counters in the average pooling fabric need to be
+/// adjusted to handle wider inputs" — §III-B).
+pub fn output_converter(counter_bits: u8) -> BlockCost {
+    let sub = BlockCost::from_ge(f64::from(counter_bits) * ge::FULL_ADDER, activity::CONVERTER);
+    accumulator(counter_bits)
+        .times(2.0)
+        .plus(sub)
+        .plus(accumulator(counter_bits)) // pooling adder
+}
+
+/// One near-memory fixed-point unit: an 8-bit multiply-accumulate used for
+/// batch normalization and the 2-cycle read-add-write partial-sum path
+/// (§III-C).
+pub fn near_memory_mac() -> BlockCost {
+    // 8×8 multiplier ≈ 160 GE, plus a 16-bit adder.
+    BlockCost::from_ge(160.0 + 16.0 * ge::FULL_ADDER, activity::NEAR_MEM)
+}
+
+/// The pipeline stage between SC MAC and partial-binary accumulation
+/// (§III-D): one flip-flop per cut signal.
+pub fn pipeline_stage(signals: usize) -> BlockCost {
+    BlockCost::from_ge(signals as f64 * ge::DFF, activity::SC_MAC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_area_grows_with_width() {
+        assert!(lfsr(16).area_um2 > lfsr(8).area_um2);
+        assert!(lfsr(8).area_um2 > lfsr(4).area_um2);
+        // A 16-bit LFSR is roughly twice an 8-bit one.
+        let ratio = lfsr(16).area_um2 / lfsr(8).area_um2;
+        assert!(ratio > 1.6 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn progressive_shadow_is_quarter_of_full_shadow() {
+        let prog = sng_buffer(true).area_um2 - sng_buffer(false).area_um2;
+        let full = sng_buffer_full_shadow().area_um2 - sng_buffer(false).area_um2;
+        assert!((full / prog - 4.0).abs() < 1e-9, "4x smaller shadow (§III-D)");
+    }
+
+    #[test]
+    fn counters_cost_more_than_or_trees() {
+        for inputs in [9usize, 25, 128, 800] {
+            assert!(
+                parallel_counter(inputs).area_um2 > or_tree(inputs).area_um2 * 2.0,
+                "inputs {inputs}"
+            );
+        }
+    }
+
+    #[test]
+    fn apc_is_cheaper_than_fxp_but_more_than_or() {
+        for inputs in [32usize, 128, 800] {
+            let apc = approximate_parallel_counter(inputs).area_um2;
+            let fxp = fxp_conversion_fabric(inputs).area_um2;
+            let or = or_tree(inputs).area_um2;
+            assert!(apc < fxp, "inputs {inputs}: apc {apc} < fxp {fxp}");
+            assert!(apc > or, "inputs {inputs}: apc {apc} > or {or}");
+        }
+    }
+
+    #[test]
+    fn fxp_fabric_dwarfs_popcount_counters() {
+        // Per-product conversion is the expensive extreme of Fig. 5.
+        for inputs in [32usize, 800] {
+            assert!(
+                fxp_conversion_fabric(inputs).area_um2 > 3.0 * parallel_counter(inputs).area_um2
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_counters() {
+        assert_eq!(parallel_counter(0).area_um2, 0.0);
+        assert_eq!(parallel_counter(1).area_um2, 0.0);
+        assert_eq!(or_tree(1).area_um2, 0.0);
+    }
+
+    #[test]
+    fn output_converter_grows_with_counter_width() {
+        assert!(output_converter(20).area_um2 > output_converter(16).area_um2);
+    }
+
+    #[test]
+    fn pipeline_stage_is_small_relative_to_mac_array() {
+        // <1% accelerator-level overhead claim: per-row pipeline FFs are
+        // tiny next to the row's MAC gates.
+        let row_macs = sc_multiplier().times(800.0).plus(or_tree(800).times(2.0));
+        let pipe = pipeline_stage(2 * 6); // two split halves × counter width
+        assert!(pipe.area_um2 / row_macs.area_um2 < 0.05);
+    }
+
+    #[test]
+    fn activity_factors_are_fractions() {
+        for a in [
+            activity::LFSR,
+            activity::SNG_CMP,
+            activity::SNG_BUFFER,
+            activity::SC_MAC,
+            activity::CONVERTER,
+            activity::NEAR_MEM,
+        ] {
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Network descriptors: the layer shapes the compiler and performance
+//! simulator consume.
+//!
+//! Descriptors can be traced from a live `geo-nn` model or built directly
+//! at the paper's full evaluation scale (CIFAR-10 CNN-4, MNIST LeNet-5,
+//! downscaled VGG-16) — performance simulation needs shapes, not weights.
+
+use geo_nn::{Layer, Sequential};
+use serde::{Deserialize, Serialize};
+
+/// Shape of one compute layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerShape {
+    /// A 2-d convolution.
+    Conv {
+        /// Input channels.
+        cin: usize,
+        /// Output channels.
+        cout: usize,
+        /// Square kernel edge.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+        /// Followed by 2×2 average pooling (computation skipping applies).
+        pooled: bool,
+    },
+    /// A fully-connected layer.
+    Fc {
+        /// Input features.
+        inf: usize,
+        /// Output features.
+        outf: usize,
+    },
+}
+
+impl LayerShape {
+    /// Output spatial size of a conv layer; `(1, 1)` for FC.
+    pub fn output_hw(&self) -> (usize, usize) {
+        match *self {
+            LayerShape::Conv {
+                kernel,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                ..
+            } => (
+                (in_h + 2 * pad - kernel) / stride + 1,
+                (in_w + 2 * pad - kernel) / stride + 1,
+            ),
+            LayerShape::Fc { .. } => (1, 1),
+        }
+    }
+
+    /// Kernel volume (`Cin·K·K` for conv, `inf` for FC).
+    pub fn kernel_volume(&self) -> usize {
+        match *self {
+            LayerShape::Conv { cin, kernel, .. } => cin * kernel * kernel,
+            LayerShape::Fc { inf, .. } => inf,
+        }
+    }
+
+    /// Output channels / features.
+    pub fn output_channels(&self) -> usize {
+        match *self {
+            LayerShape::Conv { cout, .. } => cout,
+            LayerShape::Fc { outf, .. } => outf,
+        }
+    }
+
+    /// Total multiply-accumulates of the layer.
+    pub fn macs(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        (self.output_channels() * oh * ow) as u64 * self.kernel_volume() as u64
+    }
+
+    /// Weight count.
+    pub fn weights(&self) -> u64 {
+        (self.output_channels() * self.kernel_volume()) as u64
+    }
+
+    /// Input activation count.
+    pub fn input_activations(&self) -> u64 {
+        match *self {
+            LayerShape::Conv { cin, in_h, in_w, .. } => (cin * in_h * in_w) as u64,
+            LayerShape::Fc { inf, .. } => inf as u64,
+        }
+    }
+
+    /// Output element count (before pooling).
+    pub fn outputs(&self) -> u64 {
+        let (oh, ow) = self.output_hw();
+        (self.output_channels() * oh * ow) as u64
+    }
+
+    /// Whether computation skipping (pooled stream length) applies.
+    pub fn pooled(&self) -> bool {
+        matches!(self, LayerShape::Conv { pooled: true, .. })
+    }
+}
+
+/// An ordered stack of compute layers with a name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkDesc {
+    /// Network name, e.g. `"CNN-4 (CIFAR-10)"`.
+    pub name: String,
+    /// Compute layers in execution order.
+    pub layers: Vec<LayerShape>,
+}
+
+impl NetworkDesc {
+    /// Total MACs of one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+
+    /// Total weights.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(LayerShape::weights).sum()
+    }
+
+    /// Traces the compute-layer shapes of a live `geo-nn` model given its
+    /// input `(C, H, W)`.
+    pub fn from_model(name: &str, model: &Sequential, input: (usize, usize, usize)) -> Self {
+        let (mut c, mut h, mut w) = input;
+        let mut layers = Vec::new();
+        let model_layers = model.layers();
+        for (i, layer) in model_layers.iter().enumerate() {
+            match layer {
+                Layer::Conv2d(conv) => {
+                    // Pooled if any pooling occurs before the next conv/fc.
+                    let pooled = model_layers[i + 1..]
+                        .iter()
+                        .take_while(|l| !matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
+                        .any(|l| matches!(l, Layer::AvgPool2d(_) | Layer::MaxPool2d(_)));
+                    let shape = LayerShape::Conv {
+                        cin: c,
+                        cout: conv.cout(),
+                        kernel: conv.kernel(),
+                        stride: conv.stride(),
+                        pad: conv.padding(),
+                        in_h: h,
+                        in_w: w,
+                        pooled,
+                    };
+                    let (oh, ow) = shape.output_hw();
+                    layers.push(shape);
+                    c = conv.cout();
+                    h = oh;
+                    w = ow;
+                }
+                Layer::Linear(lin) => {
+                    layers.push(LayerShape::Fc {
+                        inf: lin.input_features(),
+                        outf: lin.output_features(),
+                    });
+                }
+                Layer::AvgPool2d(_) | Layer::MaxPool2d(_) => {
+                    h /= 2;
+                    w /= 2;
+                }
+                _ => {}
+            }
+        }
+        NetworkDesc {
+            name: name.to_string(),
+            layers,
+        }
+    }
+
+    /// The paper-scale CNN-4 on CIFAR-10 (CMSIS-NN): three 5×5
+    /// convolutions with pooling, then the classifier FC.
+    pub fn cnn4_cifar() -> Self {
+        NetworkDesc {
+            name: "CNN-4 (CIFAR-10)".into(),
+            layers: vec![
+                LayerShape::Conv {
+                    cin: 3,
+                    cout: 32,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 2,
+                    in_h: 32,
+                    in_w: 32,
+                    pooled: true,
+                },
+                LayerShape::Conv {
+                    cin: 32,
+                    cout: 32,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 2,
+                    in_h: 16,
+                    in_w: 16,
+                    pooled: true,
+                },
+                LayerShape::Conv {
+                    cin: 32,
+                    cout: 64,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 2,
+                    in_h: 8,
+                    in_w: 8,
+                    pooled: true,
+                },
+                LayerShape::Fc {
+                    inf: 64 * 4 * 4,
+                    outf: 10,
+                },
+            ],
+        }
+    }
+
+    /// The paper-scale LeNet-5 on MNIST.
+    pub fn lenet5_mnist() -> Self {
+        NetworkDesc {
+            name: "LeNet-5 (MNIST)".into(),
+            layers: vec![
+                LayerShape::Conv {
+                    cin: 1,
+                    cout: 6,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 2,
+                    in_h: 28,
+                    in_w: 28,
+                    pooled: true,
+                },
+                LayerShape::Conv {
+                    cin: 6,
+                    cout: 16,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 0,
+                    in_h: 14,
+                    in_w: 14,
+                    pooled: true,
+                },
+                LayerShape::Fc {
+                    inf: 16 * 5 * 5,
+                    outf: 120,
+                },
+                LayerShape::Fc { inf: 120, outf: 84 },
+                LayerShape::Fc { inf: 84, outf: 10 },
+            ],
+        }
+    }
+
+    /// VGG-16 with the paper's downscaling: X/Y input dimensions halved
+    /// (16×16 input) and the FC layers reduced to 512.
+    pub fn vgg16_scaled_cifar() -> Self {
+        let widths: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+        let mut layers = Vec::new();
+        let mut cin = 3usize;
+        let mut size = 16usize;
+        for (block, &(w, reps)) in widths.iter().enumerate() {
+            for r in 0..reps {
+                layers.push(LayerShape::Conv {
+                    cin,
+                    cout: w,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: size,
+                    in_w: size,
+                    pooled: r + 1 == reps && block < 4,
+                });
+                cin = w;
+            }
+            if block < 4 {
+                size /= 2;
+            }
+        }
+        layers.push(LayerShape::Fc {
+            inf: 512 * size * size,
+            outf: 512,
+        });
+        layers.push(LayerShape::Fc {
+            inf: 512,
+            outf: 512,
+        });
+        layers.push(LayerShape::Fc {
+            inf: 512,
+            outf: 10,
+        });
+        NetworkDesc {
+            name: "VGG-16 (scaled, CIFAR-10)".into(),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_nn::models;
+
+    #[test]
+    fn conv_shape_math() {
+        let conv = LayerShape::Conv {
+            cin: 3,
+            cout: 32,
+            kernel: 5,
+            stride: 1,
+            pad: 2,
+            in_h: 32,
+            in_w: 32,
+            pooled: true,
+        };
+        assert_eq!(conv.output_hw(), (32, 32));
+        assert_eq!(conv.kernel_volume(), 75);
+        assert_eq!(conv.macs(), 32 * 32 * 32 * 75);
+        assert_eq!(conv.weights(), 32 * 75);
+        assert_eq!(conv.input_activations(), 3 * 32 * 32);
+        assert!(conv.pooled());
+    }
+
+    #[test]
+    fn fc_shape_math() {
+        let fc = LayerShape::Fc { inf: 1024, outf: 10 };
+        assert_eq!(fc.output_hw(), (1, 1));
+        assert_eq!(fc.macs(), 10240);
+        assert_eq!(fc.weights(), 10240);
+        assert!(!fc.pooled());
+    }
+
+    #[test]
+    fn cnn4_cifar_matches_cmsis_structure() {
+        let net = NetworkDesc::cnn4_cifar();
+        assert_eq!(net.layers.len(), 4);
+        // First layer dominates? No: layer 2 has the most MACs.
+        assert!(net.total_macs() > 10_000_000);
+        assert!(net.total_weights() > 70_000);
+    }
+
+    #[test]
+    fn lenet5_mnist_macs_are_sane() {
+        let net = NetworkDesc::lenet5_mnist();
+        assert_eq!(net.layers.len(), 5);
+        // Classic LeNet-5: ~0.4M MACs.
+        let m = net.total_macs();
+        assert!(m > 200_000 && m < 2_000_000, "macs {m}");
+    }
+
+    #[test]
+    fn vgg16_scaled_has_13_convs_and_3_fcs() {
+        let net = NetworkDesc::vgg16_scaled_cifar();
+        let convs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerShape::Conv { .. }))
+            .count();
+        let fcs = net
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerShape::Fc { .. }))
+            .count();
+        assert_eq!((convs, fcs), (13, 3));
+        // Downscaled VGG is still tens of MMACs per frame.
+        assert!(net.total_macs() > 50_000_000, "macs {}", net.total_macs());
+    }
+
+    #[test]
+    fn from_model_traces_shapes() {
+        let model = models::cnn4(3, 8, 10, 0);
+        let net = NetworkDesc::from_model("cnn4-small", &model, (3, 8, 8));
+        assert_eq!(net.layers.len(), 4);
+        match net.layers[0] {
+            LayerShape::Conv {
+                cin, cout, pooled, ..
+            } => {
+                assert_eq!((cin, cout), (3, 16));
+                assert!(pooled);
+            }
+            _ => panic!("first layer should be conv"),
+        }
+        match net.layers[2] {
+            LayerShape::Conv { cin, in_h, pooled, .. } => {
+                assert_eq!(cin, 24);
+                assert_eq!(in_h, 2);
+                assert!(!pooled);
+            }
+            _ => panic!("third layer should be conv"),
+        }
+        match net.layers[3] {
+            LayerShape::Fc { inf, outf } => {
+                assert_eq!(inf, 32 * 2 * 2);
+                assert_eq!(outf, 10);
+            }
+            _ => panic!("last layer should be fc"),
+        }
+    }
+}

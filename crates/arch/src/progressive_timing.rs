@@ -1,0 +1,23 @@
+//! Timing constants of progressive generation, derived from the substrate
+//! model in [`geo_sc::progressive`].
+
+use geo_sc::progressive::{reload_groups_before_start, CYCLES_PER_GROUP};
+
+/// Cycles a compute pass must wait for operand bits before generation can
+/// start: one 2-bit group with progressive shadow buffering, the full
+/// operand otherwise — the 4× reload-latency reduction of §II-B.
+pub fn start_latency(progressive_shadow: bool) -> u32 {
+    reload_groups_before_start(progressive_shadow) * CYCLES_PER_GROUP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progressive_start_is_4x_shorter() {
+        assert_eq!(start_latency(false) / start_latency(true), 4);
+        assert_eq!(start_latency(true), 2);
+        assert_eq!(start_latency(false), 8);
+    }
+}

@@ -1,0 +1,123 @@
+//! Report formatting: render simulation results as aligned text or
+//! Markdown tables (the format EXPERIMENTS.md records).
+
+use crate::accel::Category;
+use crate::perfsim::SimReport;
+
+/// Formats a value with SI-style suffixes (k/M/G).
+pub fn si(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Renders a Markdown comparison table of simulation reports (one column
+/// per report).
+pub fn markdown_comparison(reports: &[SimReport]) -> String {
+    let mut out = String::new();
+    out.push_str("| metric |");
+    for r in reports {
+        out.push_str(&format!(" {} |", r.config));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in reports {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    let rows: Vec<(&str, Box<dyn Fn(&SimReport) -> String>)> = vec![
+        ("cycles/frame", Box::new(|r: &SimReport| si(r.cycles as f64))),
+        ("frames/s", Box::new(|r: &SimReport| si(r.fps))),
+        (
+            "energy/frame [µJ]",
+            Box::new(|r: &SimReport| format!("{:.2}", r.energy_j * 1e6)),
+        ),
+        ("frames/J", Box::new(|r: &SimReport| si(r.frames_per_joule))),
+        (
+            "power [mW]",
+            Box::new(|r: &SimReport| format!("{:.1}", r.power_mw)),
+        ),
+        (
+            "area [mm²]",
+            Box::new(|r: &SimReport| format!("{:.3}", r.area_mm2)),
+        ),
+    ];
+    for (label, f) in rows {
+        out.push_str(&format!("| {label} |"));
+        for r in reports {
+            out.push_str(&format!(" {} |", f(r)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a report's dynamic-energy breakdown as a Markdown table.
+pub fn markdown_breakdown(report: &SimReport) -> String {
+    let total: f64 = report.breakdown_pj.iter().map(|(_, e)| e).sum();
+    let mut out = format!("| module | energy share ({}) |\n|---|---|\n", report.config);
+    for cat in Category::ALL {
+        let e = report
+            .breakdown_pj
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "| {} | {:.1}% |\n",
+            cat.label(),
+            if total > 0.0 { 100.0 * e / total } else { 0.0 }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelConfig;
+    use crate::network::NetworkDesc;
+    use crate::perfsim;
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si(950.0), "950.0");
+        assert_eq!(si(14_000.0), "14.0k");
+        assert_eq!(si(2_500_000.0), "2.50M");
+        assert_eq!(si(3.2e9), "3.20G");
+    }
+
+    #[test]
+    fn markdown_comparison_has_all_columns_and_rows() {
+        let net = NetworkDesc::lenet5_mnist();
+        let reports = vec![
+            perfsim::run(&AccelConfig::ulp_geo(32, 64), &net),
+            perfsim::run(&AccelConfig::acoustic_ulp(128), &net),
+        ];
+        let md = markdown_comparison(&reports);
+        assert!(md.contains("GEO-ULP-32,64"));
+        assert!(md.contains("ACOUSTIC-ULP-128"));
+        assert!(md.contains("frames/J"));
+        // header + separator + 6 metric rows
+        assert_eq!(md.lines().count(), 8);
+        // Every line is a well-formed table row.
+        assert!(md.lines().all(|l| l.starts_with('|') && l.ends_with('|')));
+    }
+
+    #[test]
+    fn markdown_breakdown_covers_all_categories() {
+        let net = NetworkDesc::lenet5_mnist();
+        let r = perfsim::run(&AccelConfig::ulp_geo(32, 64), &net);
+        let md = markdown_breakdown(&r);
+        for cat in Category::ALL {
+            assert!(md.contains(cat.label()), "missing {}", cat.label());
+        }
+    }
+}

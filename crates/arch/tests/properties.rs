@@ -1,0 +1,96 @@
+//! Property-based tests on the architecture model: the simulator and area
+//! models must behave monotonically however the design point is twisted.
+
+use geo_arch::dataflow::{count_accesses, ArraySpec, Dataflow};
+use geo_arch::mac_area::sc_mac_unit;
+use geo_arch::{perfsim, AccelConfig, LayerShape, NetworkDesc};
+use geo_core::Accumulation;
+use geo_sc::KernelDims;
+use proptest::prelude::*;
+
+fn conv_strategy() -> impl Strategy<Value = LayerShape> {
+    (1usize..64, 1usize..64, prop::sample::select(vec![1usize, 3, 5]), 4usize..17)
+        .prop_map(|(cin, cout, kernel, size)| LayerShape::Conv {
+            cin,
+            cout,
+            kernel,
+            stride: 1,
+            pad: kernel / 2,
+            in_h: size,
+            in_w: size,
+            pooled: size % 2 == 0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Accumulation-mode area ordering holds for every kernel geometry.
+    #[test]
+    fn mac_area_ordering_is_universal(cin in 1usize..512, h in 1usize..6, w in 1usize..6) {
+        let dims = KernelDims::new(1, cin, h, w);
+        let or = sc_mac_unit(dims, Accumulation::Or).area_um2;
+        let pbw = sc_mac_unit(dims, Accumulation::Pbw).area_um2;
+        let pbhw = sc_mac_unit(dims, Accumulation::Pbhw).area_um2;
+        let fxp = sc_mac_unit(dims, Accumulation::Fxp).area_um2;
+        let apc = sc_mac_unit(dims, Accumulation::Apc).area_um2;
+        prop_assert!(or <= pbw + 1e-9);
+        prop_assert!(pbw <= pbhw + 1e-9);
+        prop_assert!(pbhw <= fxp + 1e-9);
+        prop_assert!(apc <= fxp + 1e-9);
+    }
+
+    /// Dataflow access counts are positive and weight-stationary never
+    /// loses to strict output-stationary on these conv layers.
+    #[test]
+    fn weight_stationary_never_loses(layer in conv_strategy()) {
+        let spec = ArraySpec::new(32, 800, 8);
+        let ws = count_accesses(&layer, Dataflow::WeightStationary, &spec);
+        let os = count_accesses(&layer, Dataflow::OutputStationary, &spec);
+        prop_assert!(ws.total() > 0);
+        // WS may pay one extra window (the first fill) — never more.
+        prop_assert!(ws.total() <= os.total() + layer.kernel_volume() as u64);
+    }
+
+    /// Simulated cycle counts scale monotonically with stream length.
+    #[test]
+    fn cycles_grow_with_stream_length(sp_exp in 4u32..7) {
+        let sp = 1usize << sp_exp;
+        let s = sp * 2;
+        let net = NetworkDesc::lenet5_mnist();
+        let shorter = perfsim::run(&AccelConfig::ulp_geo(sp, s), &net);
+        let longer = perfsim::run(&AccelConfig::ulp_geo(sp * 2, s * 2), &net);
+        prop_assert!(longer.cycles > shorter.cycles);
+        prop_assert!(longer.energy_j > shorter.energy_j);
+    }
+
+    /// Energy, time, and area are always positive and finite; power is
+    /// the energy/time quotient.
+    #[test]
+    fn sim_report_is_self_consistent(sp_exp in 3u32..8) {
+        let sp = 1usize << sp_exp;
+        let net = NetworkDesc::cnn4_cifar();
+        let r = perfsim::run(&AccelConfig::ulp_geo(sp, sp), &net);
+        prop_assert!(r.seconds > 0.0 && r.seconds.is_finite());
+        prop_assert!(r.energy_j > 0.0 && r.energy_j.is_finite());
+        prop_assert!(r.area_mm2 > 0.0);
+        let power = r.energy_j / r.seconds * 1e3;
+        prop_assert!((power - r.power_mw).abs() / r.power_mw < 1e-9);
+        let dyn_sum: f64 = r.breakdown_pj.iter().map(|(_, e)| e).sum();
+        prop_assert!((dyn_sum + r.leakage_pj + r.external_pj - r.energy_j * 1e12).abs()
+            / (r.energy_j * 1e12) < 1e-9);
+    }
+
+    /// The compiler's emitted traffic matches the layer count: every layer
+    /// has a start marker and at least one generate pass.
+    #[test]
+    fn compiled_programs_cover_every_layer(layer in conv_strategy()) {
+        let net = NetworkDesc { name: "prop".into(), layers: vec![layer] };
+        let accel = AccelConfig::ulp_geo(32, 64);
+        let program = geo_arch::compiler::compile(&net, &accel);
+        prop_assert_eq!(program.layer_starts.len(), 1);
+        prop_assert!(program.generate_count() >= 1);
+        let (_, wgt, act, wb) = program.traffic();
+        prop_assert!(wgt > 0 && act > 0 && wb > 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the GEO inference engine: one SC forward pass
+//! of LeNet-5 under each accumulation mode, and the TRNG / progressive
+//! variants — the kernels behind Table I's training runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use geo_core::{Accumulation, GeoConfig, ScEngine};
+use geo_nn::{models, Sequential, Tensor};
+use geo_sc::RngKind;
+
+fn lenet() -> (Sequential, Tensor) {
+    (
+        models::lenet5(1, 8, 10, 0),
+        Tensor::full(&[1, 1, 8, 8], 0.5),
+    )
+}
+
+fn bench_accumulation_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_forward_lenet5");
+    group.sample_size(20);
+    for mode in Accumulation::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("mode", mode.label()),
+            &mode,
+            |b, &mode| {
+                let (mut model, x) = lenet();
+                let mut engine =
+                    ScEngine::new(GeoConfig::geo(32, 64).with_accumulation(mode)).unwrap();
+                b.iter(|| engine.forward(&mut model, black_box(&x), false).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rng_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_forward_rng");
+    group.sample_size(20);
+    for (name, kind) in [("lfsr", RngKind::Lfsr), ("trng", RngKind::Trng)] {
+        group.bench_function(name, |b| {
+            let (mut model, x) = lenet();
+            let mut engine = ScEngine::new(GeoConfig::geo(32, 64).with_rng(kind)).unwrap();
+            b.iter(|| engine.forward(&mut model, black_box(&x), false).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_forward_stream_length");
+    group.sample_size(20);
+    for (sp, s) in [(16usize, 32usize), (32, 64), (64, 128)] {
+        group.bench_with_input(
+            BenchmarkId::new("sp_s", format!("{sp}-{s}")),
+            &(sp, s),
+            |b, &(sp, s)| {
+                let (mut model, x) = lenet();
+                let mut engine = ScEngine::new(GeoConfig::geo(sp, s)).unwrap();
+                b.iter(|| engine.forward(&mut model, black_box(&x), false).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the benches run as part of the full
+/// `cargo bench --workspace` sweep, so favor turnaround over precision.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets =
+    bench_accumulation_modes,
+    bench_rng_kinds,
+    bench_stream_lengths
+
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the architecture model: compilation and
+//! cycle/energy simulation of the paper's evaluation networks — the
+//! machinery behind Fig. 6 and Tables II/III.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use geo_arch::{compiler, perfsim, AccelConfig, NetworkDesc};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    let nets = [
+        NetworkDesc::cnn4_cifar(),
+        NetworkDesc::lenet5_mnist(),
+        NetworkDesc::vgg16_scaled_cifar(),
+    ];
+    let accel = AccelConfig::ulp_geo(32, 64);
+    for net in &nets {
+        group.bench_with_input(BenchmarkId::new("net", &net.name), net, |b, net| {
+            b.iter(|| compiler::compile(black_box(net), &accel));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    let net = NetworkDesc::vgg16_scaled_cifar();
+    for accel in [AccelConfig::lp_geo(64, 128), AccelConfig::acoustic_lp(128)] {
+        let program = compiler::compile(&net, &accel);
+        group.bench_with_input(
+            BenchmarkId::new("config", &accel.name),
+            &(accel, program),
+            |b, (accel, program)| {
+                b.iter(|| perfsim::simulate(black_box(accel), black_box(program)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mac_area_sweep(c: &mut Criterion) {
+    c.bench_function("fig5_table", |b| {
+        b.iter(geo_arch::mac_area::fig5_table);
+    });
+}
+
+
+/// Short measurement windows: the benches run as part of the full
+/// `cargo bench --workspace` sweep, so favor turnaround over precision.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_compile, bench_simulate, bench_mac_area_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks for the stochastic-computing substrate:
+//! stream generation, table construction, and the gate-level kernels the
+//! engine's inner loops are built from.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use geo_sc::{generate_unipolar, ops, Bitstream, Lfsr, ProgressiveSng, StreamTable, TrngRng};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_generation");
+    for len in [32usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::new("lfsr", len), &len, |b, &len| {
+            let width = (len.trailing_zeros() as u8).min(8);
+            let mut rng = Lfsr::new(width, 7).unwrap();
+            b.iter(|| generate_unipolar(black_box(0.37), len, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("trng", len), &len, |b, &len| {
+            let width = (len.trailing_zeros() as u8).min(8);
+            let mut rng = TrngRng::new(width, 7);
+            b.iter(|| generate_unipolar(black_box(0.37), len, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("progressive", len), &len, |b, &len| {
+            let width = (len.trailing_zeros() as u8).min(8);
+            let mut rng = Lfsr::new(width, 7).unwrap();
+            let sng = ProgressiveSng::new(93);
+            b.iter(|| sng.generate(len, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stream_table(c: &mut Criterion) {
+    c.bench_function("stream_table_build_7bit_128", |b| {
+        b.iter(|| {
+            let mut rng = Lfsr::new(7, 3).unwrap();
+            StreamTable::new(black_box(128), &mut rng)
+        });
+    });
+}
+
+fn bench_sc_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_ops");
+    let streams: Vec<Bitstream> = (0..25)
+        .map(|i| {
+            let mut rng = Lfsr::with_polynomial(7, i % 2, 13 * i as u32 + 1).unwrap();
+            generate_unipolar(0.3, 128, &mut rng)
+        })
+        .collect();
+    group.bench_function("and_mul_128", |b| {
+        b.iter(|| ops::and_mul(black_box(&streams[0]), black_box(&streams[1])).unwrap());
+    });
+    group.bench_function("or_acc_25x128", |b| {
+        b.iter(|| ops::or_acc(black_box(&streams)).unwrap());
+    });
+    group.bench_function("parallel_count_25x128", |b| {
+        b.iter(|| ops::parallel_count(black_box(&streams)).unwrap());
+    });
+    group.bench_function("apc_count_25x128", |b| {
+        b.iter(|| geo_sc::apc::apc_count(black_box(&streams), 1).unwrap());
+    });
+    group.finish();
+}
+
+
+/// Short measurement windows: the benches run as part of the full
+/// `cargo bench --workspace` sweep, so favor turnaround over precision.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_generation, bench_stream_table, bench_sc_ops
+}
+criterion_main!(benches);

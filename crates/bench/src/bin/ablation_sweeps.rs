@@ -1,0 +1,96 @@
+//! Ablation sweeps over the design choices DESIGN.md §7 calls out:
+//! stream-length × accumulation-mode accuracy grid, sharing-level
+//! robustness across dataset seeds, and the progressive-generation toggle.
+//!
+//! Run: `cargo run --release -p geo-bench --bin ablation_sweeps [-- --quick]`
+
+use geo_bench::runs::{dataset, pct, train_and_eval, Scale};
+use geo_core::{Accumulation, GeoConfig};
+use geo_nn::datasets::DatasetSpec;
+use geo_nn::models;
+use geo_sc::SharingLevel;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (_, _, epochs) = scale.sizing();
+
+    // --- Grid: stream length × accumulation mode. ---
+    println!("Accuracy grid — stream length × accumulation (CNN-4, SVHN-like)");
+    println!("{:-<70}", "");
+    let (train_ds, test_ds) = dataset(DatasetSpec::svhn_like(11), scale);
+    let model = models::cnn4(3, 8, 10, 0);
+    print!("{:<8}", "stream");
+    for mode in [Accumulation::Or, Accumulation::Pbw, Accumulation::Pbhw, Accumulation::Fxp] {
+        print!(" {:>8}", mode.label());
+    }
+    println!();
+    for len in [16usize, 32, 64, 128] {
+        print!("{len:<8}");
+        for mode in [Accumulation::Or, Accumulation::Pbw, Accumulation::Pbhw, Accumulation::Fxp] {
+            let cfg = GeoConfig::geo(len, len).with_progressive(false).with_accumulation(mode);
+            let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs).1;
+            print!(" {:>8}", pct(acc));
+        }
+        println!();
+    }
+    println!("expected: every mode improves with longer streams; PBW ≈ PBHW ≈ FXP ≫ OR at short streams");
+
+    // --- Sharing robustness across dataset seeds. ---
+    println!();
+    println!("Sharing-level robustness across dataset seeds (GEO-64,64, OR accumulation)");
+    println!("{:-<70}", "");
+    let seeds = if scale == Scale::Quick { vec![11, 23] } else { vec![11, 23, 47] };
+    for sharing in SharingLevel::ALL {
+        let mut accs = Vec::new();
+        for &seed in &seeds {
+            let (tr, te) = dataset(DatasetSpec::svhn_like(seed), scale);
+            let cfg = GeoConfig {
+                accumulation: Accumulation::Or,
+                progressive: false,
+                ..GeoConfig::geo(64, 64)
+            }
+            .with_sharing(sharing);
+            accs.push(train_and_eval(&model, cfg, &tr, &te, epochs).1);
+        }
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        let spread = accs
+            .iter()
+            .map(|a| (a - mean).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "{:<10} mean {:>7}  max-dev {:>6.1} pts  ({})",
+            format!("{sharing:?}"),
+            pct(mean),
+            100.0 * spread,
+            accs.iter().map(|a| pct(*a)).collect::<Vec<_>>().join(", ")
+        );
+    }
+
+    // --- Progressive toggle at each stream length. ---
+    println!();
+    println!("Progressive generation toggle (GEO defaults, trained per config)");
+    println!("{:-<70}", "");
+    for len in [32usize, 64] {
+        let normal = train_and_eval(
+            &model,
+            GeoConfig::geo(len, len).with_progressive(false),
+            &train_ds,
+            &test_ds,
+            epochs,
+        )
+        .1;
+        let progressive = train_and_eval(
+            &model,
+            GeoConfig::geo(len, len).with_progressive(true),
+            &train_ds,
+            &test_ds,
+            epochs,
+        )
+        .1;
+        println!(
+            "stream {len:<4} normal {:>7}  progressive {:>7}",
+            pct(normal),
+            pct(progressive)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! §III-C dataflow study: memory accesses under weight-, output-, and
+//! input-stationary schedules across the evaluation networks' layers.
+//!
+//! Run: `cargo run --release -p geo-bench --bin dataflow_accesses`
+
+use geo_arch::compiler::array_spec;
+use geo_arch::dataflow::{count_accesses, Dataflow};
+use geo_arch::{AccelConfig, NetworkDesc};
+
+fn main() {
+    let ulp = AccelConfig::ulp_geo(32, 64);
+    let lp = AccelConfig::lp_geo(64, 128);
+    println!("§III-C — memory accesses by dataflow (element-granular)");
+    println!("{:-<96}", "");
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>7} {:>7} {:>7}",
+        "layer", "WS", "OS", "IS", "OS/WS", "IS/WS", "psum%"
+    );
+    let mut max_os = 0.0f64;
+    for (net, accel) in [
+        (NetworkDesc::cnn4_cifar(), &ulp),
+        (NetworkDesc::vgg16_scaled_cifar(), &lp),
+    ] {
+        let spec = array_spec(accel);
+        let mut totals = [0u64; 3];
+        for (i, layer) in net.layers.iter().enumerate() {
+            let ws = count_accesses(layer, Dataflow::WeightStationary, &spec);
+            let os = count_accesses(layer, Dataflow::OutputStationary, &spec);
+            let is = count_accesses(layer, Dataflow::InputStationary, &spec);
+            totals[0] += ws.total();
+            totals[1] += os.total();
+            totals[2] += is.total();
+            let os_ratio = os.total() as f64 / ws.total() as f64;
+            let is_ratio = is.total() as f64 / ws.total() as f64;
+            max_os = max_os.max(os_ratio);
+            println!(
+                "{:<34} {:>12} {:>12} {:>12} {:>7.2} {:>7.2} {:>6.1}%",
+                format!("{} L{}", net.name.chars().take(22).collect::<String>(), i),
+                ws.total(),
+                os.total(),
+                is.total(),
+                os_ratio,
+                is_ratio,
+                100.0 * ws.psum_fraction()
+            );
+        }
+        println!(
+            "{:<34} {:>12} {:>12} {:>12} {:>7.2} {:>7.2}   (network totals)",
+            format!("{} TOTAL", net.name.chars().take(22).collect::<String>()),
+            totals[0],
+            totals[1],
+            totals[2],
+            totals[1] as f64 / totals[0] as f64,
+            totals[2] as f64 / totals[0] as f64,
+        );
+    }
+    println!();
+    println!(
+        "paper: WS+near-mem reduces overall accesses up to 3.3x vs input-stationary \
+         (see the network-total IS/WS columns); strict OS costs up to 10.3x vs ideal \
+         (max per-layer penalty here: {max_os:.1}x)"
+    );
+}

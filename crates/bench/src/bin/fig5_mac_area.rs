@@ -1,0 +1,29 @@
+//! Figure 5: SC MAC-unit area across accumulation modes and kernel sizes.
+//!
+//! Run: `cargo run --release -p geo-bench --bin fig5_mac_area`
+
+use geo_arch::mac_area::fig5_table;
+
+fn main() {
+    println!("Figure 5 — SC MAC-unit area vs. kernel size and accumulation mode");
+    println!("(normalized to full-OR SC; paper shape: PBW ≤1.4×→4%, PBHW ≤4.5×→9%,");
+    println!(" FXP >5× for most sizes, APC >3× PBW for large kernels)");
+    println!("{:-<76}", "");
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "kernel", "SC [µm²]", "SC", "PBW", "PBHW", "FXP", "APC"
+    );
+    for row in fig5_table() {
+        let (cin, h, w) = row.dims;
+        println!(
+            "{:<14} {:>12.0} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            format!("{h}x{w}x{cin}"),
+            row.sc_area_um2,
+            row.relative[0],
+            row.relative[1],
+            row.relative[2],
+            row.relative[3],
+            row.relative[4]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 6: normalized area, energy, and latency for Base-128,128,
+//! GEO-GEN-128,128, and GEO-GEN-EXEC-32,64 on the ULP architecture,
+//! with the per-module breakdown. `--detail` adds the §III-D
+//! pipeline/shadow-buffer detail numbers.
+//!
+//! Run: `cargo run --release -p geo-bench --bin fig6_breakdown [-- --detail]`
+
+use geo_arch::{perfsim, AccelConfig, Category, NetworkDesc};
+
+fn main() {
+    let detail = std::env::args().any(|a| a == "--detail");
+    // The paper simulates SVHN CNN inference for Fig. 6; CNN-4's shape is
+    // the same (SVHN and CIFAR-10 share the CNN-4 topology).
+    let net = NetworkDesc::cnn4_cifar();
+    let configs = [
+        AccelConfig::ulp_base(),
+        AccelConfig::ulp_gen(),
+        AccelConfig::ulp_gen_exec(),
+    ];
+    let reports: Vec<_> = configs.iter().map(|c| perfsim::run(c, &net)).collect();
+    let base = &reports[0];
+
+    println!("Figure 6 — area / energy / latency, normalized to Base-128,128 (SVHN CNN-4)");
+    println!("{:-<86}", "");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "config", "norm. area", "norm. energy", "norm. latency", "area mm²", "power mW"
+    );
+    for r in &reports {
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>10.3} {:>10.1}",
+            r.config,
+            r.area_mm2 / base.area_mm2,
+            r.energy_j / base.energy_j,
+            r.seconds / base.seconds,
+            r.area_mm2,
+            r.power_mw
+        );
+    }
+
+    println!();
+    println!("Per-module breakdown (fraction of each config's own total):");
+    println!("{:-<86}", "");
+    print!("{:<18}", "module");
+    for r in &reports {
+        print!(" {:>14} {:>8}", "area", "energy");
+        let _ = r;
+    }
+    println!();
+    print!("{:<18}", "");
+    for r in &reports {
+        print!(" {:>23}", r.config.chars().take(22).collect::<String>());
+    }
+    println!();
+    for (i, cat) in Category::ALL.iter().enumerate() {
+        print!("{:<18}", cat.label());
+        for (cfg, r) in configs.iter().zip(&reports) {
+            let areas = cfg.area_breakdown();
+            let area_frac = areas[i].1 / r.area_mm2;
+            let dyn_total: f64 = r.breakdown_pj.iter().map(|(_, e)| e).sum();
+            let energy_frac = r.breakdown_pj[i].1 / dyn_total;
+            print!(" {:>13.1}% {:>7.1}%", 100.0 * area_frac, 100.0 * energy_frac);
+        }
+        println!();
+    }
+
+    println!();
+    println!(
+        "Paper shape: GEN ≈ −1% area, 1.7× faster, 1.6× less energy; \
+         GEN-EXEC ≈ +2% area, 4.3× faster, 5.2× less energy."
+    );
+
+    if detail {
+        println!();
+        println!("§III-D detail:");
+        let gen = &configs[1];
+        let no_shadow = AccelConfig::acoustic_ulp(128);
+        println!(
+            "  shadow-buffer area overhead at accelerator level: {:+.1}%",
+            100.0 * (gen.total_area_mm2() / no_shadow.total_area_mm2() - 1.0)
+        );
+        println!(
+            "  reload latency before generation start: {} cycles normal vs {} progressive (4x)",
+            geo_arch::progressive_timing::start_latency(false),
+            geo_arch::progressive_timing::start_latency(true)
+        );
+        let full = &configs[2];
+        let mut no_pipe = full.clone();
+        no_pipe.opts.pipeline_dvfs = false;
+        no_pipe.name = "GEN-EXEC-no-pipeline".into();
+        println!(
+            "  pipeline-stage area overhead: {:+.2}%  (enables 0.9 V → 0.81 V DVFS)",
+            100.0 * (full.total_area_mm2() / no_pipe.total_area_mm2() - 1.0)
+        );
+        let r_full = perfsim::run(full, &net);
+        let r_nopipe = perfsim::run(&no_pipe, &net);
+        println!(
+            "  DVFS energy saving at iso-latency: {:.1}%",
+            100.0 * (1.0 - r_full.energy_j / r_nopipe.energy_j)
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Table II: GEO ULP vs. fixed-point and mixed-signal implementations —
+//! voltage, area, power, clock, CIFAR-10 and LeNet-5 throughput (Fr/s) and
+//! efficiency (Fr/J), peak GOPS and TOPS/W.
+//!
+//! Run: `cargo run --release -p geo-bench --bin table2_ulp`
+
+use geo_arch::baselines::{conv_ram, mdl_cnn, EyerissConfig};
+use geo_arch::{perfsim, AccelConfig, NetworkDesc};
+
+struct Column {
+    name: String,
+    voltage: f64,
+    area: f64,
+    power: f64,
+    clock: f64,
+    cifar: Option<(f64, f64)>,
+    lenet: Option<(f64, f64)>,
+    gops: f64,
+    tops_w: f64,
+}
+
+fn geo_column(accel: &AccelConfig) -> Column {
+    let cifar = perfsim::run(accel, &NetworkDesc::cnn4_cifar());
+    let lenet = perfsim::run(accel, &NetworkDesc::lenet5_mnist());
+    let gops = accel.peak_gops();
+    Column {
+        name: accel.name.clone(),
+        voltage: accel.operating_point().voltage,
+        area: cifar.area_mm2,
+        power: cifar.power_mw,
+        clock: accel.operating_point().freq_mhz,
+        cifar: Some((cifar.fps, cifar.frames_per_joule)),
+        lenet: Some((lenet.fps, lenet.frames_per_joule)),
+        gops,
+        tops_w: gops / cifar.power_mw,
+    }
+}
+
+fn eyeriss_column(e: &EyerissConfig) -> Column {
+    let cifar = e.simulate(&NetworkDesc::cnn4_cifar());
+    let lenet = e.simulate(&NetworkDesc::lenet5_mnist());
+    let gops = e.peak_gops();
+    Column {
+        name: e.name.clone(),
+        voltage: e.op.voltage,
+        area: e.area_mm2(),
+        power: cifar.power_mw,
+        clock: e.op.freq_mhz,
+        cifar: Some((cifar.fps, cifar.frames_per_joule)),
+        lenet: Some((lenet.fps, lenet.frames_per_joule)),
+        gops,
+        tops_w: gops / cifar.power_mw,
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+fn print_columns(title: &str, cols: &[Column]) {
+    println!("{title}");
+    println!("{:-<100}", "");
+    let rows: Vec<(&str, Box<dyn Fn(&Column) -> String>)> = vec![
+        ("Voltage [V]", Box::new(|c: &Column| format!("{:.3}", c.voltage))),
+        ("Area [mm2]", Box::new(|c: &Column| format!("{:.2}", c.area))),
+        ("Power [mW]", Box::new(|c: &Column| format!("{:.1}", c.power))),
+        ("Clock [MHz]", Box::new(|c: &Column| format!("{:.0}", c.clock))),
+        (
+            "CIFAR-10 Fr/s",
+            Box::new(|c: &Column| c.cifar.map_or("---".into(), |(f, _)| si(f))),
+        ),
+        (
+            "CIFAR-10 Fr/J",
+            Box::new(|c: &Column| c.cifar.map_or("---".into(), |(_, j)| si(j))),
+        ),
+        (
+            "LeNet5 Fr/s",
+            Box::new(|c: &Column| c.lenet.map_or("---".into(), |(f, _)| si(f))),
+        ),
+        (
+            "LeNet5 Fr/J",
+            Box::new(|c: &Column| c.lenet.map_or("---".into(), |(_, j)| si(j))),
+        ),
+        ("Peak GOPS", Box::new(|c: &Column| format!("{:.0}", c.gops))),
+        ("Peak TOPS/W", Box::new(|c: &Column| format!("{:.2}", c.tops_w))),
+    ];
+    print!("{:<16}", "");
+    for c in cols {
+        print!(" {:>16}", c.name.chars().take(16).collect::<String>());
+    }
+    println!();
+    for (label, f) in rows {
+        print!("{label:<16}");
+        for c in cols {
+            print!(" {:>16}", f(c));
+        }
+        println!();
+    }
+}
+
+fn reported_column(p: &geo_arch::baselines::ReportedPoint) -> Column {
+    Column {
+        name: format!("{} (rep.)", p.name),
+        voltage: p.voltage.unwrap_or(f64::NAN),
+        area: p.area_mm2.unwrap_or(f64::NAN),
+        power: p.power_mw.unwrap_or(f64::NAN),
+        clock: p.clock_mhz.unwrap_or(f64::NAN),
+        cifar: None,
+        lenet: p.lenet_fps.zip(p.lenet_fpj),
+        gops: p.peak_gops.unwrap_or(f64::NAN),
+        tops_w: p.peak_tops_w.unwrap_or(f64::NAN),
+    }
+}
+
+fn main() {
+    let cols = vec![
+        eyeriss_column(&EyerissConfig::ulp_4bit()),
+        geo_column(&AccelConfig::ulp_geo(32, 64)),
+        reported_column(&conv_ram()),
+        reported_column(&mdl_cnn()),
+        geo_column(&AccelConfig::acoustic_ulp(128)),
+        geo_column(&AccelConfig::ulp_geo(16, 32)),
+    ];
+    print_columns(
+        "Table II — GEO ULP vs. fixed-point and mixed-signal implementations (28 nm)",
+        &cols,
+    );
+    println!();
+    let geo = &cols[1];
+    let eyeriss = &cols[0];
+    let acoustic = &cols[4];
+    let (gf, gj) = geo.cifar.unwrap();
+    let (ef, ej) = eyeriss.cifar.unwrap();
+    let (af, aj) = acoustic.cifar.unwrap();
+    println!(
+        "GEO-ULP-32,64 vs Eyeriss-4bit:  {:.1}x throughput, {:.1}x energy efficiency (paper: 2.7x / 2.6x)",
+        gf / ef,
+        gj / ej
+    );
+    println!(
+        "GEO-ULP-32,64 vs ACOUSTIC-128:  {:.1}x throughput, {:.1}x energy efficiency (paper: 4.4x / 5.3x)",
+        gf / af,
+        gj / aj
+    );
+}

@@ -1,0 +1,140 @@
+//! Table III: GEO LP vs. fixed-point and SC implementations on the
+//! scale-out end — VGG-16 (scaled) throughput/efficiency with HBM2
+//! external memory, peak GOPS and TOPS/W.
+//!
+//! Run: `cargo run --release -p geo-bench --bin table3_lp`
+
+use geo_arch::baselines::{scope, sm_sc, EyerissConfig, ReportedPoint};
+use geo_arch::{perfsim, AccelConfig, NetworkDesc};
+
+fn si(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+struct Row {
+    name: String,
+    voltage: String,
+    area: String,
+    power: String,
+    clock: String,
+    vgg_fps: String,
+    vgg_fpj: String,
+    gops: String,
+    tops_w: String,
+}
+
+fn geo_row(accel: &AccelConfig, peak_stream: usize) -> Row {
+    let net = NetworkDesc::vgg16_scaled_cifar();
+    let r = perfsim::run(accel, &net);
+    let gops = accel.peak_gops_at(peak_stream);
+    Row {
+        name: accel.name.clone(),
+        voltage: format!("{:.2}", accel.operating_point().voltage),
+        area: format!("{:.1}", r.area_mm2),
+        power: format!("{:.0}", r.power_mw),
+        clock: format!("{:.0}", accel.operating_point().freq_mhz),
+        vgg_fps: si(r.fps),
+        vgg_fpj: si(r.frames_per_joule),
+        gops: format!("{gops:.0}"),
+        tops_w: format!("{:.2}", gops / r.power_mw),
+    }
+}
+
+fn eyeriss_row(e: &EyerissConfig) -> Row {
+    let net = NetworkDesc::vgg16_scaled_cifar();
+    let r = e.simulate(&net);
+    Row {
+        name: e.name.clone(),
+        voltage: format!("{:.2}", e.op.voltage),
+        area: format!("{:.1}", e.area_mm2()),
+        power: format!("{:.0}", r.power_mw),
+        clock: format!("{:.0}", e.op.freq_mhz),
+        vgg_fps: si(r.fps),
+        vgg_fpj: si(r.frames_per_joule),
+        gops: format!("{:.0}", e.peak_gops()),
+        tops_w: format!("{:.2}", e.peak_gops() / r.power_mw),
+    }
+}
+
+fn reported_row(p: &ReportedPoint) -> Row {
+    let opt = |v: Option<f64>, fmt: &dyn Fn(f64) -> String| v.map_or("---".into(), |x| fmt(x));
+    Row {
+        name: format!("{} (rep.)", p.name),
+        voltage: opt(p.voltage, &|v| format!("{v:.2}")),
+        area: opt(p.area_mm2, &|v| format!("{v:.1}")),
+        power: opt(p.power_mw, &|v| format!("{v:.0}")),
+        clock: opt(p.clock_mhz, &|v| format!("{v:.0}")),
+        vgg_fps: "---".into(),
+        vgg_fpj: "---".into(),
+        gops: opt(p.peak_gops, &|v| format!("{v:.0}")),
+        tops_w: opt(p.peak_tops_w, &|v| format!("{v:.2}")),
+    }
+}
+
+fn main() {
+    let rows = vec![
+        eyeriss_row(&EyerissConfig::lp_8bit()),
+        geo_row(&AccelConfig::lp_geo(64, 128), 128),
+        reported_row(&sm_sc()),
+        reported_row(&scope()),
+        geo_row(&AccelConfig::acoustic_lp(128), 128),
+        geo_row(&AccelConfig::lp_geo(32, 64), 64),
+    ];
+    println!("Table III — GEO LP vs. fixed-point and SC implementations (28 nm)");
+    println!("{:-<112}", "");
+    print!("{:<16}", "");
+    for r in &rows {
+        print!(" {:>15}", r.name.chars().take(15).collect::<String>());
+    }
+    println!();
+    let fields: Vec<(&str, Box<dyn Fn(&Row) -> &str>)> = vec![
+        ("Voltage [V]", Box::new(|r: &Row| r.voltage.as_str())),
+        ("Area [mm2]", Box::new(|r: &Row| r.area.as_str())),
+        ("Power [mW]", Box::new(|r: &Row| r.power.as_str())),
+        ("Clock [MHz]", Box::new(|r: &Row| r.clock.as_str())),
+        ("VGG Fr/s", Box::new(|r: &Row| r.vgg_fps.as_str())),
+        ("VGG Fr/J", Box::new(|r: &Row| r.vgg_fpj.as_str())),
+        ("Peak GOPS", Box::new(|r: &Row| r.gops.as_str())),
+        ("Peak TOPS/W", Box::new(|r: &Row| r.tops_w.as_str())),
+    ];
+    for (label, f) in fields {
+        print!("{label:<16}");
+        for r in &rows {
+            print!(" {:>15}", f(r));
+        }
+        println!();
+    }
+
+    println!();
+    let net = NetworkDesc::vgg16_scaled_cifar();
+    let geo = perfsim::run(&AccelConfig::lp_geo(64, 128), &net);
+    let eye = EyerissConfig::lp_8bit().simulate(&net);
+    let aco = perfsim::run(&AccelConfig::acoustic_lp(128), &net);
+    println!(
+        "GEO-LP-64,128 vs Eyeriss-8bit: {:.1}x throughput, {:.1}x energy (paper: 5.6x / 2.6x)",
+        geo.fps / eye.fps,
+        geo.frames_per_joule / eye.frames_per_joule
+    );
+    let no_ext_ratio = (1.0 / geo.energy_j_no_external()) / (1.0 / eye.energy_j_no_external());
+    println!(
+        "  …omitting external memory accesses: {no_ext_ratio:.1}x energy (paper: up to 6.1x)"
+    );
+    println!(
+        "GEO-LP-64,128 vs ACOUSTIC-LP-128: {:.1}x throughput, {:.1}x energy (paper: 2.4x / 1.6x)",
+        geo.fps / aco.fps,
+        geo.frames_per_joule / aco.frames_per_joule
+    );
+    let scope_area = scope().area_mm2.unwrap();
+    let scope_gops = scope().peak_gops.unwrap();
+    println!(
+        "GEO-LP area is {:.1}% of SCOPE with {:.0}% of its peak throughput (paper: 3.3% / ~24%)",
+        100.0 * geo.area_mm2 / scope_area,
+        100.0 * AccelConfig::lp_geo(64, 128).peak_gops_at(128) / scope_gops
+    );
+}

@@ -1,0 +1,9 @@
+//! # geo-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4) plus shared
+//! experiment plumbing. Binaries accept `--quick` for a fast smoke run and
+//! print paper-style rows; EXPERIMENTS.md records paper-vs-measured.
+
+#![forbid(unsafe_code)]
+
+pub mod runs;

@@ -1,0 +1,85 @@
+//! Shared experiment plumbing: dataset/model/training presets used by the
+//! per-figure binaries, with a `--quick` scale for smoke runs.
+
+use geo_core::{evaluate_sc, train_sc, GeoConfig, ScEngine};
+use geo_nn::datasets::{generate, Dataset, DatasetSpec};
+use geo_nn::optim::Optimizer;
+use geo_nn::train::TrainConfig;
+use geo_nn::Sequential;
+
+/// Experiment scale: quick smoke runs vs. full runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets / few epochs: minutes, trends only.
+    Quick,
+    /// Full (still CI-sized) runs.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` from argv; defaults to `Full`.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Training samples / test samples / epochs for this scale.
+    pub fn sizing(self) -> (usize, usize, usize) {
+        match self {
+            Scale::Quick => (96, 48, 6),
+            Scale::Full => (256, 128, 16),
+        }
+    }
+}
+
+/// A dataset pair sized for the scale.
+pub fn dataset(spec_base: DatasetSpec, scale: Scale) -> (Dataset, Dataset) {
+    let (train, test, _) = scale.sizing();
+    generate(&spec_base.with_samples(train, test))
+}
+
+/// Trains a fresh copy of `model` under `config` with SC-in-the-loop
+/// training and returns `(trained model, test accuracy)`.
+///
+/// # Panics
+///
+/// Panics on engine/configuration errors (experiment binaries fail fast).
+pub fn train_and_eval(
+    model: &Sequential,
+    config: GeoConfig,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    epochs: usize,
+) -> (Sequential, f32) {
+    let mut model = model.clone();
+    let mut engine = ScEngine::new(config).expect("valid experiment config");
+    let mut opt = Optimizer::paper_default();
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        seed: 0,
+    };
+    train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg).expect("training succeeds");
+    let acc = evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds");
+    (model, acc)
+}
+
+/// Evaluates an already-trained model under a different engine config
+/// (e.g. validating an LFSR-trained model with TRNG generation).
+///
+/// # Panics
+///
+/// Panics on engine/configuration errors.
+pub fn eval_under(model: &Sequential, config: GeoConfig, test_ds: &Dataset) -> f32 {
+    let mut model = model.clone();
+    let mut engine = ScEngine::new(config).expect("valid experiment config");
+    evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds")
+}
+
+/// Formats a percentage with one decimal, the paper's table style.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

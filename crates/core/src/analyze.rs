@@ -1,0 +1,202 @@
+//! Layer-wise SC error analysis.
+//!
+//! Diagnostic tooling for the question every SC deployment asks first:
+//! *where* does stochastic error enter my network? [`layer_errors`] runs
+//! the float and SC datapaths side by side on the same input and reports
+//! per-layer divergence — the compressing effect of OR accumulation, the
+//! dynamic-range recovery of partial binary accumulation, and quantization
+//! effects all become visible per layer.
+
+use crate::engine::ScEngine;
+use crate::error::GeoError;
+use geo_nn::{Layer, Sequential, Tensor};
+
+/// Divergence between the SC and float outputs of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerError {
+    /// Index in `model.layers()`.
+    pub layer_index: usize,
+    /// Layer kind (`"conv2d"`, `"linear"`, …).
+    pub kind: &'static str,
+    /// Root-mean-square difference between SC and float outputs.
+    pub rms: f64,
+    /// Maximum absolute difference.
+    pub max_abs: f64,
+    /// Mean signed difference (negative = SC compresses, the OR signature).
+    pub mean_signed: f64,
+    /// Stream length the engine assigned (parametrized layers only).
+    pub stream_len: Option<usize>,
+}
+
+/// Runs `input` through both datapaths, feeding each layer the **float**
+/// activations so errors are attributed per layer rather than compounded.
+///
+/// Returns one record per parametrized (conv/linear) layer.
+///
+/// # Errors
+///
+/// Propagates engine and layer errors.
+///
+/// # Examples
+///
+/// ```
+/// use geo_core::{analyze::layer_errors, GeoConfig, ScEngine};
+/// use geo_nn::{models, Tensor};
+///
+/// # fn main() -> Result<(), geo_core::GeoError> {
+/// let mut model = models::lenet5(1, 8, 10, 0);
+/// let mut engine = ScEngine::new(GeoConfig::geo(32, 64))?;
+/// let errors = layer_errors(&mut engine, &mut model, &Tensor::full(&[1, 1, 8, 8], 0.5))?;
+/// assert_eq!(errors.len(), 4); // 2 conv + 2 fc
+/// assert!(errors.iter().all(|e| e.rms.is_finite()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn layer_errors(
+    engine: &mut ScEngine,
+    model: &mut Sequential,
+    input: &Tensor,
+) -> Result<Vec<LayerError>, GeoError> {
+    let plan = engine.stream_plan(model);
+    model.set_training(false);
+    let mut errors = Vec::new();
+    let mut x = input.clone();
+    for (i, stream_len) in plan.iter().enumerate() {
+        // Float forward of this layer on the float activations.
+        let kind = model.layers()[i].kind();
+        let is_param = matches!(
+            model.layers()[i],
+            Layer::Conv2d(_) | Layer::Linear(_)
+        );
+        let float_out = model.layers_mut()[i].forward(&x)?;
+        if is_param {
+            // SC forward of the *single* layer on the same activations:
+            // wrap it in a one-layer model view via the engine.
+            let sc_out = engine.forward_single_layer(model, i, &x)?;
+            let n = float_out.len().max(1) as f64;
+            let mut sum_sq = 0.0f64;
+            let mut max_abs = 0.0f64;
+            let mut mean = 0.0f64;
+            for (s, f) in sc_out.data().iter().zip(float_out.data()) {
+                let d = f64::from(s - f);
+                sum_sq += d * d;
+                max_abs = max_abs.max(d.abs());
+                mean += d;
+            }
+            errors.push(LayerError {
+                layer_index: i,
+                kind,
+                rms: (sum_sq / n).sqrt(),
+                max_abs,
+                mean_signed: mean / n,
+                stream_len: *stream_len,
+            });
+        }
+        x = float_out;
+    }
+    Ok(errors)
+}
+
+/// Formats the analysis as an aligned table.
+pub fn format_errors(errors: &[LayerError]) -> String {
+    let mut out = format!(
+        "{:<6} {:<10} {:>8} {:>10} {:>10} {:>12}\n",
+        "layer", "kind", "stream", "rms", "max", "mean(signed)"
+    );
+    for e in errors {
+        out.push_str(&format!(
+            "{:<6} {:<10} {:>8} {:>10.4} {:>10.4} {:>+12.4}\n",
+            e.layer_index,
+            e.kind,
+            e.stream_len.map_or("—".into(), |l| l.to_string()),
+            e.rms,
+            e.max_abs,
+            e.mean_signed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Accumulation, GeoConfig};
+    use geo_nn::models;
+
+    fn setup() -> (Sequential, Tensor) {
+        (
+            models::lenet5(1, 8, 10, 0),
+            Tensor::full(&[1, 1, 8, 8], 0.5),
+        )
+    }
+
+    #[test]
+    fn reports_one_record_per_parametrized_layer() {
+        let (mut model, x) = setup();
+        let mut engine = ScEngine::new(GeoConfig::geo(32, 64)).unwrap();
+        let errors = layer_errors(&mut engine, &mut model, &x).unwrap();
+        assert_eq!(errors.len(), 4);
+        assert_eq!(errors[0].kind, "conv2d");
+        assert_eq!(errors[3].kind, "linear");
+        assert_eq!(errors[0].stream_len, Some(32));
+        assert_eq!(errors[3].stream_len, Some(128));
+    }
+
+    #[test]
+    fn or_accumulation_shows_compression_bias() {
+        // With all-positive weights, OR accumulation compresses sums, so
+        // the mean signed error must be negative for the conv layers.
+        use geo_nn::Layer;
+        let (mut model, x) = setup();
+        for l in model.layers_mut() {
+            if let Layer::Conv2d(c) = l {
+                for v in c.weight.value.data_mut() {
+                    *v = v.abs().max(0.3);
+                }
+            }
+        }
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(64, 64)
+                .with_accumulation(Accumulation::Or)
+                .with_progressive(false),
+        )
+        .unwrap();
+        let errors = layer_errors(&mut engine, &mut model, &x).unwrap();
+        assert!(
+            errors[0].mean_signed < 0.0,
+            "OR compresses: {:+.4}",
+            errors[0].mean_signed
+        );
+    }
+
+    #[test]
+    fn fxp_error_is_smaller_than_or_error() {
+        let (mut model, x) = setup();
+        let base = GeoConfig::geo(128, 128).with_progressive(false);
+        let mut eng_or =
+            ScEngine::new(base.with_accumulation(Accumulation::Or)).unwrap();
+        let mut eng_fxp =
+            ScEngine::new(base.with_accumulation(Accumulation::Fxp)).unwrap();
+        let or_err = layer_errors(&mut eng_or, &mut model, &x).unwrap();
+        let fxp_err = layer_errors(&mut eng_fxp, &mut model, &x).unwrap();
+        // Total rms across parametrized layers.
+        let sum = |v: &[LayerError]| v.iter().map(|e| e.rms).sum::<f64>();
+        assert!(
+            sum(&fxp_err) <= sum(&or_err) + 1e-9,
+            "FXP {:.4} ≤ OR {:.4}",
+            sum(&fxp_err),
+            sum(&or_err)
+        );
+    }
+
+    #[test]
+    fn format_is_tabular() {
+        let (mut model, x) = setup();
+        let mut engine = ScEngine::new(GeoConfig::geo(32, 64)).unwrap();
+        let errors = layer_errors(&mut engine, &mut model, &x).unwrap();
+        let table = format_errors(&errors);
+        assert_eq!(table.lines().count(), 5); // header + 4 layers
+        assert!(table.contains("conv2d"));
+        assert!(table.contains("128"));
+    }
+}

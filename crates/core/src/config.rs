@@ -1,0 +1,253 @@
+//! GEO engine configuration.
+
+use crate::error::GeoError;
+use geo_sc::{RngKind, SharingLevel, MAX_WIDTH, MIN_WIDTH};
+use serde::{Deserialize, Serialize};
+
+/// Where the SC→fixed-point boundary sits in the accumulation tree
+/// (paper §III-B, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Accumulation {
+    /// Fully stochastic: OR over the whole `(Cin, H, W)` kernel
+    /// (ACOUSTIC-style).
+    Or,
+    /// Partial binary along W: OR over `(Cin, H)`, parallel counter over W
+    /// (GEO's default — near-PBHW accuracy at a fraction of the adders).
+    Pbw,
+    /// Partial binary along H and W: OR over `Cin`, counter over `(H, W)`.
+    Pbhw,
+    /// Fully fixed-point: every product converted and added exactly.
+    Fxp,
+    /// One layer of approximate parallel counting, then exact counting.
+    Apc,
+}
+
+impl Accumulation {
+    /// All modes, cheapest-hardware first.
+    pub const ALL: [Accumulation; 5] = [
+        Accumulation::Or,
+        Accumulation::Pbw,
+        Accumulation::Pbhw,
+        Accumulation::Fxp,
+        Accumulation::Apc,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Accumulation::Or => "SC",
+            Accumulation::Pbw => "PBW",
+            Accumulation::Pbhw => "PBHW",
+            Accumulation::Fxp => "FXP",
+            Accumulation::Apc => "APC",
+        }
+    }
+}
+
+/// Full configuration of the GEO stochastic inference engine.
+///
+/// Stream lengths follow the paper's `{sp-s}` notation: layers feeding a
+/// pooling stage run `stream_len_pooled` cycles (computation skipping lets
+/// them be shorter), other hidden layers run `stream_len`, and the output
+/// layer always runs `output_stream_len` (128 in the paper). The effective
+/// hardware stream is twice each value due to split-unipolar operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoConfig {
+    /// RNG sharing policy across a layer's kernels.
+    pub sharing: SharingLevel,
+    /// Random source driving the SNGs.
+    pub rng: RngKind,
+    /// SC / fixed-point accumulation split.
+    pub accumulation: Accumulation,
+    /// Stream length for layers **with** pooling (`sp`).
+    pub stream_len_pooled: usize,
+    /// Stream length for layers **without** pooling (`s`).
+    pub stream_len: usize,
+    /// Stream length for the output layer (128 in the paper).
+    pub output_stream_len: usize,
+    /// Progressive stream generation (start after 2 MSBs).
+    pub progressive: bool,
+    /// Fixed-point bit width of the near-memory batch norm; `None` keeps
+    /// batch norm in float (used during training's statistics pass).
+    pub bn_bits: Option<u8>,
+    /// Base seed for the per-layer seed plans.
+    pub base_seed: u32,
+}
+
+impl GeoConfig {
+    /// The paper's reference GEO configuration at a given `{sp-s}` pair:
+    /// LFSR generation, moderate sharing, PBW accumulation, progressive
+    /// generation, 8-bit near-memory BN.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let cfg = geo_core::GeoConfig::geo(32, 64);
+    /// assert_eq!(cfg.stream_len_pooled, 32);
+    /// assert_eq!(cfg.stream_len, 64);
+    /// ```
+    pub fn geo(stream_len_pooled: usize, stream_len: usize) -> Self {
+        GeoConfig {
+            sharing: SharingLevel::Moderate,
+            rng: RngKind::Lfsr,
+            accumulation: Accumulation::Pbw,
+            stream_len_pooled,
+            stream_len,
+            output_stream_len: 128,
+            progressive: true,
+            bn_bits: Some(8),
+            base_seed: 0x9E37,
+        }
+    }
+
+    /// ACOUSTIC-style baseline: OR-only accumulation, no partial binary,
+    /// no progressive generation, at a single stream length.
+    pub fn acoustic(stream_len: usize) -> Self {
+        GeoConfig {
+            sharing: SharingLevel::Moderate,
+            rng: RngKind::Lfsr,
+            accumulation: Accumulation::Or,
+            stream_len_pooled: stream_len,
+            stream_len,
+            output_stream_len: 128,
+            progressive: false,
+            bn_bits: Some(8),
+            base_seed: 0x9E37,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidConfig`] if a stream length is not a
+    /// power of two in the supported LFSR range, or BN bits are out of
+    /// range.
+    pub fn validate(&self) -> Result<(), GeoError> {
+        for (name, len) in [
+            ("stream_len_pooled", self.stream_len_pooled),
+            ("stream_len", self.stream_len),
+            ("output_stream_len", self.output_stream_len),
+        ] {
+            if !len.is_power_of_two() {
+                return Err(GeoError::InvalidConfig(format!(
+                    "{name} = {len} is not a power of two"
+                )));
+            }
+            let width = len.trailing_zeros() as u8;
+            if !(MIN_WIDTH..=MAX_WIDTH).contains(&width) {
+                return Err(GeoError::InvalidConfig(format!(
+                    "{name} = {len} needs LFSR width {width}, outside {MIN_WIDTH}..={MAX_WIDTH}"
+                )));
+            }
+        }
+        if let Some(bits) = self.bn_bits {
+            if !(2..=16).contains(&bits) {
+                return Err(GeoError::InvalidConfig(format!(
+                    "bn_bits = {bits} outside 2..=16"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// LFSR width matched to a stream length (`log2`), per §II-B.
+    pub fn width_for(len: usize) -> u8 {
+        len.trailing_zeros() as u8
+    }
+
+    /// Returns a copy with a different accumulation mode (for ablations).
+    pub fn with_accumulation(mut self, accumulation: Accumulation) -> Self {
+        self.accumulation = accumulation;
+        self
+    }
+
+    /// Returns a copy with a different sharing level (for Fig. 1 sweeps).
+    pub fn with_sharing(mut self, sharing: SharingLevel) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Returns a copy with a different RNG kind (for Fig. 1 sweeps).
+    pub fn with_rng(mut self, rng: RngKind) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Returns a copy with progressive generation toggled.
+    pub fn with_progressive(mut self, progressive: bool) -> Self {
+        self.progressive = progressive;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_defaults_match_paper() {
+        let c = GeoConfig::geo(32, 64);
+        assert_eq!(c.sharing, SharingLevel::Moderate);
+        assert_eq!(c.rng, RngKind::Lfsr);
+        assert_eq!(c.accumulation, Accumulation::Pbw);
+        assert_eq!(c.output_stream_len, 128);
+        assert!(c.progressive);
+        assert_eq!(c.bn_bits, Some(8));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn acoustic_is_or_only() {
+        let c = GeoConfig::acoustic(128);
+        assert_eq!(c.accumulation, Accumulation::Or);
+        assert!(!c.progressive);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_lengths() {
+        let mut c = GeoConfig::geo(32, 64);
+        c.stream_len = 100;
+        assert!(c.validate().is_err());
+        c.stream_len = 4; // width 2 < MIN_WIDTH
+        assert!(c.validate().is_err());
+        c.stream_len = 1 << 17;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_bn_bits() {
+        let mut c = GeoConfig::geo(32, 64);
+        c.bn_bits = Some(1);
+        assert!(c.validate().is_err());
+        c.bn_bits = None;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn width_matches_stream_length() {
+        assert_eq!(GeoConfig::width_for(128), 7);
+        assert_eq!(GeoConfig::width_for(32), 5);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = GeoConfig::geo(32, 64)
+            .with_accumulation(Accumulation::Fxp)
+            .with_sharing(SharingLevel::None)
+            .with_rng(RngKind::Trng)
+            .with_progressive(false);
+        assert_eq!(c.accumulation, Accumulation::Fxp);
+        assert_eq!(c.sharing, SharingLevel::None);
+        assert_eq!(c.rng, RngKind::Trng);
+        assert!(!c.progressive);
+    }
+
+    #[test]
+    fn labels_are_short() {
+        for a in Accumulation::ALL {
+            assert!(!a.label().is_empty() && a.label().len() <= 4);
+        }
+    }
+}

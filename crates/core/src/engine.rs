@@ -1,0 +1,856 @@
+//! The GEO stochastic-computing inference engine.
+//!
+//! Executes a `geo-nn` network with a simulated SC datapath: activations
+//! and split-unipolar weights become LFSR/TRNG-generated bitstreams (via
+//! cached value-indexed tables), multiplications are ANDs, and
+//! accumulation follows the configured SC/fixed-point split (§III-B).
+//! Batch normalization runs as the quantized near-memory affine transform
+//! at inference, and pooling operates on converted counts (computation
+//! skipping).
+//!
+//! In training mode the float layers still run forward to cache their
+//! inputs, but each parametrized layer's *output* is replaced by the SC
+//! result — the paper's "simulated SC computes output values while the
+//! floating-point forward pass guides back propagation".
+
+use crate::config::{Accumulation, GeoConfig};
+use crate::error::GeoError;
+use crate::tables::{ProgressiveTable, TableCache};
+use geo_nn::{Conv2d, Layer, Linear, Sequential, Tensor};
+use geo_sc::{quantize_unipolar, Bitstream, KernelDims, SeedPlan, StreamTable};
+use std::sync::Arc;
+
+/// Array width assumed when mapping fully-connected layers onto the MAC
+/// fabric: features fill a pseudo-kernel of this W dimension, so partial
+/// binary accumulation applies to FC layers too (with the underutilization
+/// the paper notes in §III-A).
+pub const FC_BINARY_WIDTH: usize = 8;
+
+/// Per-layer-index seed stride, keeping layer seed plans disjoint.
+const LAYER_SEED_STRIDE: u32 = 0x1009;
+
+/// A value-indexed stream source: normal or progressive.
+enum LaneTable {
+    Normal(Arc<StreamTable>),
+    Progressive(Arc<ProgressiveTable>),
+}
+
+impl LaneTable {
+    fn stream(&self, level: u32) -> &Bitstream {
+        match self {
+            LaneTable::Normal(t) => t.stream(level),
+            LaneTable::Progressive(t) => t.stream(level.min(255) as u8),
+        }
+    }
+}
+
+/// A weight operand resolved to its generator table and quantized split
+/// levels.
+struct WeightRef {
+    table: LaneTable,
+    pos: u32,
+    neg: u32,
+}
+
+/// The stochastic inference engine.
+///
+/// # Examples
+///
+/// ```
+/// use geo_core::{GeoConfig, ScEngine};
+/// use geo_nn::{models, Tensor};
+///
+/// # fn main() -> Result<(), geo_core::GeoError> {
+/// let mut engine = ScEngine::new(GeoConfig::geo(32, 64))?;
+/// let mut model = models::lenet5(1, 8, 10, 0);
+/// let logits = engine.forward(&mut model, &Tensor::full(&[1, 1, 8, 8], 0.5), false)?;
+/// assert_eq!(logits.shape(), &[1, 10]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ScEngine {
+    config: GeoConfig,
+    cache: TableCache,
+}
+
+impl ScEngine {
+    /// Creates an engine for a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidConfig`] for unrealizable configurations.
+    pub fn new(config: GeoConfig) -> Result<Self, GeoError> {
+        config.validate()?;
+        Ok(ScEngine {
+            config,
+            cache: TableCache::new(),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GeoConfig {
+        &self.config
+    }
+
+    /// Stream length assigned to each parametrized (conv/linear) layer:
+    /// `sp` if the layer feeds a pooling stage, the output length for the
+    /// last layer, `s` otherwise. Indexed by position in `model.layers()`.
+    pub fn stream_plan(&self, model: &Sequential) -> Vec<Option<usize>> {
+        let layers = model.layers();
+        let param_idx: Vec<usize> = layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut plan = vec![None; layers.len()];
+        for (k, &i) in param_idx.iter().enumerate() {
+            let next = param_idx.get(k + 1).copied().unwrap_or(layers.len());
+            let pooled = layers[i..next]
+                .iter()
+                .any(|l| matches!(l, Layer::AvgPool2d(_) | Layer::MaxPool2d(_)));
+            let len = if k + 1 == param_idx.len() {
+                self.config.output_stream_len
+            } else if pooled {
+                self.config.stream_len_pooled
+            } else {
+                self.config.stream_len
+            };
+            plan[i] = Some(len);
+        }
+        plan
+    }
+
+    /// Runs the network with the SC datapath.
+    ///
+    /// With `training = true`, float layers run forward first (caching
+    /// inputs for backward) and SC outputs replace their results; batch
+    /// norm uses batch statistics. With `training = false`, only the SC
+    /// path runs and batch norm applies its quantized folded affine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors and shape mismatches.
+    pub fn forward(
+        &mut self,
+        model: &mut Sequential,
+        input: &Tensor,
+        training: bool,
+    ) -> Result<Tensor, GeoError> {
+        self.cache.begin_pass();
+        model.set_training(training);
+        let plan = self.stream_plan(model);
+        let mut x = input.clone();
+        let mut param_layer = 0u32;
+        for (i, layer) in model.layers_mut().iter_mut().enumerate() {
+            match layer {
+                Layer::Conv2d(conv) => {
+                    let len = plan[i].expect("conv layers are planned");
+                    if training {
+                        let _ = conv.forward(&x)?; // cache input for backward
+                    }
+                    x = self.sc_conv(conv, &x, len, param_layer)?;
+                    param_layer += 1;
+                }
+                Layer::Linear(lin) => {
+                    let len = plan[i].expect("linear layers are planned");
+                    if training {
+                        let _ = lin.forward(&x)?;
+                    }
+                    x = self.sc_linear(lin, &x, len, param_layer)?;
+                    param_layer += 1;
+                }
+                Layer::BatchNorm2d(bn) => {
+                    if training {
+                        x = bn.forward(&x)?;
+                    } else {
+                        x = quantized_batchnorm(bn, &x, self.config.bn_bits)?;
+                    }
+                }
+                Layer::Relu(r) => {
+                    // ReLU, then saturate at 1.0: unipolar streams cannot
+                    // carry more (the straight-through clamp SC training
+                    // learns around).
+                    x = r.forward(&x).map(|v| v.min(1.0));
+                }
+                other => {
+                    x = other.forward(&x)?;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Runs the SC datapath of the single parametrized layer at
+    /// `layer_index` on the given activations — the building block of
+    /// per-layer error analysis ([`crate::analyze`]).
+    ///
+    /// Uses the same stream plan, seeds, and tables as a full forward, so
+    /// the result is bit-identical to that layer's contribution in
+    /// [`ScEngine::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidConfig`] if `layer_index` is not a
+    /// conv/linear layer; propagates substrate errors.
+    pub fn forward_single_layer(
+        &mut self,
+        model: &mut Sequential,
+        layer_index: usize,
+        input: &Tensor,
+    ) -> Result<Tensor, GeoError> {
+        self.cache.begin_pass();
+        let plan = self.stream_plan(model);
+        let len = plan.get(layer_index).copied().flatten().ok_or_else(|| {
+            GeoError::InvalidConfig(format!(
+                "layer {layer_index} is not a parametrized (conv/linear) layer"
+            ))
+        })?;
+        let param_layer = model.layers()[..layer_index]
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
+            .count() as u32;
+        match &model.layers_mut()[layer_index] {
+            Layer::Conv2d(conv) => {
+                let conv = conv.clone();
+                self.sc_conv(&conv, input, len, param_layer)
+            }
+            Layer::Linear(lin) => {
+                let lin = lin.clone();
+                self.sc_linear(&lin, input, len, param_layer)
+            }
+            _ => unreachable!("plan only assigns lengths to conv/linear"),
+        }
+    }
+
+    fn layer_seed(&self, param_layer: u32) -> u32 {
+        self.config
+            .base_seed
+            .wrapping_add(param_layer.wrapping_mul(LAYER_SEED_STRIDE))
+    }
+
+    fn lane_table(&mut self, width: u8, len: usize, spec: geo_sc::RngSpec) -> LaneTable {
+        if self.config.progressive {
+            LaneTable::Progressive(self.cache.progressive(self.config.rng, width, len, spec))
+        } else {
+            LaneTable::Normal(self.cache.regular(self.config.rng, width, len, spec))
+        }
+    }
+
+    /// Quantized activation level for table lookup.
+    ///
+    /// Operands live in memory as 8-bit values; matching the LFSR width to
+    /// the stream length *truncates* them to the top `width` bits (§II-B).
+    /// Both generation modes quantize identically so progressive loading
+    /// differs only in its first cycles.
+    fn act_level(&self, x: f32, width: u8) -> u32 {
+        let v8 = quantize_unipolar(x.clamp(0.0, 1.0), 8).min(255);
+        if self.config.progressive {
+            v8
+        } else {
+            v8 >> (8 - width.min(8))
+        }
+    }
+
+    /// Quantized split-weight levels for table lookup (same truncation
+    /// semantics as [`Self::act_level`]).
+    fn weight_levels(&self, w: f32, width: u8) -> (u32, u32) {
+        let w = w.clamp(-1.0, 1.0);
+        let pos8 = quantize_unipolar(w.max(0.0), 8).min(255);
+        let neg8 = quantize_unipolar((-w).max(0.0), 8).min(255);
+        if self.config.progressive {
+            (pos8, neg8)
+        } else {
+            let shift = 8 - width.min(8);
+            (pos8 >> shift, neg8 >> shift)
+        }
+    }
+
+    /// Stochastic convolution of one layer.
+    fn sc_conv(
+        &mut self,
+        conv: &Conv2d,
+        input: &Tensor,
+        len: usize,
+        param_layer: u32,
+    ) -> Result<Tensor, GeoError> {
+        let s = input.shape();
+        if s.len() != 4 || s[1] != conv.cin() {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {}, H, W)", conv.cin()),
+                actual: s.to_vec(),
+            }));
+        }
+        let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
+        let (cout, k) = (conv.cout(), conv.kernel());
+        let (stride, pad) = (conv.stride(), conv.padding());
+        let (oh, ow) = conv.output_size(h, w);
+        let width = GeoConfig::width_for(len);
+        let dims = KernelDims::new(cout, cin, k, k);
+        let plan = SeedPlan::new(self.config.sharing, width, self.layer_seed(param_layer), dims);
+        let volume = dims.kernel_volume();
+
+        // Resolve activation lane tables: one generator per kernel position,
+        // broadcast across all rows (kernels).
+        let act_tables: Vec<LaneTable> = (0..volume)
+            .map(|lane| {
+                let spec = plan.activation_spec(lane);
+                self.lane_table(width, len, spec)
+            })
+            .collect();
+
+        // Resolve weight references: per (kernel, position).
+        let mut wrefs = Vec::with_capacity(cout * volume);
+        for co in 0..cout {
+            for ci in 0..cin {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let spec = plan.weight_spec(co, ci, ky, kx);
+                        let table = self.lane_table(width, len, spec);
+                        let (pos, neg) =
+                            self.weight_levels(conv.weight.value.at4(co, ci, ky, kx), width);
+                        wrefs.push(WeightRef { table, pos, neg });
+                    }
+                }
+            }
+        }
+
+        // Precompute activation levels for the whole input tensor.
+        let act_levels: Vec<u32> = input
+            .data()
+            .iter()
+            .map(|&x| self.act_level(x, width))
+            .collect();
+        let idx_in = |b: usize, c: usize, y: usize, x_: usize| ((b * cin + c) * h + y) * w + x_;
+
+        let words = len.div_ceil(64);
+        let groups = match self.config.accumulation {
+            Accumulation::Or => 1,
+            Accumulation::Pbw => k,
+            Accumulation::Pbhw => k * k,
+            Accumulation::Fxp | Accumulation::Apc => 1, // handled separately
+        };
+        let mut out = Tensor::zeros(&[n, cout, oh, ow]);
+        let mut acc_pos = vec![0u64; groups * words];
+        let mut acc_neg = vec![0u64; groups * words];
+        let mut apc_pos: Vec<Bitstream> = Vec::new();
+        let mut apc_neg: Vec<Bitstream> = Vec::new();
+
+        for b in 0..n {
+            for co in 0..cout {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        acc_pos.fill(0);
+                        acc_neg.fill(0);
+                        apc_pos.clear();
+                        apc_neg.clear();
+                        let mut fxp_pos = 0i64;
+                        let mut fxp_neg = 0i64;
+                        let mut lane = 0usize;
+                        for ci in 0..cin {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let cur = lane;
+                                    lane += 1;
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let alevel =
+                                        act_levels[idx_in(b, ci, iy as usize, ix as usize)];
+                                    if alevel == 0 {
+                                        continue;
+                                    }
+                                    let wref = &wrefs[co * volume + cur];
+                                    if wref.pos == 0 && wref.neg == 0 {
+                                        continue;
+                                    }
+                                    let astream = act_tables[cur].stream(alevel);
+                                    let aw = astream.as_words();
+                                    let g = match self.config.accumulation {
+                                        Accumulation::Or => 0,
+                                        Accumulation::Pbw => kx,
+                                        Accumulation::Pbhw => ky * k + kx,
+                                        _ => 0,
+                                    };
+                                    accumulate(
+                                        self.config.accumulation,
+                                        aw,
+                                        wref,
+                                        g,
+                                        words,
+                                        len,
+                                        &mut acc_pos,
+                                        &mut acc_neg,
+                                        &mut fxp_pos,
+                                        &mut fxp_neg,
+                                        &mut apc_pos,
+                                        &mut apc_neg,
+                                    );
+                                }
+                            }
+                        }
+                        let signed = finish_count(
+                            self.config.accumulation,
+                            &acc_pos,
+                            &acc_neg,
+                            fxp_pos,
+                            fxp_neg,
+                            &apc_pos,
+                            &apc_neg,
+                        )?;
+                        out.set4(b, co, oy, ox, signed as f32 / len as f32);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stochastic fully-connected layer: features map onto a pseudo-kernel
+    /// of width [`FC_BINARY_WIDTH`], so the accumulation split applies.
+    fn sc_linear(
+        &mut self,
+        lin: &Linear,
+        input: &Tensor,
+        len: usize,
+        param_layer: u32,
+    ) -> Result<Tensor, GeoError> {
+        let s = input.shape();
+        if s.len() != 2 || s[1] != lin.input_features() {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {})", lin.input_features()),
+                actual: s.to_vec(),
+            }));
+        }
+        let (n, features) = (s[0], s[1]);
+        let outf = lin.output_features();
+        let width = GeoConfig::width_for(len);
+        let wdim = FC_BINARY_WIDTH.min(features);
+        let cdim = features.div_ceil(wdim);
+        let dims = KernelDims::new(outf, cdim, 1, wdim);
+        let plan = SeedPlan::new(self.config.sharing, width, self.layer_seed(param_layer), dims);
+
+        let act_tables: Vec<LaneTable> = (0..features)
+            .map(|lane| {
+                let spec = plan.activation_spec(lane);
+                self.lane_table(width, len, spec)
+            })
+            .collect();
+        let mut wrefs = Vec::with_capacity(outf * features);
+        for o in 0..outf {
+            for i in 0..features {
+                let spec = plan.weight_spec(o, i / wdim, 0, i % wdim);
+                let table = self.lane_table(width, len, spec);
+                let (pos, neg) = self.weight_levels(lin.weight.value.at2(o, i), width);
+                wrefs.push(WeightRef { table, pos, neg });
+            }
+        }
+
+        let words = len.div_ceil(64);
+        let groups = match self.config.accumulation {
+            Accumulation::Or => 1,
+            Accumulation::Pbw | Accumulation::Pbhw => wdim,
+            Accumulation::Fxp | Accumulation::Apc => 1,
+        };
+        let mut out = Tensor::zeros(&[n, outf]);
+        let mut acc_pos = vec![0u64; groups * words];
+        let mut acc_neg = vec![0u64; groups * words];
+        let mut apc_pos: Vec<Bitstream> = Vec::new();
+        let mut apc_neg: Vec<Bitstream> = Vec::new();
+        for b in 0..n {
+            let act_levels: Vec<u32> = (0..features)
+                .map(|i| self.act_level(input.at2(b, i), width))
+                .collect();
+            for o in 0..outf {
+                acc_pos.fill(0);
+                acc_neg.fill(0);
+                apc_pos.clear();
+                apc_neg.clear();
+                let mut fxp_pos = 0i64;
+                let mut fxp_neg = 0i64;
+                for i in 0..features {
+                    let alevel = act_levels[i];
+                    if alevel == 0 {
+                        continue;
+                    }
+                    let wref = &wrefs[o * features + i];
+                    if wref.pos == 0 && wref.neg == 0 {
+                        continue;
+                    }
+                    let astream = act_tables[i].stream(alevel);
+                    let g = match self.config.accumulation {
+                        Accumulation::Or => 0,
+                        Accumulation::Pbw | Accumulation::Pbhw => i % wdim,
+                        _ => 0,
+                    };
+                    accumulate(
+                        self.config.accumulation,
+                        astream.as_words(),
+                        wref,
+                        g,
+                        words,
+                        len,
+                        &mut acc_pos,
+                        &mut acc_neg,
+                        &mut fxp_pos,
+                        &mut fxp_neg,
+                        &mut apc_pos,
+                        &mut apc_neg,
+                    );
+                }
+                let signed = finish_count(
+                    self.config.accumulation,
+                    &acc_pos,
+                    &acc_neg,
+                    fxp_pos,
+                    fxp_neg,
+                    &apc_pos,
+                    &apc_neg,
+                )?;
+                out.set2(b, o, signed as f32 / len as f32);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Folds one multiply-accumulate into the mode-specific accumulator state.
+#[allow(clippy::too_many_arguments)]
+fn accumulate(
+    mode: Accumulation,
+    act_words: &[u64],
+    wref: &WeightRef,
+    group: usize,
+    words: usize,
+    len: usize,
+    acc_pos: &mut [u64],
+    acc_neg: &mut [u64],
+    fxp_pos: &mut i64,
+    fxp_neg: &mut i64,
+    apc_pos: &mut Vec<Bitstream>,
+    apc_neg: &mut Vec<Bitstream>,
+) {
+    match mode {
+        Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+            if wref.pos > 0 {
+                let pw = wref.table.stream(wref.pos).as_words();
+                for j in 0..words {
+                    acc_pos[group * words + j] |= act_words[j] & pw[j];
+                }
+            }
+            if wref.neg > 0 {
+                let nw = wref.table.stream(wref.neg).as_words();
+                for j in 0..words {
+                    acc_neg[group * words + j] |= act_words[j] & nw[j];
+                }
+            }
+        }
+        Accumulation::Fxp => {
+            if wref.pos > 0 {
+                let pw = wref.table.stream(wref.pos).as_words();
+                *fxp_pos += (0..words)
+                    .map(|j| (act_words[j] & pw[j]).count_ones() as i64)
+                    .sum::<i64>();
+            }
+            if wref.neg > 0 {
+                let nw = wref.table.stream(wref.neg).as_words();
+                *fxp_neg += (0..words)
+                    .map(|j| (act_words[j] & nw[j]).count_ones() as i64)
+                    .sum::<i64>();
+            }
+        }
+        Accumulation::Apc => {
+            if wref.pos > 0 {
+                let pw = wref.table.stream(wref.pos).as_words();
+                let product: Vec<u64> = (0..words).map(|j| act_words[j] & pw[j]).collect();
+                apc_pos.push(Bitstream::from_words(product, len));
+            }
+            if wref.neg > 0 {
+                let nw = wref.table.stream(wref.neg).as_words();
+                let product: Vec<u64> = (0..words).map(|j| act_words[j] & nw[j]).collect();
+                apc_neg.push(Bitstream::from_words(product, len));
+            }
+        }
+    }
+}
+
+/// Converts the accumulator state into the signed output count.
+fn finish_count(
+    mode: Accumulation,
+    acc_pos: &[u64],
+    acc_neg: &[u64],
+    fxp_pos: i64,
+    fxp_neg: i64,
+    apc_pos: &[Bitstream],
+    apc_neg: &[Bitstream],
+) -> Result<i64, GeoError> {
+    Ok(match mode {
+        Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+            let pos: i64 = acc_pos.iter().map(|w| w.count_ones() as i64).sum();
+            let neg: i64 = acc_neg.iter().map(|w| w.count_ones() as i64).sum();
+            pos - neg
+        }
+        Accumulation::Fxp => fxp_pos - fxp_neg,
+        Accumulation::Apc => {
+            // One approximate compressor layer, then exact counting — the
+            // single-level limit the paper describes for APCs.
+            let pos = geo_sc::apc::apc_count(apc_pos, 1)? as i64;
+            let neg = geo_sc::apc::apc_count(apc_neg, 1)? as i64;
+            pos - neg
+        }
+    })
+}
+
+/// Inference-time batch normalization: the folded per-channel affine
+/// quantized to `bits` (GEO's near-memory 8-bit BN), or exact when `bits`
+/// is `None`.
+fn quantized_batchnorm(
+    bn: &mut geo_nn::BatchNorm2d,
+    x: &Tensor,
+    bits: Option<u8>,
+) -> Result<Tensor, GeoError> {
+    let affine = bn.folded_affine();
+    let (scales, shifts): (Vec<f32>, Vec<f32>) = affine.into_iter().unzip();
+    let (scales, shifts) = match bits {
+        Some(b) => {
+            let st = geo_nn::quant::fake_quantize(
+                &Tensor::from_vec(vec![scales.len()], scales).map_err(GeoError::Nn)?,
+                b,
+            );
+            let sh = geo_nn::quant::fake_quantize(
+                &Tensor::from_vec(vec![shifts.len()], shifts).map_err(GeoError::Nn)?,
+                b,
+            );
+            (st.into_data(), sh.into_data())
+        }
+        None => (scales, shifts),
+    };
+    let s = x.shape();
+    if s.len() != 4 || s[1] != scales.len() {
+        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+            expected: format!("(N, {}, H, W)", scales.len()),
+            actual: s.to_vec(),
+        }));
+    }
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let mut out = Tensor::zeros(s);
+    for b in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                for xx in 0..w {
+                    out.set4(b, ci, y, xx, scales[ci] * x.at4(b, ci, y, xx) + shifts[ci]);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo_nn::models;
+    use geo_sc::{RngKind, SharingLevel};
+
+    fn engine(cfg: GeoConfig) -> ScEngine {
+        ScEngine::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = GeoConfig::geo(32, 64);
+        cfg.stream_len = 99;
+        assert!(ScEngine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn stream_plan_assigns_sp_s_and_output_lengths() {
+        let eng = engine(GeoConfig::geo(32, 64));
+        let model = models::cnn4(3, 8, 10, 0);
+        let plan = eng.stream_plan(&model);
+        let lens: Vec<usize> = plan.iter().flatten().copied().collect();
+        // conv1 (pooled) = 32, conv2 (pooled) = 32, conv3 = 64, fc = 128.
+        assert_eq!(lens, vec![32, 32, 64, 128]);
+    }
+
+    #[test]
+    fn forward_produces_logits_of_right_shape() {
+        let mut eng = engine(GeoConfig::geo(32, 64));
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[2, 1, 8, 8], 0.4);
+        let y = eng.forward(&mut model, &x, false).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn lfsr_inference_is_deterministic_trng_is_not() {
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[1, 1, 8, 8], 0.6);
+        let mut eng = engine(GeoConfig::geo(32, 64));
+        let a = eng.forward(&mut model, &x, false).unwrap();
+        let b = eng.forward(&mut model, &x, false).unwrap();
+        assert_eq!(a.data(), b.data(), "LFSR streams are repeatable");
+
+        let mut eng = engine(GeoConfig::geo(32, 64).with_rng(RngKind::Trng));
+        let a = eng.forward(&mut model, &x, false).unwrap();
+        let b = eng.forward(&mut model, &x, false).unwrap();
+        assert_ne!(a.data(), b.data(), "TRNG streams differ every pass");
+    }
+
+    #[test]
+    fn fxp_accumulation_tracks_float_convolution() {
+        // With exact fixed-point accumulation and long streams, the SC conv
+        // should approximate the float conv closely.
+        use geo_nn::Layer;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = geo_nn::Conv2d::new(2, 3, 3, 1, 1, false, &mut rng);
+        let x = Tensor::kaiming(&[1, 2, 6, 6], 4, &mut rng).map(|v| v.abs().min(1.0));
+        let float_out = conv.forward(&x).unwrap();
+        let mut model = Sequential::new(vec![Layer::Conv2d(conv)]);
+        let cfg = GeoConfig {
+            accumulation: Accumulation::Fxp,
+            progressive: false,
+            output_stream_len: 256,
+            ..GeoConfig::geo(256, 256)
+        };
+        let mut eng = engine(cfg);
+        let sc_out = eng.forward(&mut model, &x, false).unwrap();
+        let mut max_err = 0.0f32;
+        for (a, b) in sc_out.data().iter().zip(float_out.data()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err < 0.25, "max error {max_err}");
+    }
+
+    #[test]
+    fn or_accumulation_compresses_relative_to_fxp() {
+        // OR loses overlapping ones, so its outputs are biased toward zero
+        // relative to exact accumulation on an all-positive layer.
+        use geo_nn::Layer;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = geo_nn::Conv2d::new(3, 2, 3, 1, 0, false, &mut rng);
+        for v in conv.weight.value.data_mut() {
+            *v = v.abs().max(0.2); // all positive
+        }
+        let x = Tensor::full(&[1, 3, 5, 5], 0.5);
+        let mut model = Sequential::new(vec![Layer::Conv2d(conv)]);
+        let base = GeoConfig::geo(128, 128).with_progressive(false);
+        let mut eng_or = engine(base.with_accumulation(Accumulation::Or));
+        let mut eng_fxp = engine(base.with_accumulation(Accumulation::Fxp));
+        let or_out = eng_or.forward(&mut model, &x, false).unwrap();
+        let fxp_out = eng_fxp.forward(&mut model, &x, false).unwrap();
+        let or_mean: f32 = or_out.data().iter().sum::<f32>() / or_out.len() as f32;
+        let fxp_mean: f32 = fxp_out.data().iter().sum::<f32>() / fxp_out.len() as f32;
+        assert!(
+            or_mean < fxp_mean * 0.8,
+            "OR should compress: or {or_mean}, fxp {fxp_mean}"
+        );
+        // And OR outputs are bounded by the stream value range.
+        assert!(or_out.data().iter().all(|&v| v <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn pbw_sits_between_or_and_fxp() {
+        use geo_nn::Layer;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = geo_nn::Conv2d::new(2, 2, 3, 1, 0, false, &mut rng);
+        for v in conv.weight.value.data_mut() {
+            *v = v.abs().max(0.15);
+        }
+        let x = Tensor::full(&[1, 2, 5, 5], 0.6);
+        let mut model = Sequential::new(vec![Layer::Conv2d(conv)]);
+        let base = GeoConfig::geo(128, 128).with_progressive(false);
+        let mean = |mode: Accumulation, model: &mut Sequential| {
+            let mut eng = engine(base.with_accumulation(mode));
+            let out = eng.forward(model, &x, false).unwrap();
+            out.data().iter().sum::<f32>() / out.len() as f32
+        };
+        let or_m = mean(Accumulation::Or, &mut model);
+        let pbw_m = mean(Accumulation::Pbw, &mut model);
+        let pbhw_m = mean(Accumulation::Pbhw, &mut model);
+        let fxp_m = mean(Accumulation::Fxp, &mut model);
+        assert!(or_m <= pbw_m + 1e-6, "or {or_m} ≤ pbw {pbw_m}");
+        assert!(pbw_m <= pbhw_m + 1e-6, "pbw {pbw_m} ≤ pbhw {pbhw_m}");
+        assert!(pbhw_m <= fxp_m + 1e-6, "pbhw {pbhw_m} ≤ fxp {fxp_m}");
+    }
+
+    #[test]
+    fn apc_overcounts_relative_to_fxp() {
+        use geo_nn::Layer;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = geo_nn::Conv2d::new(2, 1, 3, 1, 0, false, &mut rng);
+        for v in conv.weight.value.data_mut() {
+            *v = v.abs().max(0.3);
+        }
+        let x = Tensor::full(&[1, 2, 4, 4], 0.7);
+        let mut model = Sequential::new(vec![Layer::Conv2d(conv)]);
+        let base = GeoConfig::geo(128, 128).with_progressive(false);
+        let mut eng_apc = engine(base.with_accumulation(Accumulation::Apc));
+        let mut eng_fxp = engine(base.with_accumulation(Accumulation::Fxp));
+        let apc_out = eng_apc.forward(&mut model, &x, false).unwrap();
+        let fxp_out = eng_fxp.forward(&mut model, &x, false).unwrap();
+        for (a, f) in apc_out.data().iter().zip(fxp_out.data()) {
+            assert!(*a >= *f - 1e-6, "APC never undercounts: {a} vs {f}");
+        }
+    }
+
+    #[test]
+    fn progressive_mode_changes_little() {
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let mut eng_n = engine(GeoConfig::geo(64, 64).with_progressive(false));
+        let mut eng_p = engine(GeoConfig::geo(64, 64).with_progressive(true));
+        let yn = eng_n.forward(&mut model, &x, false).unwrap();
+        let yp = eng_p.forward(&mut model, &x, false).unwrap();
+        let mut diff = 0.0f32;
+        for (a, b) in yn.data().iter().zip(yp.data()) {
+            diff = diff.max((a - b).abs());
+        }
+        assert!(diff < 1.2, "progressive deviation {diff} stays bounded");
+    }
+
+    #[test]
+    fn extreme_sharing_correlates_outputs() {
+        // Under extreme sharing, kernels see heavily correlated streams;
+        // the forward pass still runs and stays finite.
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let mut eng = engine(GeoConfig::geo(32, 64).with_sharing(SharingLevel::Extreme));
+        let y = eng.forward(&mut model, &x, false).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_mode_caches_for_backward() {
+        let mut eng = engine(GeoConfig::geo(32, 64));
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[2, 1, 8, 8], 0.4);
+        let y = eng.forward(&mut model, &x, true).unwrap();
+        // Backward must succeed because float layers cached their inputs.
+        let grad = Tensor::full(y.shape(), 1.0);
+        model.backward(&grad).unwrap();
+        let grads_nonzero = model.params_mut().iter().any(|p| p.grad.max_abs() > 0.0);
+        assert!(grads_nonzero);
+    }
+
+    #[test]
+    fn eval_mode_skips_float_caching() {
+        let mut eng = engine(GeoConfig::geo(32, 64));
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[1, 1, 8, 8], 0.4);
+        let _ = eng.forward(&mut model, &x, false).unwrap();
+        // No cached inputs → backward fails.
+        assert!(model.backward(&Tensor::full(&[1, 10], 1.0)).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the GEO engine.
+
+use geo_nn::NnError;
+use geo_sc::ScError;
+use std::fmt;
+
+/// Errors produced by the SC inference engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeoError {
+    /// An error from the stochastic-computing substrate.
+    Sc(ScError),
+    /// An error from the neural-network substrate.
+    Nn(NnError),
+    /// A configuration the engine cannot realize.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::Sc(e) => write!(f, "stochastic substrate: {e}"),
+            GeoError::Nn(e) => write!(f, "network substrate: {e}"),
+            GeoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GeoError::Sc(e) => Some(e),
+            GeoError::Nn(e) => Some(e),
+            GeoError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ScError> for GeoError {
+    fn from(e: ScError) -> Self {
+        GeoError::Sc(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NnError> for GeoError {
+    fn from(e: NnError) -> Self {
+        GeoError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e: GeoError = ScError::EmptyInput.into();
+        assert!(e.to_string().contains("stochastic"));
+        assert!(e.source().is_some());
+        let e: GeoError = NnError::MissingForward.into();
+        assert!(e.to_string().contains("network"));
+        let e = GeoError::InvalidConfig("stream length must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+        assert!(e.source().is_none());
+    }
+}

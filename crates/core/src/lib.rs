@@ -1,0 +1,46 @@
+//! # geo-core — the GEO stochastic-computing engine
+//!
+//! The paper's primary contribution, as a library: a stochastic-computing
+//! inference engine for `geo-nn` networks with
+//!
+//! * deterministic, **shared** stream generation (LFSR seeds shared across
+//!   all kernels of a layer — §II-A),
+//! * **progressive** stream generation (§II-B),
+//! * **partial binary accumulation** — OR in SC for the first levels,
+//!   parallel counter for the rest (OR / PBW / PBHW / FXP / APC — §III-B),
+//! * per-layer `{sp, s}` stream lengths with pooling computation skipping
+//!   and 128-cycle output layers (§IV),
+//! * 8-bit near-memory batch normalization (§III-B/C),
+//! * and **SC-in-the-loop training**: SC forward, float backward (§IV).
+//!
+//! # Examples
+//!
+//! ```
+//! use geo_core::{GeoConfig, ScEngine};
+//! use geo_nn::{models, Tensor};
+//!
+//! # fn main() -> Result<(), geo_core::GeoError> {
+//! // The paper's GEO-32,64 configuration.
+//! let mut engine = ScEngine::new(GeoConfig::geo(32, 64))?;
+//! let mut model = models::cnn4(3, 8, 10, 0);
+//! let logits = engine.forward(&mut model, &Tensor::full(&[1, 3, 8, 8], 0.5), false)?;
+//! assert_eq!(logits.shape(), &[1, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+mod config;
+mod engine;
+mod error;
+mod tables;
+mod training;
+
+pub use config::{Accumulation, GeoConfig};
+pub use engine::{ScEngine, FC_BINARY_WIDTH};
+pub use error::GeoError;
+pub use tables::{ProgressiveTable, TableCache};
+pub use training::{evaluate_sc, train_sc, ScHistory};

@@ -1,0 +1,193 @@
+//! Stream-table caching.
+//!
+//! Because GEO's generators are deterministic and shared, the stream for a
+//! given (generator, value) pair is fixed — so the engine precomputes
+//! value-indexed tables per generator and turns stream generation into
+//! lookups. This mirrors the paper's "heavily optimized stream-based
+//! training" and is what makes SC-in-the-loop training tractable.
+//!
+//! TRNG-backed tables are deliberately invalidated every pass
+//! ([`TableCache::begin_pass`]): true randomness has no reusable table,
+//! which is exactly why networks cannot train for it.
+
+use geo_sc::{
+    progressive, quantize_unipolar, Bitstream, ProgressiveSng, RngKind, RngSpec, StreamRng,
+    StreamTable,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of one cached generator table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TableKey {
+    kind: RngKind,
+    width: u8,
+    spec: RngSpec,
+}
+
+/// A value-indexed table of *progressively generated* streams: entry `v`
+/// holds the stream an SNG produces for the 8-bit operand `v` under the
+/// 2-bits-then-2-per-2-cycles fill schedule.
+#[derive(Debug, Clone)]
+pub struct ProgressiveTable {
+    streams: Vec<Bitstream>,
+}
+
+impl ProgressiveTable {
+    fn new(len: usize, rng: &mut dyn StreamRng) -> Self {
+        let streams = (0..=255u8)
+            .map(|v| ProgressiveSng::new(v).generate(len, rng))
+            .collect();
+        ProgressiveTable { streams }
+    }
+
+    /// Stream for the 8-bit operand `value`.
+    pub fn stream(&self, value: u8) -> &Bitstream {
+        &self.streams[value as usize]
+    }
+
+    /// Stream for a real value `x ∈ [0, 1]` (quantized to 8 bits,
+    /// saturating at 255 — progressive buffers hold 8-bit operands).
+    pub fn stream_for(&self, x: f32) -> &Bitstream {
+        let level = quantize_unipolar(x, progressive::OPERAND_BITS).min(255);
+        self.stream(level as u8)
+    }
+}
+
+/// Cache of normal and progressive stream tables, keyed by generator
+/// identity.
+#[derive(Debug, Default)]
+pub struct TableCache {
+    regular: HashMap<TableKey, Arc<StreamTable>>,
+    progressive: HashMap<TableKey, Arc<ProgressiveTable>>,
+    pass: u64,
+}
+
+impl TableCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new generation pass: TRNG-backed tables are dropped so the
+    /// next lookups draw fresh entropy, modeling non-repeatable hardware
+    /// TRNGs.
+    pub fn begin_pass(&mut self) {
+        self.pass = self.pass.wrapping_add(1);
+        self.regular.retain(|k, _| k.kind != RngKind::Trng);
+        self.progressive.retain(|k, _| k.kind != RngKind::Trng);
+    }
+
+    fn build_rng(&self, kind: RngKind, width: u8, spec: RngSpec) -> Box<dyn StreamRng> {
+        let spec = match kind {
+            // Mix the pass counter into TRNG entropy so every pass differs.
+            RngKind::Trng => RngSpec {
+                seed: spec.seed ^ (self.pass as u32).rotate_left(16),
+                poly: spec.poly,
+            },
+            _ => spec,
+        };
+        kind.build(width, spec)
+            .expect("engine validated widths up front")
+    }
+
+    /// The normal (fully loaded) stream table for a generator, building it
+    /// on first use. Streams have length `len`.
+    pub fn regular(
+        &mut self,
+        kind: RngKind,
+        width: u8,
+        len: usize,
+        spec: RngSpec,
+    ) -> Arc<StreamTable> {
+        let key = TableKey { kind, width, spec };
+        if let Some(t) = self.regular.get(&key) {
+            return Arc::clone(t);
+        }
+        let mut rng = self.build_rng(kind, width, spec);
+        let table = Arc::new(StreamTable::new(len, rng.as_mut()));
+        self.regular.insert(key, Arc::clone(&table));
+        table
+    }
+
+    /// The progressive stream table for a generator, building it on first
+    /// use.
+    pub fn progressive(
+        &mut self,
+        kind: RngKind,
+        width: u8,
+        len: usize,
+        spec: RngSpec,
+    ) -> Arc<ProgressiveTable> {
+        let key = TableKey { kind, width, spec };
+        if let Some(t) = self.progressive.get(&key) {
+            return Arc::clone(t);
+        }
+        let mut rng = self.build_rng(kind, width, spec);
+        let table = Arc::new(ProgressiveTable::new(len, rng.as_mut()));
+        self.progressive.insert(key, Arc::clone(&table));
+        table
+    }
+
+    /// Number of cached tables (both kinds).
+    pub fn len(&self) -> usize {
+        self.regular.len() + self.progressive.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regular.is_empty() && self.progressive.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: RngSpec = RngSpec { seed: 5, poly: 0 };
+
+    #[test]
+    fn regular_tables_are_cached() {
+        let mut cache = TableCache::new();
+        let a = cache.regular(RngKind::Lfsr, 6, 64, SPEC);
+        let b = cache.regular(RngKind::Lfsr, 6, 64, SPEC);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let c = cache.regular(RngKind::Lfsr, 6, 64, RngSpec { seed: 6, poly: 0 });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lfsr_tables_survive_passes_trng_tables_do_not() {
+        let mut cache = TableCache::new();
+        let lfsr1 = cache.regular(RngKind::Lfsr, 6, 64, SPEC);
+        let trng1 = cache.regular(RngKind::Trng, 6, 64, SPEC);
+        cache.begin_pass();
+        let lfsr2 = cache.regular(RngKind::Lfsr, 6, 64, SPEC);
+        let trng2 = cache.regular(RngKind::Trng, 6, 64, SPEC);
+        assert!(Arc::ptr_eq(&lfsr1, &lfsr2), "deterministic tables persist");
+        assert!(!Arc::ptr_eq(&trng1, &trng2), "TRNG tables are rebuilt");
+        // And the rebuilt TRNG table contains different streams.
+        assert_ne!(trng1.stream(32), trng2.stream(32));
+    }
+
+    #[test]
+    fn progressive_table_matches_direct_generation() {
+        let mut cache = TableCache::new();
+        let table = cache.progressive(RngKind::Lfsr, 7, 128, SPEC);
+        let mut rng = RngKind::Lfsr.build(7, SPEC).unwrap();
+        let direct = ProgressiveSng::new(200).generate(128, rng.as_mut());
+        assert_eq!(table.stream(200), &direct);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn progressive_stream_for_quantizes_and_saturates() {
+        let mut cache = TableCache::new();
+        let table = cache.progressive(RngKind::Lfsr, 7, 128, SPEC);
+        assert_eq!(table.stream_for(1.0), table.stream(255));
+        assert_eq!(table.stream_for(0.0), table.stream(0));
+        assert_eq!(table.stream_for(0.5), table.stream(128));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests on the SC engine: invariants that must hold for
+//! any weights, inputs, and configuration.
+
+use geo_core::{Accumulation, GeoConfig, ScEngine};
+use geo_nn::{Conv2d, Layer, Linear, Sequential, Tensor};
+use geo_sc::{RngKind, SharingLevel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn conv_model(seed: u64, cin: usize, cout: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new(vec![Layer::Conv2d(Conv2d::new(
+        cin, cout, 3, 1, 1, false, &mut rng,
+    ))])
+}
+
+fn input(seed: u64, cin: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::kaiming(&[1, cin, 4, 4], 4, &mut rng).map(|v| v.abs().min(1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// OR-accumulated outputs are bounded by the stream value range
+    /// [-1, 1] regardless of kernel size or weights.
+    #[test]
+    fn or_outputs_are_stream_bounded(seed in 0u64..200, cin in 1usize..4, cout in 1usize..4) {
+        let mut model = conv_model(seed, cin, cout);
+        let x = input(seed ^ 99, cin);
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(64, 64)
+                .with_accumulation(Accumulation::Or)
+                .with_progressive(false),
+        ).unwrap();
+        let y = engine.forward(&mut model, &x, false).unwrap();
+        for &v in y.data() {
+            prop_assert!((-1.0..=1.0).contains(&v), "OR output {} out of range", v);
+        }
+    }
+
+    /// Output magnitude ordering: |OR| ≤ |PBW| ≤ |FXP| element-wise does
+    /// not hold in general with signs, but the total positive mass does
+    /// for all-positive weights.
+    #[test]
+    fn accumulation_mass_ordering(seed in 0u64..200) {
+        let mut model = conv_model(seed, 2, 2);
+        for l in model.layers_mut() {
+            if let Layer::Conv2d(c) = l {
+                for v in c.weight.value.data_mut() {
+                    *v = v.abs().max(0.05);
+                }
+            }
+        }
+        let x = input(seed ^ 7, 2);
+        let mass = |mode: Accumulation, model: &mut Sequential| {
+            let mut e = ScEngine::new(
+                GeoConfig::geo(128, 128).with_accumulation(mode).with_progressive(false),
+            ).unwrap();
+            let y = e.forward(model, &x, false).unwrap();
+            y.data().iter().map(|v| f64::from(*v)).sum::<f64>()
+        };
+        let or = mass(Accumulation::Or, &mut model);
+        let pbw = mass(Accumulation::Pbw, &mut model);
+        let fxp = mass(Accumulation::Fxp, &mut model);
+        prop_assert!(or <= pbw + 1e-6);
+        prop_assert!(pbw <= fxp + 1e-6);
+    }
+
+    /// LFSR engines are deterministic for every sharing level; the output
+    /// is identical across fresh engines.
+    #[test]
+    fn determinism_for_every_sharing_level(seed in 0u64..200, sharing_idx in 0usize..3) {
+        let sharing = SharingLevel::ALL[sharing_idx];
+        let mut model = conv_model(seed, 2, 3);
+        let x = input(seed ^ 3, 2);
+        let cfg = GeoConfig::geo(32, 32).with_sharing(sharing);
+        let mut e1 = ScEngine::new(cfg).unwrap();
+        let mut e2 = ScEngine::new(cfg).unwrap();
+        let a = e1.forward(&mut model, &x, false).unwrap();
+        let b = e2.forward(&mut model, &x, false).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    /// Zero input produces exactly zero output in every mode (no stream
+    /// leaks through an all-zero activation).
+    #[test]
+    fn zero_input_gives_zero_output(mode_idx in 0usize..5, rng_idx in 0usize..2) {
+        let mode = Accumulation::ALL[mode_idx];
+        let rng_kind = [RngKind::Lfsr, RngKind::Trng][rng_idx];
+        let mut model = conv_model(1, 2, 2);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(32, 32).with_accumulation(mode).with_rng(rng_kind),
+        ).unwrap();
+        let y = engine.forward(&mut model, &x, false).unwrap();
+        prop_assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    /// FC layers obey the same stream-bound invariant as convolutions.
+    #[test]
+    fn linear_or_outputs_bounded(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = Sequential::new(vec![Layer::Linear(Linear::new(12, 5, &mut rng))]);
+        let x = Tensor::kaiming(&[2, 12], 12, &mut rng).map(|v| v.abs().min(1.0));
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(64, 64).with_accumulation(Accumulation::Or),
+        ).unwrap();
+        let y = engine.forward(&mut model, &x, false).unwrap();
+        for &v in y.data() {
+            prop_assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

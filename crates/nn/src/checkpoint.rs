@@ -1,0 +1,173 @@
+//! Weight checkpointing: save and restore a model's parameters.
+//!
+//! Uses a small self-describing binary format (magic, per-tensor shape +
+//! little-endian `f32` data) so trained models — e.g. the SC-trained
+//! networks of Table I — can be stored and redeployed without external
+//! serialization crates.
+
+use crate::error::NnError;
+use crate::model::Sequential;
+use crate::tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GEOCKPT1";
+
+/// Extracts the model's parameters as `(values, shapes)` in layer order.
+pub fn state_dict(model: &mut Sequential) -> Vec<Tensor> {
+    model.params_mut().iter().map(|p| p.value.clone()).collect()
+}
+
+/// Loads parameters back into the model, in the same order
+/// [`state_dict`] produced them.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the tensor count or any shape
+/// disagrees with the model's structure.
+pub fn load_state_dict(model: &mut Sequential, tensors: &[Tensor]) -> Result<(), NnError> {
+    let mut params = model.params_mut();
+    if params.len() != tensors.len() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} parameter tensors", params.len()),
+            actual: vec![tensors.len()],
+        });
+    }
+    for (p, t) in params.iter_mut().zip(tensors) {
+        if p.value.shape() != t.shape() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("shape {:?}", p.value.shape()),
+                actual: t.shape().to_vec(),
+            });
+        }
+        p.value = t.clone();
+    }
+    Ok(())
+}
+
+/// Writes the model's parameters to `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn save<P: AsRef<Path>>(model: &mut Sequential, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let tensors = state_dict(model);
+    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+    for t in &tensors {
+        w.write_all(&(t.shape().len() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads parameters from `path` into the model.
+///
+/// # Errors
+///
+/// Returns an I/O error for malformed files and propagates
+/// [`load_state_dict`]'s shape mismatches as `InvalidData`.
+pub fn load<P: AsRef<Path>>(model: &mut Sequential, path: P) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a GEO checkpoint file",
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        tensors.push(
+            Tensor::from_vec(shape, data)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        );
+    }
+    load_state_dict(model, &tensors)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn state_dict_round_trips_in_memory() {
+        let mut a = models::lenet5(1, 8, 10, 1);
+        let mut b = models::lenet5(1, 8, 10, 2); // different init
+        let dict = state_dict(&mut a);
+        load_state_dict(&mut b, &dict).unwrap();
+        let da = state_dict(&mut a);
+        let db = state_dict(&mut b);
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.data(), y.data());
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_structure() {
+        let mut lenet = models::lenet5(1, 8, 10, 1);
+        let mut cnn = models::cnn4(3, 8, 10, 1);
+        let dict = state_dict(&mut cnn);
+        assert!(load_state_dict(&mut lenet, &dict).is_err());
+        // Same count but wrong shape also fails.
+        let mut dict2 = state_dict(&mut lenet);
+        dict2[0] = Tensor::zeros(&[1, 1, 1, 1]);
+        assert!(load_state_dict(&mut lenet, &dict2).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_preserves_weights_and_outputs() {
+        let dir = std::env::temp_dir().join("geo_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lenet.ckpt");
+        let mut a = models::lenet5(1, 8, 10, 3);
+        save(&mut a, &path).unwrap();
+        let mut b = models::lenet5(1, 8, 10, 99);
+        load(&mut b, &path).unwrap();
+        let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let ya = a.forward(&x).unwrap();
+        let yb = b.forward(&x).unwrap();
+        assert_eq!(ya.data(), yb.data());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage_files() {
+        let dir = std::env::temp_dir().join("geo_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let mut m = models::lenet5(1, 8, 10, 0);
+        assert!(load(&mut m, &path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the neural-network substrate.
+
+use std::fmt;
+
+/// Errors produced when building or running networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor data length does not match the requested shape.
+    ShapeDataMismatch {
+        /// Product of the requested shape.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+    /// An operation received a tensor of the wrong shape.
+    ShapeMismatch {
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The offending shape.
+        actual: Vec<usize>,
+    },
+    /// A layer or model was used before required state existed (e.g.
+    /// backward before forward).
+    MissingForward,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeDataMismatch { expected, actual } => {
+                write!(f, "shape requires {expected} elements, got {actual}")
+            }
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected}, got shape {actual:?}")
+            }
+            NnError::MissingForward => {
+                write!(f, "backward called before forward cached an input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = NnError::ShapeDataMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        let e = NnError::ShapeMismatch {
+            expected: "4-d input".into(),
+            actual: vec![2, 3],
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+        assert!(!NnError::MissingForward.to_string().is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Pooling layers.
+//!
+//! GEO uses *average* pooling with computation skipping: the output
+//! converter's parallel counters add neighboring outputs before conversion,
+//! so pooled layers can run shorter streams (paper §III-A, §IV). Max pooling
+//! is provided for completeness.
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// 2×2 average pooling with stride 2 over `(N, C, H, W)` tensors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pooling window edge (fixed 2).
+    pub const WINDOW: usize = 2;
+
+    /// Forward pass; caches the input shape for backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless the input is 4-d with even
+    /// spatial dimensions.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() != 4 || s[2] % 2 != 0 || s[3] % 2 != 0 {
+            return Err(NnError::ShapeMismatch {
+                expected: "(N, C, even H, even W)".into(),
+                actual: s.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+        for b in 0..n {
+            for ci in 0..c {
+                for oy in 0..h / 2 {
+                    for ox in 0..w / 2 {
+                        let sum = input.at4(b, ci, 2 * oy, 2 * ox)
+                            + input.at4(b, ci, 2 * oy, 2 * ox + 1)
+                            + input.at4(b, ci, 2 * oy + 1, 2 * ox)
+                            + input.at4(b, ci, 2 * oy + 1, 2 * ox + 1);
+                        out.set4(b, ci, oy, ox, sum / 4.0);
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(s.to_vec());
+        Ok(out)
+    }
+
+    /// Backward pass: spreads each output gradient evenly over its window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self.input_shape.as_ref().ok_or(NnError::MissingForward)?;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let mut grad_in = Tensor::zeros(shape);
+        for b in 0..n {
+            for ci in 0..c {
+                for oy in 0..h / 2 {
+                    for ox in 0..w / 2 {
+                        let g = grad_out.at4(b, ci, oy, ox) / 4.0;
+                        grad_in.set4(b, ci, 2 * oy, 2 * ox, g);
+                        grad_in.set4(b, ci, 2 * oy, 2 * ox + 1, g);
+                        grad_in.set4(b, ci, 2 * oy + 1, 2 * ox, g);
+                        grad_in.set4(b, ci, 2 * oy + 1, 2 * ox + 1, g);
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+/// 2×2 max pooling with stride 2 over `(N, C, H, W)` tensors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    input_shape: Option<Vec<usize>>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates the pooling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; caches argmax positions for backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless the input is 4-d with even
+    /// spatial dimensions.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let s = input.shape();
+        if s.len() != 4 || s[2] % 2 != 0 || s[3] % 2 != 0 {
+            return Err(NnError::ShapeMismatch {
+                expected: "(N, C, even H, even W)".into(),
+                actual: s.to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+        self.argmax = vec![0; n * c * (h / 2) * (w / 2)];
+        let mut flat = 0usize;
+        for b in 0..n {
+            for ci in 0..c {
+                for oy in 0..h / 2 {
+                    for ox in 0..w / 2 {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (y, x) = (2 * oy + dy, 2 * ox + dx);
+                                let v = input.at4(b, ci, y, x);
+                                if v > best {
+                                    best = v;
+                                    best_idx = ((b * c + ci) * h + y) * w + x;
+                                }
+                            }
+                        }
+                        out.set4(b, ci, oy, ox, best);
+                        self.argmax[flat] = best_idx;
+                        flat += 1;
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(s.to_vec());
+        Ok(out)
+    }
+
+    /// Backward pass: routes each output gradient to its argmax position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForward`] if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self.input_shape.as_ref().ok_or(NnError::MissingForward)?;
+        let mut grad_in = Tensor::zeros(shape);
+        for (flat, &idx) in self.argmax.iter().enumerate() {
+            grad_in.data_mut()[idx] += grad_out.data()[flat];
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let mut pool = AvgPool2d::new();
+        let out = pool.forward(&sample()).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_evenly() {
+        let mut pool = AvgPool2d::new();
+        pool.forward(&sample()).unwrap();
+        let grad = pool
+            .backward(&Tensor::from_vec(vec![1, 1, 2, 2], vec![4.0, 0.0, 0.0, 8.0]).unwrap())
+            .unwrap();
+        assert_eq!(grad.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(grad.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(grad.at4(0, 0, 0, 2), 0.0);
+        assert_eq!(grad.at4(0, 0, 3, 3), 2.0);
+    }
+
+    #[test]
+    fn max_pool_takes_window_maxima() {
+        let mut pool = MaxPool2d::new();
+        let out = pool.forward(&sample()).unwrap();
+        assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new();
+        pool.forward(&sample()).unwrap();
+        let grad = pool
+            .backward(&Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap())
+            .unwrap();
+        assert_eq!(grad.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(grad.at4(0, 0, 1, 3), 2.0);
+        assert_eq!(grad.at4(0, 0, 3, 1), 3.0);
+        assert_eq!(grad.at4(0, 0, 3, 3), 4.0);
+        assert_eq!(grad.at4(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn odd_sizes_are_rejected() {
+        let mut a = AvgPool2d::new();
+        assert!(a.forward(&Tensor::zeros(&[1, 1, 3, 4])).is_err());
+        let mut m = MaxPool2d::new();
+        assert!(m.forward(&Tensor::zeros(&[1, 1, 4, 3])).is_err());
+        assert!(a.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(m.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

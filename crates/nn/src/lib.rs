@@ -1,0 +1,52 @@
+//! # geo-nn — neural-network substrate
+//!
+//! The training substrate of the GEO reproduction: a small dense-tensor
+//! library with hand-written backward passes for every layer the paper's
+//! networks use (conv2d, linear, batch norm, ReLU, average/max pooling),
+//! softmax cross-entropy, SGD/Adam optimizers, fixed-point fake
+//! quantization for the Eyeriss baselines, deterministic synthetic datasets
+//! standing in for MNIST/SVHN/CIFAR-10, and builders for CNN-4, LeNet-5,
+//! and the downscaled VGG-16.
+//!
+//! # Examples
+//!
+//! Train LeNet-5 on the MNIST-like synthetic set:
+//!
+//! ```
+//! use geo_nn::datasets::{generate, DatasetSpec};
+//! use geo_nn::optim::Optimizer;
+//! use geo_nn::train::{evaluate, train, TrainConfig};
+//! use geo_nn::models;
+//!
+//! # fn main() -> Result<(), geo_nn::NnError> {
+//! let (train_ds, test_ds) = generate(&DatasetSpec::mnist_like(0).with_samples(64, 32));
+//! let mut model = models::lenet5(1, 8, 10, 0);
+//! let mut opt = Optimizer::paper_default();
+//! let cfg = TrainConfig { epochs: 3, batch_size: 16, seed: 0 };
+//! train(&mut model, &train_ds, &mut opt, &cfg)?;
+//! let accuracy = evaluate(&mut model, &test_ds)?;
+//! assert!(accuracy > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checkpoint;
+pub mod datasets;
+mod error;
+mod layers;
+pub mod loss;
+pub mod metrics;
+mod model;
+pub mod models;
+pub mod optim;
+pub mod quant;
+mod tensor;
+pub mod train;
+
+pub use error::NnError;
+pub use layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
+pub use model::Sequential;
+pub use tensor::{Param, Tensor};

@@ -1,0 +1,148 @@
+//! Softmax cross-entropy loss.
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+
+/// Loss value and gradient of softmax cross-entropy over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the logits, `(N, classes)`.
+    pub grad: Tensor,
+}
+
+/// Computes mean softmax cross-entropy and its gradient for logits
+/// `(N, classes)` against integer `labels`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if `logits` is not 2-d with one row
+/// per label, or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use geo_nn::{loss::softmax_cross_entropy, Tensor};
+///
+/// # fn main() -> Result<(), geo_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![1, 2], vec![5.0, -5.0])?;
+/// let out = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(out.loss < 0.01); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput, NnError> {
+    let s = logits.shape();
+    if s.len() != 2 || s[0] != labels.len() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("({}, classes) logits", labels.len()),
+            actual: s.to_vec(),
+        });
+    }
+    let (n, classes) = (s[0], s[1]);
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("labels < {classes}"),
+            actual: vec![bad],
+        });
+    }
+    let mut grad = Tensor::zeros(s);
+    let mut total = 0.0f32;
+    for b in 0..n {
+        let row: Vec<f32> = (0..classes).map(|c| logits.at2(b, c)).collect();
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let label = labels[b];
+        total += -(exps[label] / sum).ln();
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            let target = if c == label { 1.0 } else { 0.0 };
+            grad.set2(b, c, (p - target) / n as f32);
+        }
+    }
+    Ok(LossOutput {
+        loss: total / n as f32,
+        grad,
+    })
+}
+
+/// Index of the maximum logit per row — the predicted class.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let s = logits.shape();
+    let (n, classes) = (s[0], s[1]);
+    (0..n)
+        .map(|b| {
+            (0..classes)
+                .max_by(|&i, &j| logits.at2(b, i).partial_cmp(&logits.at2(b, j)).unwrap())
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![0.2, -0.4, 1.1]).unwrap();
+        let labels = [2usize];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut plus = logits.clone();
+            plus.set2(0, c, logits.at2(0, c) + eps);
+            let lp = softmax_cross_entropy(&plus, &labels).unwrap().loss;
+            let mut minus = logits.clone();
+            minus.set2(0, c, logits.at2(0, c) - eps);
+            let lm = softmax_cross_entropy(&minus, &labels).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (out.grad.at2(0, c) - numeric).abs() < 1e-3,
+                "class {c}: {} vs {numeric}",
+                out.grad.at2(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        for b in 0..2 {
+            let sum: f32 = (0..3).map(|c| out.grad.at2(b, c)).sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1000.0, -1000.0]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(out.loss.is_finite());
+        assert!(out.loss < 1e-5);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[2]), &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.2, 3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(argmax_rows(&logits), vec![1, 0]);
+    }
+}

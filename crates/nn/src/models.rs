@@ -1,0 +1,190 @@
+//! Builders for the paper's evaluation networks (§IV), scaled to the
+//! synthetic thumbnail datasets.
+//!
+//! * [`cnn4`] — the 4-layer CMSIS-NN-style CNN used for CIFAR-10 and SVHN
+//!   (3 conv + 1 FC), with average pooling after the first two convolutions.
+//! * [`lenet5`] — LeNet-5 for MNIST (2 conv + 2 FC here).
+//! * [`vgg16_small`] — VGG-16 with downscaled spatial dimensions and
+//!   reduced FC width, as the paper itself does ("X/Y input dimensions of
+//!   each layer downscaled, FC-512 instead of FC-4096"); here channel widths
+//!   are reduced further to keep SC simulation tractable.
+//!
+//! All convolutions are bias-free: the batch-norm shift absorbs the bias,
+//! which matches GEO's near-memory BN hardware.
+
+use crate::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer, Linear, Relu};
+use crate::model::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn conv_bn_relu(cin: usize, cout: usize, rng: &mut StdRng) -> Vec<Layer> {
+    vec![
+        Layer::Conv2d(Conv2d::new(cin, cout, 3, 1, 1, false, rng)),
+        Layer::BatchNorm2d(BatchNorm2d::new(cout)),
+        Layer::Relu(Relu::new()),
+    ]
+}
+
+/// The 4-layer CNN (CNN-4): three conv blocks and one classifier FC.
+/// Average pooling follows the first two blocks, so those layers run the
+/// shorter `sp` stream length under GEO's computation skipping.
+///
+/// # Panics
+///
+/// Panics unless `size` is divisible by 4 (two pooling stages).
+///
+/// # Examples
+///
+/// ```
+/// let model = geo_nn::models::cnn4(3, 8, 10, 0);
+/// assert_eq!(model.layers().len(), 13); // 3×(conv+bn+relu) + 2 pools + flatten + fc
+/// ```
+pub fn cnn4(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(size % 4 == 0, "cnn4 needs size divisible by 4, got {size}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(channels, 16, &mut rng));
+    layers.push(Layer::AvgPool2d(AvgPool2d::new()));
+    layers.extend(conv_bn_relu(16, 24, &mut rng));
+    layers.push(Layer::AvgPool2d(AvgPool2d::new()));
+    layers.extend(conv_bn_relu(24, 32, &mut rng));
+    layers.push(Layer::Flatten(Flatten::new()));
+    let spatial = size / 4;
+    layers.push(Layer::Linear(Linear::new(
+        32 * spatial * spatial,
+        classes,
+        &mut rng,
+    )));
+    Sequential::new(layers)
+}
+
+/// LeNet-5, scaled for thumbnail inputs: two conv+pool blocks and a
+/// two-layer classifier.
+///
+/// # Panics
+///
+/// Panics unless `size` is divisible by 4.
+pub fn lenet5(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(size % 4 == 0, "lenet5 needs size divisible by 4, got {size}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = Vec::new();
+    layers.extend(conv_bn_relu(channels, 6, &mut rng));
+    layers.push(Layer::AvgPool2d(AvgPool2d::new()));
+    layers.extend(conv_bn_relu(6, 12, &mut rng));
+    layers.push(Layer::AvgPool2d(AvgPool2d::new()));
+    layers.push(Layer::Flatten(Flatten::new()));
+    let spatial = size / 4;
+    layers.push(Layer::Linear(Linear::new(
+        12 * spatial * spatial,
+        32,
+        &mut rng,
+    )));
+    layers.push(Layer::Relu(Relu::new()));
+    layers.push(Layer::Linear(Linear::new(32, classes, &mut rng)));
+    Sequential::new(layers)
+}
+
+/// VGG-16 with downscaled spatial dimensions and channel widths: thirteen
+/// 3×3 convolutions in five blocks (2-2-3-3-3) with pooling after the first
+/// three blocks, then a reduced two-layer classifier.
+///
+/// # Panics
+///
+/// Panics unless `size` is divisible by 8 (three pooling stages).
+pub fn vgg16_small(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
+    assert!(
+        size % 8 == 0,
+        "vgg16_small needs size divisible by 8, got {size}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let widths: [&[usize]; 5] = [&[8, 8], &[16, 16], &[24, 24, 24], &[32, 32, 32], &[32, 32, 32]];
+    let mut layers = Vec::new();
+    let mut cin = channels;
+    for (block, ws) in widths.iter().enumerate() {
+        for &w in ws.iter() {
+            layers.extend(conv_bn_relu(cin, w, &mut rng));
+            cin = w;
+        }
+        // Pool after the first three blocks: size/8 spatial at the end.
+        if block < 3 {
+            layers.push(Layer::AvgPool2d(AvgPool2d::new()));
+        }
+    }
+    layers.push(Layer::Flatten(Flatten::new()));
+    let spatial = size / 8;
+    layers.push(Layer::Linear(Linear::new(
+        32 * spatial * spatial,
+        64,
+        &mut rng,
+    )));
+    layers.push(Layer::Relu(Relu::new()));
+    layers.push(Layer::Linear(Linear::new(64, classes, &mut rng)));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn cnn4_runs_end_to_end() {
+        let mut m = cnn4(3, 8, 10, 0);
+        let y = m.forward(&Tensor::full(&[2, 3, 8, 8], 0.5)).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+        // 3 convs + 1 FC = the "4-layer" CNN.
+        let convs = m.layers().iter().filter(|l| l.kind() == "conv2d").count();
+        let fcs = m.layers().iter().filter(|l| l.kind() == "linear").count();
+        assert_eq!((convs, fcs), (3, 1));
+    }
+
+    #[test]
+    fn lenet5_runs_end_to_end() {
+        let mut m = lenet5(1, 8, 10, 0);
+        let y = m.forward(&Tensor::full(&[1, 1, 8, 8], 0.5)).unwrap();
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn vgg16_small_has_thirteen_convs() {
+        let mut m = vgg16_small(3, 8, 10, 0);
+        let convs = m.layers().iter().filter(|l| l.kind() == "conv2d").count();
+        assert_eq!(convs, 13);
+        let y = m.forward(&Tensor::full(&[1, 3, 8, 8], 0.5)).unwrap();
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn builders_are_seeded() {
+        let mut a = cnn4(3, 8, 10, 42);
+        let mut b = cnn4(3, 8, 10, 42);
+        assert_eq!(a.parameter_count(), b.parameter_count());
+        let pa = a.params_mut();
+        let pb = b.params_mut();
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert_eq!(x.value.data(), y.value.data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn cnn4_rejects_bad_sizes() {
+        let _ = cnn4(3, 10, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 8")]
+    fn vgg_rejects_bad_sizes() {
+        let _ = vgg16_small(3, 12, 10, 0);
+    }
+
+    #[test]
+    fn convolutions_have_no_bias() {
+        let m = cnn4(3, 8, 10, 0);
+        for l in m.layers() {
+            if let Layer::Conv2d(c) = l {
+                assert!(c.bias.is_none(), "BN absorbs the conv bias");
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests on the NN substrate: gradient correctness on
+//! randomized small layers and structural invariants.
+
+use geo_nn::{AvgPool2d, BatchNorm2d, Conv2d, Linear, Relu, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_input(shape: &[usize], seed: u64, scale: f32) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::kaiming(shape, 4, &mut rng).map(|x| x * scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conv weight gradients match numeric differentiation for arbitrary
+    /// seeds and channel counts.
+    #[test]
+    fn conv_weight_gradient_is_numeric(seed in 0u64..500, cin in 1usize..3, cout in 1usize..3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(cin, cout, 3, 1, 1, false, &mut rng);
+        let x = small_input(&[1, cin, 4, 4], seed ^ 0xABCD, 1.0);
+        let out = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::full(out.shape(), 1.0)).unwrap();
+        let analytic = conv.weight.grad.at4(0, 0, 1, 1);
+        let eps = 1e-2f32;
+        let orig = conv.weight.value.at4(0, 0, 1, 1);
+        conv.weight.value.set4(0, 0, 1, 1, orig + eps);
+        let up: f32 = conv.forward(&x).unwrap().data().iter().sum();
+        conv.weight.value.set4(0, 0, 1, 1, orig - eps);
+        let down: f32 = conv.forward(&x).unwrap().data().iter().sum();
+        let numeric = (up - down) / (2.0 * eps);
+        prop_assert!((analytic - numeric).abs() < 0.05,
+            "analytic {} vs numeric {}", analytic, numeric);
+    }
+
+    /// Linear layers are, well, linear: f(a·x) = a·f(x) when bias is zero.
+    #[test]
+    fn linear_is_linear_without_bias(seed in 0u64..500, a in 0.1f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        lin.bias.value.zero();
+        let x = small_input(&[2, 4], seed ^ 1, 1.0);
+        let fx = lin.forward(&x).unwrap();
+        let fax = lin.forward(&x.map(|v| v * a)).unwrap();
+        for (l, r) in fax.data().iter().zip(fx.data()) {
+            prop_assert!((l - a * r).abs() < 1e-3, "{} vs {}", l, a * r);
+        }
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_is_nonneg_and_idempotent(seed in 0u64..1000) {
+        let mut relu = Relu::new();
+        let x = small_input(&[8], seed, 2.0);
+        let y = relu.forward(&x);
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        let y2 = relu.forward(&y);
+        prop_assert_eq!(y2.data(), y.data());
+    }
+
+    /// Average pooling preserves the tensor mean exactly.
+    #[test]
+    fn avg_pool_preserves_mean(seed in 0u64..1000) {
+        let mut pool = AvgPool2d::new();
+        let x = small_input(&[1, 2, 4, 4], seed, 1.0);
+        let y = pool.forward(&x).unwrap();
+        let mx: f32 = x.data().iter().sum::<f32>() / x.len() as f32;
+        let my: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
+        prop_assert!((mx - my).abs() < 1e-5);
+    }
+
+    /// Training-mode batch norm always produces (near) zero-mean
+    /// unit-variance channels, whatever the input statistics.
+    #[test]
+    fn batchnorm_normalizes_any_input(seed in 0u64..500, offset in -5.0f32..5.0, scale in 0.5f32..4.0) {
+        let mut bn = BatchNorm2d::new(1);
+        let x = small_input(&[4, 1, 3, 3], seed, scale).map(|v| v + offset);
+        let y = bn.forward(&x).unwrap();
+        let n = y.len() as f32;
+        let mean: f32 = y.data().iter().sum::<f32>() / n;
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+        prop_assert!((var - 1.0).abs() < 0.05, "var {}", var);
+    }
+
+    /// Fake quantization is idempotent and bounded by the input range.
+    #[test]
+    fn fake_quantize_idempotent_and_bounded(
+        vals in prop::collection::vec(-2.0f32..2.0, 1..32),
+        bits in 2u8..8,
+    ) {
+        let t = Tensor::from_vec(vec![vals.len()], vals).unwrap();
+        let q1 = geo_nn::quant::fake_quantize(&t, bits);
+        let q2 = geo_nn::quant::fake_quantize(&q1, bits);
+        let max = t.max_abs();
+        for (a, b) in q1.data().iter().zip(q2.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+        prop_assert!(q1.max_abs() <= max + 1e-5);
+    }
+
+    /// Softmax cross-entropy loss is non-negative and its gradient rows
+    /// sum to zero.
+    #[test]
+    fn loss_nonneg_gradient_rows_sum_zero(
+        vals in prop::collection::vec(-4.0f32..4.0, 6..=6),
+        label in 0usize..3,
+    ) {
+        let logits = Tensor::from_vec(vec![2, 3], vals).unwrap();
+        let out = geo_nn::loss::softmax_cross_entropy(&logits, &[label, (label + 1) % 3]).unwrap();
+        prop_assert!(out.loss >= 0.0);
+        for b in 0..2 {
+            let sum: f32 = (0..3).map(|c| out.grad.at2(b, c)).sum();
+            prop_assert!(sum.abs() < 1e-5);
+        }
+    }
+}

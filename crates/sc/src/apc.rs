@@ -1,0 +1,164 @@
+//! Approximate parallel counter (APC), after Kim, Lee & Choi, "Approximate
+//! de-randomizer for stochastic circuits" (ISOCC 2015) — the baseline
+//! accumulation fabric GEO's partial binary accumulation is compared
+//! against in Fig. 5 and §III-B.
+//!
+//! An APC replaces the exact popcount tree with layers of approximate 2:2
+//! compressors built from an AND (carry, weight 2) and an OR (sum, weight
+//! 1). Each compressor is exact except when both inputs are one, where
+//! `2·(a∧b) + (a∨b)` reports 3 instead of 2 — cheap, but biased upward.
+//! The combined AND/OR behavior is why the paper calls one APC level
+//! "equivalent to multiplexers" and unsuitable for stacking.
+
+use crate::bitstream::Bitstream;
+use crate::error::ScError;
+
+/// One approximate compressor level: pairs of streams are replaced by a
+/// weight-2 carry stream (AND) and a weight-1 sum stream (OR). Odd streams
+/// pass through at their current weight.
+fn compress_level(streams: Vec<(Bitstream, u64)>) -> Result<Vec<(Bitstream, u64)>, ScError> {
+    let mut out = Vec::with_capacity(streams.len().div_ceil(2) * 2);
+    let mut pending: Option<(Bitstream, u64)> = None;
+    for (s, w) in streams {
+        match pending.take() {
+            Some((a, wa)) if wa == w => {
+                let mut carry = a.clone();
+                carry.and_assign(&s)?;
+                let mut sum = a;
+                sum.or_assign(&s)?;
+                out.push((carry, wa * 2));
+                out.push((sum, wa));
+            }
+            Some(other) => {
+                // Odd stream of its weight class passes through.
+                out.push(other);
+                pending = Some((s, w));
+            }
+            None => pending = Some((s, w)),
+        }
+    }
+    if let Some(last) = pending {
+        out.push(last);
+    }
+    Ok(out)
+}
+
+/// Accumulates `streams` with an approximate parallel counter of
+/// `levels` compressor layers, then counts ones exactly.
+///
+/// With `levels = 0` this degenerates to the exact parallel counter.
+/// Each level roughly halves the number of streams the exact counter must
+/// handle (the hardware saving) at the cost of the both-ones overcount.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if stream lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use geo_sc::{apc::apc_count, Bitstream};
+///
+/// # fn main() -> Result<(), geo_sc::ScError> {
+/// let streams: Vec<Bitstream> =
+///     (0..4).map(|i| Bitstream::from_fn(64, move |c| (c + i) % 4 == 0)).collect();
+/// // Disjoint ones: APC is exact here.
+/// assert_eq!(apc_count(&streams, 1)?, 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apc_count(streams: &[Bitstream], levels: u32) -> Result<u64, ScError> {
+    if streams.is_empty() {
+        return Ok(0);
+    }
+    let len = streams[0].len();
+    for s in streams {
+        if s.len() != len {
+            return Err(ScError::LengthMismatch {
+                left: len,
+                right: s.len(),
+            });
+        }
+    }
+    let mut work: Vec<(Bitstream, u64)> = streams.iter().map(|s| (s.clone(), 1)).collect();
+    for _ in 0..levels {
+        // Group by weight so compressors pair like weights.
+        work.sort_by_key(|(_, w)| *w);
+        work = compress_level(work)?;
+        if work.len() <= 1 {
+            break;
+        }
+    }
+    Ok(work
+        .iter()
+        .map(|(s, w)| u64::from(s.count_ones()) * w)
+        .sum())
+}
+
+/// Exact popcount total of the same streams, for error comparisons.
+pub fn exact_count(streams: &[Bitstream]) -> u64 {
+    streams.iter().map(|s| u64::from(s.count_ones())).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::sng::generate_unipolar;
+
+    #[test]
+    fn zero_levels_is_exact() {
+        let streams: Vec<Bitstream> = (0..6)
+            .map(|i| Bitstream::from_fn(80, move |c| (c * 7 + i * 3) % 5 < 2))
+            .collect();
+        assert_eq!(apc_count(&streams, 0).unwrap(), exact_count(&streams));
+    }
+
+    #[test]
+    fn disjoint_streams_are_counted_exactly() {
+        let streams: Vec<Bitstream> = (0..4)
+            .map(|i| Bitstream::from_fn(64, move |c| c % 4 == i))
+            .collect();
+        assert_eq!(apc_count(&streams, 1).unwrap(), 64);
+        assert_eq!(apc_count(&streams, 2).unwrap(), 64);
+    }
+
+    #[test]
+    fn overlapping_ones_overcount() {
+        // Two identical dense streams: a+b = 2·ones, APC reports 3·ones.
+        let s = Bitstream::from_fn(64, |c| c % 2 == 0);
+        let streams = vec![s.clone(), s];
+        let exact = exact_count(&streams); // 64
+        let approx = apc_count(&streams, 1).unwrap(); // AND=32 ones ×2 + OR=32 ones ×1
+        assert_eq!(exact, 64);
+        assert_eq!(approx, 96);
+    }
+
+    #[test]
+    fn error_grows_with_levels() {
+        // Random-ish dense streams: stacking APC levels compounds the bias,
+        // which is why the paper limits APC to one accumulation layer.
+        let streams: Vec<Bitstream> = (0..8)
+            .map(|i| {
+                let mut lfsr = Lfsr::with_polynomial(8, i % 2, 17 * (i as u32) + 3).unwrap();
+                generate_unipolar(0.5, 256, &mut lfsr)
+            })
+            .collect();
+        let exact = exact_count(&streams) as f64;
+        let e1 = (apc_count(&streams, 1).unwrap() as f64 - exact).abs();
+        let e3 = (apc_count(&streams, 3).unwrap() as f64 - exact).abs();
+        assert!(e3 >= e1, "one level err {e1}, three levels err {e3}");
+        assert!(e1 > 0.0, "dense independent streams must overlap somewhere");
+    }
+
+    #[test]
+    fn empty_input_counts_zero() {
+        assert_eq!(apc_count(&[], 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let streams = vec![Bitstream::zeros(8), Bitstream::zeros(9)];
+        assert!(apc_count(&streams, 1).is_err());
+    }
+}

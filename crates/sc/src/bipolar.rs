@@ -1,0 +1,143 @@
+//! Bipolar stochastic encoding.
+//!
+//! The classic alternative to GEO's split-unipolar format: a value
+//! `x ∈ [-1, 1]` maps to ones-density `p = (x + 1) / 2`, multiplication is
+//! an XNOR, and scaled addition a MUX. Provided as a comparison substrate —
+//! the paper's split-unipolar choice avoids bipolar's halved useful range
+//! and its sensitivity to correlation around zero.
+
+use crate::bitstream::Bitstream;
+use crate::error::ScError;
+use crate::rng::StreamRng;
+use crate::sng::generate_stream;
+
+/// Maps a bipolar value `x ∈ [-1, 1]` (clamped) to its ones-density.
+pub fn bipolar_to_density(x: f32) -> f32 {
+    (x.clamp(-1.0, 1.0) + 1.0) / 2.0
+}
+
+/// Maps a ones-density back to the bipolar value `2p − 1`.
+pub fn density_to_bipolar(p: f64) -> f64 {
+    2.0 * p - 1.0
+}
+
+/// Generates a bipolar stream for `x ∈ [-1, 1]`, resetting deterministic
+/// RNGs first.
+///
+/// # Examples
+///
+/// ```
+/// use geo_sc::{bipolar, Lfsr};
+///
+/// # fn main() -> Result<(), geo_sc::ScError> {
+/// let mut rng = Lfsr::new(7, 1)?;
+/// let s = bipolar::generate_bipolar(-0.5, 128, &mut rng);
+/// assert!((bipolar::value(&s) + 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_bipolar(x: f32, len: usize, rng: &mut dyn StreamRng) -> Bitstream {
+    rng.reset();
+    let density = bipolar_to_density(x);
+    let level = crate::encode::quantize_unipolar(density, rng.width());
+    generate_stream(level, len, rng)
+}
+
+/// The bipolar value carried by a stream: `2·ones/len − 1`.
+pub fn value(s: &Bitstream) -> f64 {
+    density_to_bipolar(s.value())
+}
+
+/// Bipolar multiplication: cycle-wise XNOR.
+///
+/// For uncorrelated operands, `value(xnor(a, b)) ≈ value(a) · value(b)`.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if lengths differ.
+pub fn xnor_mul(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, ScError> {
+    let mut out = a.clone();
+    out.xor_assign(b)?;
+    Ok(!&out)
+}
+
+/// Bipolar scaled addition via MUX: `(a + b) / 2` when `select` carries
+/// density 0.5.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if lengths differ.
+pub fn mux_add(a: &Bitstream, b: &Bitstream, select: &Bitstream) -> Result<Bitstream, ScError> {
+    crate::ops::mux_add(a, b, select)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+
+    #[test]
+    fn density_mapping_round_trips() {
+        for x in [-1.0f32, -0.5, 0.0, 0.25, 1.0] {
+            let p = bipolar_to_density(x);
+            assert!((density_to_bipolar(f64::from(p)) - f64::from(x)).abs() < 1e-6);
+        }
+        assert_eq!(bipolar_to_density(5.0), 1.0);
+        assert_eq!(bipolar_to_density(-5.0), 0.0);
+    }
+
+    #[test]
+    fn generation_hits_the_target_value() {
+        let mut rng = Lfsr::new(8, 3).unwrap();
+        for x in [-0.75f32, -0.25, 0.0, 0.5, 1.0] {
+            let s = generate_bipolar(x, 256, &mut rng);
+            assert!(
+                (value(&s) - f64::from(x)).abs() < 0.03,
+                "x {x}: got {}",
+                value(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn xnor_multiplies_decorrelated_streams() {
+        let mut ra = Lfsr::with_polynomial(8, 0, 3).unwrap();
+        let mut rb = Lfsr::with_polynomial(8, 1, 119).unwrap();
+        for (x, y) in [(0.5f32, 0.5f32), (-0.5, 0.5), (-0.8, -0.6), (0.0, 0.9)] {
+            let a = generate_bipolar(x, 256, &mut ra);
+            let b = generate_bipolar(y, 256, &mut rb);
+            let p = xnor_mul(&a, &b).unwrap();
+            let err = (value(&p) - f64::from(x) * f64::from(y)).abs();
+            assert!(err < 0.15, "x {x} y {y}: err {err}");
+        }
+    }
+
+    #[test]
+    fn xnor_sign_rules() {
+        // Identical streams: x·x should be non-negative (maximal
+        // correlation gives 1·anything → +1 density on XNOR with itself).
+        let mut rng = Lfsr::new(8, 3).unwrap();
+        let a = generate_bipolar(-0.7, 256, &mut rng);
+        let p = xnor_mul(&a, &a).unwrap();
+        assert!((value(&p) - 1.0).abs() < 1e-9, "self-XNOR is all ones");
+    }
+
+    #[test]
+    fn mux_add_halves_the_sum() {
+        let mut ra = Lfsr::with_polynomial(8, 0, 3).unwrap();
+        let mut rb = Lfsr::with_polynomial(8, 1, 55).unwrap();
+        let mut rs = Lfsr::with_polynomial(8, 0, 201).unwrap();
+        let a = generate_bipolar(0.8, 256, &mut ra);
+        let b = generate_bipolar(-0.4, 256, &mut rb);
+        let sel = crate::sng::generate_unipolar(0.5, 256, &mut rs);
+        let s = mux_add(&a, &b, &sel).unwrap();
+        assert!((value(&s) - 0.2).abs() < 0.15, "got {}", value(&s));
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(16);
+        assert!(xnor_mul(&a, &b).is_err());
+    }
+}

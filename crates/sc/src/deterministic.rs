@@ -1,0 +1,129 @@
+//! Deterministic bit-stream processing (after Faraji et al., DATE 2019 —
+//! reference [4] of the paper).
+//!
+//! Instead of pseudo-random streams, operands are encoded as *unary*
+//! (thermometer) streams and decorrelated structurally: one operand's
+//! pattern repeats while the other's is clock-divided (each bit held for
+//! the full length of the first stream). The AND of the two then computes
+//! the **exact** product — at the cost of a stream length that is the
+//! *product* of the operand resolutions, which is why GEO's trained
+//! pseudo-random approach wins at equal latency.
+
+use crate::bitstream::Bitstream;
+use crate::error::ScError;
+
+/// A unary (thermometer) stream: the first `level` of `len` cycles are one.
+///
+/// # Panics
+///
+/// Panics if `level > len`.
+///
+/// # Examples
+///
+/// ```
+/// let s = geo_sc::deterministic::unary_stream(3, 8);
+/// assert_eq!(s.count_ones(), 3);
+/// assert!(s.get(0) && s.get(2) && !s.get(3));
+/// ```
+pub fn unary_stream(level: usize, len: usize) -> Bitstream {
+    assert!(level <= len, "level {level} exceeds length {len}");
+    Bitstream::from_fn(len, |c| c < level)
+}
+
+/// Repeats a base unary pattern of `(level, base_len)` for `reps`
+/// repetitions — the "repeating" operand of clock-division decorrelation.
+pub fn repeated_stream(level: usize, base_len: usize, reps: usize) -> Bitstream {
+    assert!(level <= base_len, "level {level} exceeds base {base_len}");
+    Bitstream::from_fn(base_len * reps, |c| c % base_len < level)
+}
+
+/// Clock-divides a unary pattern: each of the `base_len` bits is held for
+/// `hold` cycles — the "stretched" operand.
+pub fn clock_divided_stream(level: usize, base_len: usize, hold: usize) -> Bitstream {
+    assert!(level <= base_len, "level {level} exceeds base {base_len}");
+    Bitstream::from_fn(base_len * hold, |c| c / hold < level)
+}
+
+/// Exact deterministic multiplication of two levels with resolutions
+/// `len_a` and `len_b`: AND of a repeated and a clock-divided stream over
+/// `len_a · len_b` cycles.
+///
+/// The result's ones count is exactly `level_a · level_b`.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] only on internal inconsistency
+/// (never for valid inputs).
+///
+/// # Panics
+///
+/// Panics if a level exceeds its resolution.
+pub fn exact_product(
+    level_a: usize,
+    len_a: usize,
+    level_b: usize,
+    len_b: usize,
+) -> Result<Bitstream, ScError> {
+    let a = repeated_stream(level_a, len_a, len_b);
+    let b = clock_divided_stream(level_b, len_b, len_a);
+    let mut out = a;
+    out.and_assign(&b)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_is_thermometer() {
+        let s = unary_stream(5, 8);
+        for c in 0..8 {
+            assert_eq!(s.get(c), c < 5);
+        }
+        assert_eq!(unary_stream(0, 4).count_ones(), 0);
+        assert_eq!(unary_stream(4, 4).count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds length")]
+    fn unary_rejects_overfull() {
+        let _ = unary_stream(9, 8);
+    }
+
+    #[test]
+    fn repetition_and_division_have_equal_length_and_value() {
+        let r = repeated_stream(3, 8, 4);
+        let d = clock_divided_stream(3, 8, 4);
+        assert_eq!(r.len(), 32);
+        assert_eq!(d.len(), 32);
+        assert_eq!(r.count_ones(), 12);
+        assert_eq!(d.count_ones(), 12);
+        assert_ne!(r, d, "structurally decorrelated");
+    }
+
+    #[test]
+    fn product_is_exact_for_all_small_levels() {
+        let (len_a, len_b) = (8usize, 8usize);
+        for a in 0..=len_a {
+            for b in 0..=len_b {
+                let p = exact_product(a, len_a, b, len_b).unwrap();
+                assert_eq!(
+                    p.count_ones() as usize,
+                    a * b,
+                    "{a}/{len_a} × {b}/{len_b}"
+                );
+                assert_eq!(p.len(), len_a * len_b);
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_costs_quadratic_length() {
+        // 8-bit × 8-bit exact product needs 2^16 cycles — the latency
+        // explosion GEO's trained pseudo-random streams avoid.
+        let p = exact_product(200, 256, 100, 256).unwrap();
+        assert_eq!(p.len(), 65536);
+        assert_eq!(p.count_ones(), 20000);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for the stochastic-computing substrate.
+
+use std::fmt;
+
+/// Errors produced by stream generation and bitstream manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScError {
+    /// An LFSR or SNG width outside the supported 3..=16 bit range.
+    InvalidWidth {
+        /// The rejected width.
+        width: u8,
+    },
+    /// A polynomial index with no entry in the primitive-polynomial table.
+    InvalidPolynomial {
+        /// LFSR width the polynomial was requested for.
+        width: u8,
+        /// The rejected polynomial index.
+        index: usize,
+    },
+    /// Two bitstreams whose lengths must match did not.
+    LengthMismatch {
+        /// Length of the left-hand operand.
+        left: usize,
+        /// Length of the right-hand operand.
+        right: usize,
+    },
+    /// An operation that requires at least one input received none.
+    EmptyInput,
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScError::InvalidWidth { width } => {
+                write!(f, "unsupported generator width {width} (supported: 3..=16)")
+            }
+            ScError::InvalidPolynomial { width, index } => {
+                write!(
+                    f,
+                    "no primitive polynomial with index {index} for width {width}"
+                )
+            }
+            ScError::LengthMismatch { left, right } => {
+                write!(f, "bitstream length mismatch: {left} vs {right}")
+            }
+            ScError::EmptyInput => write!(f, "operation requires at least one input stream"),
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ScError::InvalidWidth { width: 2 };
+        assert!(e.to_string().contains("width 2"));
+        let e = ScError::LengthMismatch { left: 8, right: 16 };
+        assert!(e.to_string().contains("8 vs 16"));
+        let e = ScError::InvalidPolynomial { width: 8, index: 9 };
+        assert!(e.to_string().contains("index 9"));
+        assert!(!ScError::EmptyInput.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! Accuracy and correlation metrics for stochastic streams.
+//!
+//! The stochastic cross-correlation (SCC) of Alaghi & Hayes quantifies how
+//! far two streams are from independence: `+1` is maximal overlap (AND
+//! computes `min`), `0` is independence (AND computes the product), `-1` is
+//! maximal avoidance (AND computes `max(x+y-1, 0)`). RNG sharing moves SCC
+//! away from zero, which is exactly the bias GEO's training absorbs.
+
+use crate::bitstream::Bitstream;
+use crate::error::ScError;
+
+/// Stochastic cross-correlation of two equal-length streams.
+///
+/// Returns 0 when either stream is constant (no correlation is defined; by
+/// convention it does not bias AND either way).
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use geo_sc::{metrics::scc, Bitstream};
+///
+/// # fn main() -> Result<(), geo_sc::ScError> {
+/// let a = Bitstream::from_fn(8, |i| i < 4);
+/// assert!((scc(&a, &a)? - 1.0).abs() < 1e-12); // identical → +1
+/// let b = Bitstream::from_fn(8, |i| i >= 4);
+/// assert!((scc(&a, &b)? + 1.0).abs() < 1e-12); // disjoint → −1
+/// # Ok(())
+/// # }
+/// ```
+pub fn scc(a: &Bitstream, b: &Bitstream) -> Result<f64, ScError> {
+    if a.len() != b.len() {
+        return Err(ScError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return Ok(0.0);
+    }
+    let p_a = a.value();
+    let p_b = b.value();
+    let p_ab = f64::from(a.overlap(b)?) / n;
+    let delta = p_ab - p_a * p_b;
+    let denom = if delta > 0.0 {
+        p_a.min(p_b) - p_a * p_b
+    } else {
+        p_a * p_b - (p_a + p_b - 1.0).max(0.0)
+    };
+    if denom.abs() < 1e-12 {
+        Ok(0.0)
+    } else {
+        // Clamp away float rounding at the ±1 extremes.
+        Ok((delta / denom).clamp(-1.0, 1.0))
+    }
+}
+
+/// Root-mean-square error between paired observations.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn rms_error(measured: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(measured.len(), reference.len(), "paired samples required");
+    if measured.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = measured
+        .iter()
+        .zip(reference)
+        .map(|(m, r)| (m - r) * (m - r))
+        .sum();
+    (sum_sq / measured.len() as f64).sqrt()
+}
+
+/// Mean absolute error between paired observations.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_abs_error(measured: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(measured.len(), reference.len(), "paired samples required");
+    if measured.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = measured
+        .iter()
+        .zip(reference)
+        .map(|(m, r)| (m - r).abs())
+        .sum();
+    sum / measured.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::sng::generate_unipolar;
+
+    #[test]
+    fn scc_of_identical_streams_is_one() {
+        let mut lfsr = Lfsr::new(8, 7).unwrap();
+        let a = generate_unipolar(0.4, 256, &mut lfsr);
+        assert!((scc(&a, &a).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scc_of_decorrelated_lfsrs_is_near_zero() {
+        let mut r1 = Lfsr::with_polynomial(8, 0, 3).unwrap();
+        let mut r2 = Lfsr::with_polynomial(8, 1, 119).unwrap();
+        let a = generate_unipolar(0.5, 256, &mut r1);
+        let b = generate_unipolar(0.5, 256, &mut r2);
+        let c = scc(&a, &b).unwrap();
+        assert!(c.abs() < 0.35, "scc {c}");
+    }
+
+    #[test]
+    fn scc_same_seed_shared_rng_is_high() {
+        // Extreme sharing: same seed, same polynomial → near-total overlap.
+        let mut r1 = Lfsr::new(8, 42).unwrap();
+        let mut r2 = Lfsr::new(8, 42).unwrap();
+        let a = generate_unipolar(0.3, 256, &mut r1);
+        let b = generate_unipolar(0.6, 256, &mut r2);
+        let c = scc(&a, &b).unwrap();
+        assert!(c > 0.9, "scc {c}");
+    }
+
+    #[test]
+    fn scc_constant_stream_is_zero() {
+        let a = Bitstream::ones(64);
+        let b = Bitstream::from_fn(64, |i| i % 2 == 0);
+        assert_eq!(scc(&a, &b).unwrap(), 0.0);
+        assert_eq!(scc(&Bitstream::zeros(0), &Bitstream::zeros(0)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn scc_length_mismatch_errors() {
+        assert!(scc(&Bitstream::zeros(8), &Bitstream::zeros(9)).is_err());
+    }
+
+    #[test]
+    fn rms_and_mae_known_values() {
+        let m = [1.0, 2.0, 3.0];
+        let r = [1.0, 1.0, 1.0];
+        assert!((rms_error(&m, &r) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mean_abs_error(&m, &r) - 1.0).abs() < 1e-12);
+        assert_eq!(rms_error(&[], &[]), 0.0);
+        assert_eq!(mean_abs_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn rms_rejects_unpaired() {
+        let _ = rms_error(&[1.0], &[]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Stochastic arithmetic: the gate-level operations of an SC datapath.
+//!
+//! * AND — unipolar multiplication (exact when streams are uncorrelated).
+//! * OR — unscaled accumulation (`1 - ∏(1-xᵢ)`), GEO's SC-domain adder.
+//! * MUX — scaled addition `(x + y) / 2`.
+//! * Parallel counter — exact bitwise popcount accumulation: the
+//!   fixed-point side of partial binary accumulation (§III-B).
+
+use crate::bitstream::Bitstream;
+use crate::encode::SplitStream;
+use crate::error::ScError;
+
+/// Unipolar stochastic multiplication: the cycle-wise AND of two streams.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] if the stream lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use geo_sc::{generate_unipolar, ops, Lfsr};
+///
+/// # fn main() -> Result<(), geo_sc::ScError> {
+/// let mut r1 = Lfsr::new(7, 1)?;
+/// let mut r2 = Lfsr::with_polynomial(7, 1, 40)?;
+/// let a = generate_unipolar(0.5, 128, &mut r1);
+/// let b = generate_unipolar(0.5, 128, &mut r2);
+/// let p = ops::and_mul(&a, &b)?;
+/// assert!((p.value() - 0.25).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn and_mul(a: &Bitstream, b: &Bitstream) -> Result<Bitstream, ScError> {
+    let mut out = a.clone();
+    out.and_assign(b)?;
+    Ok(out)
+}
+
+/// Split-unipolar multiplication of a unipolar activation with a signed
+/// weight: the activation stream gates whichever half carries the weight.
+pub fn and_mul_split(activation: &Bitstream, weight: &SplitStream) -> Result<SplitStream, ScError> {
+    Ok(SplitStream::new(
+        and_mul(activation, &weight.pos)?,
+        and_mul(activation, &weight.neg)?,
+    ))
+}
+
+/// OR accumulation of any number of streams.
+///
+/// Unscaled but lossy: overlapping ones collapse, so the result value is
+/// `1 - ∏(1-xᵢ)` for independent inputs. GEO trains the network around this
+/// compression instead of avoiding it.
+///
+/// # Errors
+///
+/// Returns [`ScError::EmptyInput`] when given no streams and
+/// [`ScError::LengthMismatch`] when lengths differ.
+pub fn or_acc<'a, I>(streams: I) -> Result<Bitstream, ScError>
+where
+    I: IntoIterator<Item = &'a Bitstream>,
+{
+    let mut iter = streams.into_iter();
+    let first = iter.next().ok_or(ScError::EmptyInput)?;
+    let mut out = first.clone();
+    for s in iter {
+        out.or_assign(s)?;
+    }
+    Ok(out)
+}
+
+/// OR accumulation of split-unipolar streams: halves accumulate
+/// independently, the subtraction happens after conversion.
+pub fn or_acc_split<'a, I>(streams: I) -> Result<SplitStream, ScError>
+where
+    I: IntoIterator<Item = &'a SplitStream>,
+{
+    let mut iter = streams.into_iter();
+    let first = iter.next().ok_or(ScError::EmptyInput)?;
+    let mut pos = first.pos.clone();
+    let mut neg = first.neg.clone();
+    for s in iter {
+        pos.or_assign(&s.pos)?;
+        neg.or_assign(&s.neg)?;
+    }
+    Ok(SplitStream::new(pos, neg))
+}
+
+/// MUX-based scaled addition: selects `a` or `b` per cycle using `select`,
+/// producing `(a + b) / 2` when the select stream carries value 0.5.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] when lengths differ.
+pub fn mux_add(a: &Bitstream, b: &Bitstream, select: &Bitstream) -> Result<Bitstream, ScError> {
+    if a.len() != b.len() {
+        return Err(ScError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() != select.len() {
+        return Err(ScError::LengthMismatch {
+            left: a.len(),
+            right: select.len(),
+        });
+    }
+    let not_sel = !select;
+    let mut pick_a = a.clone();
+    pick_a.and_assign(&not_sel)?;
+    let mut pick_b = b.clone();
+    pick_b.and_assign(select)?;
+    pick_a.or_assign(&pick_b)?;
+    Ok(pick_a)
+}
+
+/// Exact parallel-counter accumulation: the total ones count across all
+/// streams, i.e. the value a bitwise popcount adder tree accumulates into
+/// an output counter. This is the fixed-point side of partial binary
+/// accumulation — exact, unlike OR.
+///
+/// # Errors
+///
+/// Returns [`ScError::LengthMismatch`] when lengths differ (the counter
+/// fabric operates cycle-aligned).
+pub fn parallel_count<'a, I>(streams: I) -> Result<u64, ScError>
+where
+    I: IntoIterator<Item = &'a Bitstream>,
+{
+    let mut iter = streams.into_iter();
+    let Some(first) = iter.next() else {
+        return Ok(0);
+    };
+    let len = first.len();
+    let mut total = u64::from(first.count_ones());
+    for s in iter {
+        if s.len() != len {
+            return Err(ScError::LengthMismatch {
+                left: len,
+                right: s.len(),
+            });
+        }
+        total += u64::from(s.count_ones());
+    }
+    Ok(total)
+}
+
+/// Per-cycle popcount across streams: what the parallel counter outputs each
+/// cycle before the accumulating register. Exposed for tests and for the
+/// average-pooling fabric which needs the per-cycle sums.
+pub fn cycle_counts(streams: &[&Bitstream]) -> Result<Vec<u32>, ScError> {
+    let Some(first) = streams.first() else {
+        return Ok(Vec::new());
+    };
+    let len = first.len();
+    let mut counts = vec![0u32; len];
+    for s in streams {
+        if s.len() != len {
+            return Err(ScError::LengthMismatch {
+                left: len,
+                right: s.len(),
+            });
+        }
+        for (c, count) in counts.iter_mut().enumerate() {
+            *count += u32::from(s.get(c));
+        }
+    }
+    Ok(counts)
+}
+
+/// The analytic value of an OR accumulation of independent unipolar inputs:
+/// `1 - ∏(1-xᵢ)`. Used by training to model the accumulation loss.
+pub fn or_expected<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    1.0 - values.into_iter().map(|x| 1.0 - x).product::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::rng::StreamRng;
+    use crate::sng::generate_stream;
+
+    fn stream(width: u8, seed: u32, poly: usize, value: f32, len: usize) -> Bitstream {
+        let mut lfsr = Lfsr::with_polynomial(width, poly, seed).unwrap();
+        lfsr.reset();
+        generate_stream(crate::encode::quantize_unipolar(value, width), len, &mut lfsr)
+    }
+
+    #[test]
+    fn and_mul_approximates_product_for_decorrelated_lfsrs() {
+        let len = 256;
+        for (x, y) in [(0.5f32, 0.5f32), (0.25, 0.75), (0.9, 0.3)] {
+            let a = stream(8, 1, 0, x, len);
+            let b = stream(8, 97, 1, y, len);
+            let p = and_mul(&a, &b).unwrap();
+            let err = (p.value() - f64::from(x) * f64::from(y)).abs();
+            assert!(err < 0.08, "x={x} y={y} err={err}");
+        }
+    }
+
+    #[test]
+    fn and_mul_with_correlated_streams_computes_min_not_product() {
+        // Same seed, same polynomial: fully correlated → AND gives min(x, y).
+        let a = stream(8, 5, 0, 0.5, 256);
+        let b = stream(8, 5, 0, 0.8, 256);
+        let p = and_mul(&a, &b).unwrap();
+        assert!((p.value() - 0.5).abs() < 0.02, "got {}", p.value());
+    }
+
+    #[test]
+    fn or_acc_matches_analytic_value_for_independent_inputs() {
+        let values = [0.1f32, 0.2, 0.15, 0.05];
+        let streams: Vec<Bitstream> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| stream(8, 31 * (i as u32 + 1) + 7, i % 2, v, 256))
+            .collect();
+        let acc = or_acc(&streams).unwrap();
+        let expected = or_expected(values.iter().map(|&v| f64::from(v)));
+        assert!(
+            (acc.value() - expected).abs() < 0.08,
+            "got {} expected {expected}",
+            acc.value()
+        );
+    }
+
+    #[test]
+    fn or_acc_split_accumulates_halves_independently() {
+        let mut r = Lfsr::new(7, 3).unwrap();
+        let a = crate::sng::generate_split(0.4, 128, &mut r);
+        let mut r2 = Lfsr::new(7, 55).unwrap();
+        let b = crate::sng::generate_split(-0.3, 128, &mut r2);
+        let acc = or_acc_split([&a, &b]).unwrap();
+        assert!(acc.pos.count_ones() > 0);
+        assert!(acc.neg.count_ones() > 0);
+        // Positive half only saw a's positive part.
+        assert_eq!(acc.pos, a.pos);
+        assert_eq!(acc.neg, b.neg);
+    }
+
+    #[test]
+    fn or_acc_rejects_empty_and_mismatched() {
+        assert_eq!(or_acc(std::iter::empty()), Err(ScError::EmptyInput));
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(16);
+        assert!(or_acc([&a, &b]).is_err());
+    }
+
+    #[test]
+    fn mux_add_halves_the_sum() {
+        let a = stream(8, 3, 0, 0.6, 256);
+        let b = stream(8, 41, 1, 0.2, 256);
+        let mut sel_rng = Lfsr::with_polynomial(8, 0, 77).unwrap();
+        sel_rng.reset();
+        let sel = generate_stream(128, 256, &mut sel_rng);
+        let out = mux_add(&a, &b, &sel).unwrap();
+        assert!((out.value() - 0.4).abs() < 0.08, "got {}", out.value());
+    }
+
+    #[test]
+    fn mux_add_length_checks() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(8);
+        let sel = Bitstream::zeros(9);
+        assert!(mux_add(&a, &b, &sel).is_err());
+        assert!(mux_add(&a, &Bitstream::zeros(9), &sel).is_err());
+    }
+
+    #[test]
+    fn parallel_count_is_exact_sum() {
+        let streams: Vec<Bitstream> = (0..5)
+            .map(|i| Bitstream::from_fn(100, move |c| (c + i) % 4 == 0))
+            .collect();
+        let expected: u64 = streams.iter().map(|s| u64::from(s.count_ones())).sum();
+        assert_eq!(parallel_count(&streams).unwrap(), expected);
+        assert_eq!(parallel_count(std::iter::empty()).unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_count_detects_mismatch() {
+        let a = Bitstream::zeros(8);
+        let b = Bitstream::zeros(9);
+        assert!(parallel_count([&a, &b]).is_err());
+    }
+
+    #[test]
+    fn cycle_counts_sum_to_parallel_count() {
+        let streams: Vec<Bitstream> = (0..4)
+            .map(|i| Bitstream::from_fn(64, move |c| (c * (i + 2)) % 5 < 2))
+            .collect();
+        let refs: Vec<&Bitstream> = streams.iter().collect();
+        let counts = cycle_counts(&refs).unwrap();
+        assert_eq!(counts.len(), 64);
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(total, parallel_count(&streams).unwrap());
+        assert!(cycle_counts(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn or_expected_known_values() {
+        assert!((or_expected([0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert!((or_expected([0.0, 0.0]) - 0.0).abs() < 1e-12);
+        assert!((or_expected([1.0, 0.3]) - 1.0).abs() < 1e-12);
+        assert!(or_expected(std::iter::empty()) == 0.0);
+    }
+
+    #[test]
+    fn and_mul_split_routes_through_activation() {
+        let mut ra = Lfsr::new(7, 9).unwrap();
+        let act = crate::sng::generate_unipolar(0.5, 128, &mut ra);
+        let mut rw = Lfsr::with_polynomial(7, 1, 33).unwrap();
+        let w = crate::sng::generate_split(-0.6, 128, &mut rw);
+        let p = and_mul_split(&act, &w).unwrap();
+        assert_eq!(p.pos.count_ones(), 0);
+        assert!((p.value() + 0.3).abs() < 0.08, "got {}", p.value());
+    }
+}

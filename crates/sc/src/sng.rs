@@ -1,0 +1,199 @@
+//! Stochastic number generators: comparator of a target value against a
+//! per-cycle random number.
+//!
+//! A stream of length `L` for target level `q` (out of `2^w`) has a one at
+//! every cycle where `rng() < q`. With a maximal-length LFSR of width `w`
+//! and `L = 2^w`, the ones count is exact to within one bit — the "almost
+//! accurate generation" of paper §II-A.
+
+use crate::bitstream::Bitstream;
+use crate::encode::{quantize_unipolar, SplitStream, SplitValue};
+use crate::rng::StreamRng;
+
+/// Generates a stream of `len` cycles for quantized target `level`
+/// (`0..=2^rng.width()`), consuming `len` values from `rng`.
+///
+/// The caller controls whether `rng` is reset beforehand; sharing one
+/// running RNG across several calls models hardware RNG sharing.
+///
+/// # Examples
+///
+/// ```
+/// use geo_sc::{generate_stream, Lfsr, StreamRng};
+///
+/// # fn main() -> Result<(), geo_sc::ScError> {
+/// let mut lfsr = Lfsr::new(7, 1)?;
+/// let s = generate_stream(64, 128, &mut lfsr);
+/// // target 64 of 128 levels = 0.5, exact to 1 bit over a full period.
+/// assert!((s.value() - 0.5).abs() < 0.02);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate_stream(level: u32, len: usize, rng: &mut dyn StreamRng) -> Bitstream {
+    Bitstream::from_fn(len, |_| rng.next_value() < level)
+}
+
+/// Generates a unipolar stream for `x ∈ [0, 1]`, quantized to the RNG width.
+///
+/// Resets deterministic RNGs first so the same `(x, rng)` pair always yields
+/// the same stream — the repeatability GEO trains for.
+pub fn generate_unipolar(x: f32, len: usize, rng: &mut dyn StreamRng) -> Bitstream {
+    rng.reset();
+    let level = quantize_unipolar(x, rng.width());
+    generate_stream(level, len, rng)
+}
+
+/// Generates a split-unipolar stream pair for `w ∈ [-1, 1]`.
+///
+/// Both halves draw from the same RNG sequence (each half resets the RNG),
+/// matching hardware where one LFSR feeds both comparators; since one half's
+/// target is zero this costs nothing in correlation.
+pub fn generate_split(w: f32, len: usize, rng: &mut dyn StreamRng) -> SplitStream {
+    let sv = SplitValue::new(w);
+    let pos = generate_unipolar(sv.pos, len, rng);
+    let neg = generate_unipolar(sv.neg, len, rng);
+    SplitStream::new(pos, neg)
+}
+
+/// A value-indexed stream lookup table for one RNG lane.
+///
+/// GEO shares each RNG across all kernels of a layer, so the stream for a
+/// given quantized value on a given lane is fixed. Precomputing all
+/// `2^w + 1` target levels turns stream generation during simulation into a
+/// table lookup, which is what makes SC-in-the-loop training tractable.
+#[derive(Debug, Clone)]
+pub struct StreamTable {
+    len: usize,
+    width: u8,
+    streams: Vec<Bitstream>,
+}
+
+impl StreamTable {
+    /// Precomputes streams of `len` cycles for every level `0..=2^w` of
+    /// `rng` (which is reset before each level).
+    pub fn new(len: usize, rng: &mut dyn StreamRng) -> Self {
+        let width = rng.width();
+        let levels = (1usize << width) + 1;
+        let mut streams = Vec::with_capacity(levels);
+        for level in 0..levels as u32 {
+            rng.reset();
+            streams.push(generate_stream(level, len, rng));
+        }
+        StreamTable {
+            len,
+            width,
+            streams,
+        }
+    }
+
+    /// Stream length in cycles.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether streams have zero cycles.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// RNG width the table was built for.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The stream for quantized `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 2^width`.
+    pub fn stream(&self, level: u32) -> &Bitstream {
+        &self.streams[level as usize]
+    }
+
+    /// The stream for a real value `x ∈ [0, 1]`.
+    pub fn stream_for(&self, x: f32) -> &Bitstream {
+        self.stream(quantize_unipolar(x, self.width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::rng::{SobolRng, TrngRng};
+
+    #[test]
+    fn lfsr_generation_is_near_exact_over_full_period() {
+        // Stream length 2^n with an n-bit LFSR: ones count within 1 of target.
+        for width in [4u8, 6, 8] {
+            let len = 1usize << width;
+            let mut lfsr = Lfsr::new(width, 3).unwrap();
+            for level in 0..=(1u32 << width) {
+                lfsr.reset();
+                let s = generate_stream(level, len, &mut lfsr);
+                let err = i64::from(s.count_ones()) - i64::from(level);
+                assert!(err.abs() <= 1, "width {width} level {level}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_repeatable_for_lfsr_not_for_trng() {
+        let mut lfsr = Lfsr::new(8, 17).unwrap();
+        let a = generate_unipolar(0.3, 256, &mut lfsr);
+        let b = generate_unipolar(0.3, 256, &mut lfsr);
+        assert_eq!(a, b);
+
+        let mut trng = TrngRng::new(8, 17);
+        let a = generate_unipolar(0.3, 256, &mut trng);
+        let b = generate_unipolar(0.3, 256, &mut trng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sobol_generation_is_exact() {
+        let mut ld = SobolRng::new(8, 0);
+        for level in [0u32, 1, 77, 128, 255, 256] {
+            ld.reset();
+            let s = generate_stream(level, 256, &mut ld);
+            assert_eq!(s.count_ones(), level, "LD sequences are exact per-stream");
+        }
+    }
+
+    #[test]
+    fn split_generation_routes_sign() {
+        let mut lfsr = Lfsr::new(7, 5).unwrap();
+        let s = generate_split(-0.5, 128, &mut lfsr);
+        assert_eq!(s.pos.count_ones(), 0);
+        assert!((s.value() + 0.5).abs() < 0.02);
+        let s = generate_split(0.5, 128, &mut lfsr);
+        assert_eq!(s.neg.count_ones(), 0);
+    }
+
+    #[test]
+    fn stream_table_matches_direct_generation() {
+        let mut lfsr = Lfsr::new(6, 9).unwrap();
+        let table = StreamTable::new(64, &mut lfsr);
+        for level in [0u32, 5, 32, 64] {
+            lfsr.reset();
+            let direct = generate_stream(level, 64, &mut lfsr);
+            assert_eq!(table.stream(level), &direct);
+        }
+        assert_eq!(table.width(), 6);
+        assert_eq!(table.len(), 64);
+        assert!(!table.is_empty());
+        assert_eq!(table.stream_for(0.5).count_ones(), table.stream(32).count_ones());
+    }
+
+    #[test]
+    fn monotone_levels_give_monotone_counts_for_lfsr() {
+        let mut lfsr = Lfsr::new(8, 1).unwrap();
+        let table = StreamTable::new(256, &mut lfsr);
+        let mut prev = 0u32;
+        for level in 0..=256u32 {
+            let c = table.stream(level).count_ones();
+            assert!(c >= prev, "level {level}");
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests on the SC substrate's core invariants.
+
+use geo_sc::{
+    generate_stream, generate_unipolar, metrics, ops, quantize_unipolar, Bitstream, Lfsr,
+    SobolRng, SplitValue, StreamRng,
+};
+use proptest::prelude::*;
+
+fn bitstream_strategy(max_len: usize) -> impl Strategy<Value = Bitstream> {
+    prop::collection::vec(any::<bool>(), 1..max_len).prop_map(Bitstream::from_bits)
+}
+
+fn paired_streams(max_len: usize) -> impl Strategy<Value = (Bitstream, Bitstream)> {
+    (1..max_len).prop_flat_map(|len| {
+        (
+            prop::collection::vec(any::<bool>(), len..=len).prop_map(Bitstream::from_bits),
+            prop::collection::vec(any::<bool>(), len..=len).prop_map(Bitstream::from_bits),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_is_between_zero_and_one(s in bitstream_strategy(300)) {
+        prop_assert!(s.value() >= 0.0 && s.value() <= 1.0);
+    }
+
+    #[test]
+    fn and_value_never_exceeds_either_operand((a, b) in paired_streams(300)) {
+        let p = ops::and_mul(&a, &b).unwrap();
+        prop_assert!(p.value() <= a.value() + 1e-12);
+        prop_assert!(p.value() <= b.value() + 1e-12);
+    }
+
+    #[test]
+    fn or_value_bounded_by_sum_and_max((a, b) in paired_streams(300)) {
+        let o = ops::or_acc([&a, &b]).unwrap();
+        prop_assert!(o.value() + 1e-12 >= a.value().max(b.value()));
+        prop_assert!(o.value() <= a.value() + b.value() + 1e-12);
+    }
+
+    #[test]
+    fn de_morgan_holds_on_streams((a, b) in paired_streams(200)) {
+        let lhs = !&(&a & &b);
+        let rhs = &(!&a) | &(!&b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn complement_value_sums_to_one(s in bitstream_strategy(300)) {
+        let n = !&s;
+        prop_assert!((s.value() + n.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scc_is_within_unit_interval((a, b) in paired_streams(300)) {
+        let c = metrics::scc(&a, &b).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&c), "scc {}", c);
+    }
+
+    #[test]
+    fn lfsr_stream_value_tracks_target(width in 4u8..=10, seed in 0u32..1000, x in 0f32..=1.0) {
+        let len = 1usize << width;
+        let mut lfsr = Lfsr::new(width, seed).unwrap();
+        let s = generate_unipolar(x, len, &mut lfsr);
+        let q = quantize_unipolar(x, width);
+        let expected = f64::from(q) / f64::from(1u32 << width);
+        // Maximal-length LFSR: at most one bit of generation error.
+        prop_assert!((s.value() - expected).abs() <= 2.0 / len as f64 + 1e-9);
+    }
+
+    #[test]
+    fn lfsr_generation_is_repeatable(width in 3u8..=12, seed in 0u32..5000, level in 0u32..256) {
+        let len = 64usize;
+        let mut l1 = Lfsr::new(width, seed).unwrap();
+        let mut l2 = Lfsr::new(width, seed).unwrap();
+        let level = level.min(1 << width);
+        l1.reset();
+        l2.reset();
+        let a = generate_stream(level, len, &mut l1);
+        let b = generate_stream(level, len, &mut l2);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sobol_stream_is_exact_over_full_window(width in 3u8..=10, level_frac in 0f32..=1.0) {
+        let len = 1usize << width;
+        let level = quantize_unipolar(level_frac, width);
+        let mut ld = SobolRng::new(width, 0);
+        ld.reset();
+        let s = generate_stream(level, len, &mut ld);
+        prop_assert_eq!(s.count_ones(), level);
+    }
+
+    #[test]
+    fn split_value_reconstructs(w in -1.5f32..=1.5) {
+        let s = SplitValue::new(w);
+        prop_assert!((s.value() - w.clamp(-1.0, 1.0)).abs() < 1e-6);
+        prop_assert!(s.pos * s.neg == 0.0, "one side must be zero");
+    }
+
+    #[test]
+    fn parallel_count_is_linear(streams in prop::collection::vec(
+        prop::collection::vec(any::<bool>(), 64..=64).prop_map(Bitstream::from_bits), 1..10)) {
+        let total = ops::parallel_count(&streams).unwrap();
+        let by_hand: u64 = streams.iter().map(|s| u64::from(s.count_ones())).sum();
+        prop_assert_eq!(total, by_hand);
+    }
+
+    #[test]
+    fn apc_overcounts_never_undercounts(streams in prop::collection::vec(
+        prop::collection::vec(any::<bool>(), 32..=32).prop_map(Bitstream::from_bits), 2..8)) {
+        // 2·(a∧b) + (a∨b) ≥ a + b cycle-wise, so APC error is one-sided.
+        let exact = geo_sc::apc::exact_count(&streams);
+        let approx = geo_sc::apc::apc_count(&streams, 3).unwrap();
+        prop_assert!(approx >= exact, "approx {} < exact {}", approx, exact);
+    }
+
+    #[test]
+    fn progressive_error_confined_to_early_cycles(value in any::<u8>(), width in 4u8..=8) {
+        let mut lfsr = Lfsr::new(width, 29).unwrap();
+        let sng = geo_sc::ProgressiveSng::new(value);
+        let prog = sng.generate(128, &mut lfsr);
+        let norm = sng.generate_normal(128, &mut lfsr);
+        let boundary = geo_sc::progressive::first_exact_cycle(width) as usize;
+        for c in boundary..128 {
+            prop_assert_eq!(prog.get(c), norm.get(c));
+        }
+    }
+}

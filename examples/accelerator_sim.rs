@@ -1,0 +1,69 @@
+//! Drive the GEO accelerator model: compile the paper's CIFAR-10 CNN-4 to
+//! the ULP design point, inspect the program, and simulate latency, energy
+//! and the per-module breakdown.
+//!
+//! Run: `cargo run --release --example accelerator_sim`
+
+use geo::arch::{compiler, perfsim, AccelConfig, Category, NetworkDesc};
+
+fn main() {
+    let net = NetworkDesc::cnn4_cifar();
+    let accel = AccelConfig::ulp_geo(32, 64);
+    println!(
+        "network: {} ({} MMACs, {} kweights)",
+        net.name,
+        net.total_macs() / 1_000_000,
+        net.total_weights() / 1000
+    );
+    println!(
+        "accelerator: {} — {} MACs, {} rows, {:.2} mm², {} MHz @ {:.2} V",
+        accel.name,
+        accel.macs(),
+        accel.rows,
+        accel.total_area_mm2(),
+        accel.operating_point().freq_mhz,
+        accel.operating_point().voltage,
+    );
+
+    // Compile to the GEO ISA.
+    let program = compiler::compile(&net, &accel);
+    println!();
+    println!(
+        "compiled: {} instructions, {} generate passes, {} layers",
+        program.instrs.len(),
+        program.generate_count(),
+        program.layer_starts.len()
+    );
+    println!("first instructions:");
+    for line in program.listing().lines().take(6) {
+        println!("  {line}");
+    }
+
+    // Simulate.
+    let report = perfsim::simulate(&accel, &program);
+    println!();
+    println!("simulation:");
+    println!("  cycles / frame : {}", report.cycles);
+    println!("  latency        : {:.1} µs", report.seconds * 1e6);
+    println!("  throughput     : {:.0} frames/s", report.fps);
+    println!("  energy / frame : {:.2} µJ", report.energy_j * 1e6);
+    println!("  efficiency     : {:.0} frames/J", report.frames_per_joule);
+    println!("  average power  : {:.1} mW", report.power_mw);
+
+    println!();
+    println!("dynamic-energy breakdown:");
+    let total: f64 = report.breakdown_pj.iter().map(|(_, e)| e).sum();
+    for cat in Category::ALL {
+        let e = report
+            .breakdown_pj
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0);
+        println!("  {:<18} {:>5.1}%", cat.label(), 100.0 * e / total);
+    }
+    println!(
+        "  leakage            {:>5.1}% of total energy",
+        100.0 * report.leakage_pj / (total + report.leakage_pj)
+    );
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table and figure; outputs land in results/.
+set -u
+cd /root/repo
+R=results
+run() { echo "=== $1 ==="; shift; "$@" 2>&1; }
+B="cargo run --release -q -p geo-bench --bin"
+run fig5       $B fig5_mac_area                 > $R/fig5.txt
+run fig3       $B fig2_progressive -- --schedule > $R/fig3_schedule.txt
+run fig6       $B fig6_breakdown -- --detail     > $R/fig6.txt
+run table2     $B table2_ulp                     > $R/table2.txt
+run table3     $B table3_lp                      > $R/table3.txt
+run dataflow   $B dataflow_accesses              > $R/dataflow.txt
+run fig2       $B fig2_progressive               > $R/fig2.txt
+run fig2net    $B fig2_progressive -- --network  > $R/fig2_network.txt
+run fig1       $B fig1_sharing                   > $R/fig1.txt
+run table1     $B table1_accuracy -- --ablations > $R/table1.txt
+run ablations  $B ablation_sweeps                > $R/ablation_sweeps.txt
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,25 @@
+//! # geo — reproduction of the GEO stochastic-computing accelerator
+//!
+//! Facade crate re-exporting the library surface of the GEO reproduction
+//! ("GEO: Generation and Execution Optimized Stochastic Computing
+//! Accelerator for Neural Networks", DATE 2021):
+//!
+//! * [`sc`] — stochastic-computing substrate (bitstreams, LFSRs, SNGs,
+//!   progressive generation, SC arithmetic).
+//! * [`nn`] — neural-network substrate (tensors, layers, training,
+//!   quantization, synthetic datasets, model builders).
+//! * [`core`] — the GEO engine: shared generation, partial binary
+//!   accumulation, SC-in-the-loop training.
+//! * [`arch`] — the accelerator model: ISA, compiler, performance/energy
+//!   simulator, and baselines.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs and
+//! `crates/bench` for the harnesses that regenerate every table and figure
+//! of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use geo_arch as arch;
+pub use geo_core as core;
+pub use geo_nn as nn;
+pub use geo_sc as sc;

@@ -1,0 +1,110 @@
+//! Cross-crate integration: train a network SC-in-the-loop (geo-core on
+//! geo-nn with geo-sc streams), then compile and simulate the *same* model
+//! on the accelerator (geo-arch) — the full pipeline a user of the GEO
+//! release would run.
+
+use geo::arch::{compiler, perfsim, AccelConfig, NetworkDesc};
+use geo::core::{evaluate_sc, train_sc, Accumulation, GeoConfig, ScEngine};
+use geo::nn::datasets::{generate, DatasetSpec};
+use geo::nn::optim::Optimizer;
+use geo::nn::train::TrainConfig;
+use geo::nn::{models, Tensor};
+
+#[test]
+fn train_then_deploy_pipeline() {
+    // 1. Data + model.
+    let (train_ds, test_ds) = generate(&DatasetSpec::mnist_like(9).with_samples(64, 32));
+    let mut model = models::lenet5(1, 8, 10, 4);
+
+    // 2. SC-in-the-loop training at GEO-32,64.
+    let config = GeoConfig::geo(32, 64);
+    let mut engine = ScEngine::new(config).expect("valid config");
+    let mut opt = Optimizer::paper_default();
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 16,
+        seed: 0,
+    };
+    let history = train_sc(&mut engine, &mut model, &train_ds, &mut opt, &cfg).expect("training");
+    assert!(history.final_loss().unwrap() < history.losses[0]);
+    let acc = evaluate_sc(&mut engine, &mut model, &test_ds).expect("evaluation");
+    assert!(acc > 0.15, "trained SC accuracy {acc}");
+
+    // 3. Deploy: trace the model's shapes and simulate it on the ULP
+    //    accelerator at the same stream configuration.
+    let net = NetworkDesc::from_model("lenet5-small", &model, (1, 8, 8));
+    assert_eq!(net.layers.len(), 4); // 2 conv + 2 fc
+    let accel = AccelConfig::ulp_geo(32, 64);
+    let program = compiler::compile(&net, &accel);
+    let report = perfsim::simulate(&accel, &program);
+    assert!(report.fps > 1_000.0, "deployed fps {}", report.fps);
+    assert!(report.energy_j > 0.0 && report.energy_j.is_finite());
+}
+
+#[test]
+fn stream_plan_matches_compiler_stream_assignment() {
+    // The engine's per-layer stream plan and the compiler's stream-cycle
+    // assignment must agree on which layers are pooled.
+    let model = models::cnn4(3, 8, 10, 0);
+    let engine = ScEngine::new(GeoConfig::geo(16, 64)).expect("valid config");
+    let plan: Vec<usize> = engine
+        .stream_plan(&model)
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(plan, vec![16, 16, 64, 128]);
+
+    let net = NetworkDesc::from_model("cnn4", &model, (3, 8, 8));
+    let pooled: Vec<bool> = net.layers.iter().map(|l| l.pooled()).collect();
+    assert_eq!(pooled, vec![true, true, false, false]);
+}
+
+#[test]
+fn accumulation_modes_order_consistently_across_stack() {
+    // The area model (geo-arch) and the accuracy engine (geo-core) must
+    // tell the same story: more fixed-point accumulation costs more area
+    // and recovers more dynamic range.
+    use geo::sc::KernelDims;
+    let dims = KernelDims::new(1, 32, 5, 5);
+    let area =
+        |m: Accumulation| geo::arch::mac_area::sc_mac_unit(dims, m).area_um2;
+    assert!(area(Accumulation::Or) <= area(Accumulation::Pbw));
+    assert!(area(Accumulation::Pbw) <= area(Accumulation::Pbhw));
+    assert!(area(Accumulation::Pbhw) <= area(Accumulation::Fxp));
+
+    // Range: run one conv layer with all-positive weights.
+    use geo::nn::{Conv2d, Layer, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut conv = Conv2d::new(3, 2, 3, 1, 0, false, &mut rng);
+    for v in conv.weight.value.data_mut() {
+        *v = v.abs().max(0.2);
+    }
+    let mut model = Sequential::new(vec![Layer::Conv2d(conv)]);
+    let x = Tensor::full(&[1, 3, 6, 6], 0.5);
+    let mean = |mode: Accumulation, model: &mut Sequential| {
+        let mut eng = ScEngine::new(
+            GeoConfig::geo(128, 128)
+                .with_progressive(false)
+                .with_accumulation(mode),
+        )
+        .expect("valid config");
+        let out = eng.forward(model, &x, false).expect("forward");
+        out.data().iter().sum::<f32>() / out.len() as f32
+    };
+    let or_mean = mean(Accumulation::Or, &mut model);
+    let pbw_mean = mean(Accumulation::Pbw, &mut model);
+    let fxp_mean = mean(Accumulation::Fxp, &mut model);
+    assert!(or_mean <= pbw_mean + 1e-6);
+    assert!(pbw_mean <= fxp_mean + 1e-6);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Every sub-crate is reachable through the facade.
+    let _ = geo::sc::Bitstream::zeros(8);
+    let _ = geo::nn::Tensor::zeros(&[2, 2]);
+    let _ = geo::core::GeoConfig::geo(32, 64);
+    let _ = geo::arch::NetworkDesc::lenet5_mnist();
+}

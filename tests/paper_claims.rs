@@ -1,0 +1,170 @@
+//! Integration tests pinning the paper's *qualitative claims* — the shape
+//! of every headline result, at CI-friendly scale. The full-magnitude runs
+//! live in `crates/bench`; these tests fail if a code change breaks a
+//! trend the paper depends on.
+
+use geo::arch::baselines::EyerissConfig;
+use geo::arch::{perfsim, AccelConfig, NetworkDesc};
+use geo::core::{evaluate_sc, train_sc, Accumulation, GeoConfig, ScEngine};
+use geo::nn::datasets::{generate, DatasetSpec};
+use geo::nn::optim::Optimizer;
+use geo::nn::train::TrainConfig;
+use geo::nn::{models, Sequential};
+use geo::sc::{RngKind, SharingLevel};
+
+fn quick_train(config: GeoConfig, seed: u64) -> f32 {
+    let (train_ds, test_ds) = generate(&DatasetSpec::svhn_like(seed).with_samples(96, 48));
+    let mut model = models::cnn4(3, 8, 10, 0);
+    let mut engine = ScEngine::new(config).expect("valid config");
+    let mut opt = Optimizer::paper_default();
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 16,
+        seed: 0,
+    };
+    train_sc(&mut engine, &mut model, &train_ds, &mut opt, &cfg).expect("training");
+    evaluate_sc(&mut engine, &mut model, &test_ds).expect("evaluation")
+}
+
+/// Fig. 1's core claim: trained, moderately-shared LFSR generation beats
+/// unshared TRNG generation.
+#[test]
+fn fig1_lfsr_moderate_sharing_beats_unshared_trng() {
+    let base = GeoConfig {
+        accumulation: Accumulation::Or,
+        progressive: false,
+        ..GeoConfig::geo(64, 64)
+    };
+    let lfsr_moderate = quick_train(base.with_sharing(SharingLevel::Moderate), 11);
+    let trng_none = quick_train(
+        base.with_rng(RngKind::Trng).with_sharing(SharingLevel::None),
+        11,
+    );
+    assert!(
+        lfsr_moderate > trng_none + 0.05,
+        "LFSR+moderate ({lfsr_moderate}) should clearly beat TRNG+none ({trng_none})"
+    );
+}
+
+/// Fig. 1: extreme sharing collapses accuracy even with training.
+#[test]
+fn fig1_extreme_sharing_collapses() {
+    let base = GeoConfig {
+        accumulation: Accumulation::Or,
+        progressive: false,
+        ..GeoConfig::geo(64, 64)
+    };
+    let moderate = quick_train(base.with_sharing(SharingLevel::Moderate), 13);
+    let extreme = quick_train(base.with_sharing(SharingLevel::Extreme), 13);
+    assert!(
+        moderate > extreme + 0.05,
+        "moderate ({moderate}) ≫ extreme ({extreme})"
+    );
+}
+
+/// §III-B: partial binary accumulation (PBW) beats full-OR at short
+/// streams.
+#[test]
+fn pbw_beats_or_at_short_streams() {
+    let pbw = quick_train(GeoConfig::geo(32, 32).with_progressive(false), 17);
+    let or_only = quick_train(
+        GeoConfig::geo(32, 32)
+            .with_progressive(false)
+            .with_accumulation(Accumulation::Or),
+        17,
+    );
+    assert!(
+        pbw > or_only,
+        "PBW ({pbw}) should beat OR-only ({or_only}) at 32-bit streams"
+    );
+}
+
+/// §II-B: progressive generation costs almost no accuracy on a trained
+/// network.
+#[test]
+fn progressive_generation_is_nearly_free() {
+    let (train_ds, test_ds) = generate(&DatasetSpec::svhn_like(19).with_samples(96, 48));
+    let mut model = models::cnn4(3, 8, 10, 0);
+    let cfg_normal = GeoConfig::geo(64, 64).with_progressive(false);
+    let mut engine = ScEngine::new(cfg_normal).expect("valid config");
+    let mut opt = Optimizer::paper_default();
+    train_sc(
+        &mut engine,
+        &mut model,
+        &train_ds,
+        &mut opt,
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            seed: 0,
+        },
+    )
+    .expect("training");
+    let normal = evaluate_sc(&mut engine, &mut model, &test_ds).expect("eval");
+    let mut prog_engine =
+        ScEngine::new(cfg_normal.with_progressive(true)).expect("valid config");
+    let progressive = evaluate_sc(&mut prog_engine, &mut model, &test_ds).expect("eval");
+    assert!(
+        (normal - progressive).abs() < 0.12,
+        "progressive ({progressive}) should track normal ({normal})"
+    );
+}
+
+/// Fig. 6 / Table II: the full GEO bundle beats both the unoptimized base
+/// and iso-accuracy ACOUSTIC on latency *and* energy.
+#[test]
+fn geo_wins_fig6_and_table2_comparisons() {
+    let net = NetworkDesc::cnn4_cifar();
+    let base = perfsim::run(&AccelConfig::ulp_base(), &net);
+    let gen = perfsim::run(&AccelConfig::ulp_gen(), &net);
+    let full = perfsim::run(&AccelConfig::ulp_gen_exec(), &net);
+    let acoustic = perfsim::run(&AccelConfig::acoustic_ulp(128), &net);
+    // Monotone improvement along the Fig. 6 progression.
+    assert!(gen.seconds < base.seconds);
+    assert!(full.seconds < gen.seconds);
+    assert!(gen.energy_j < base.energy_j);
+    assert!(full.energy_j < gen.energy_j);
+    // And the headline ratios point the right way with real margin.
+    assert!(base.seconds / full.seconds > 2.5);
+    assert!(base.energy_j / full.energy_j > 2.5);
+    assert!(acoustic.seconds / full.seconds > 2.0);
+    assert!(acoustic.energy_j / full.energy_j > 2.0);
+    // Area stays within a few percent (Fig. 6: −1%…+2%).
+    assert!((full.area_mm2 / base.area_mm2 - 1.0).abs() < 0.05);
+}
+
+/// Table II/III: GEO outperforms the iso-area fixed-point baseline in
+/// throughput and energy efficiency.
+#[test]
+fn geo_beats_iso_area_eyeriss() {
+    let net = NetworkDesc::cnn4_cifar();
+    let geo = perfsim::run(&AccelConfig::ulp_geo(32, 64), &net);
+    let eyeriss = EyerissConfig::ulp_4bit().simulate(&net);
+    assert!(
+        (geo.area_mm2 / eyeriss.area_mm2 - 1.0).abs() < 0.35,
+        "iso-area comparison: {} vs {}",
+        geo.area_mm2,
+        eyeriss.area_mm2
+    );
+    assert!(geo.fps > eyeriss.fps * 2.0);
+    assert!(geo.frames_per_joule > eyeriss.frames_per_joule * 1.5);
+
+    let vgg = NetworkDesc::vgg16_scaled_cifar();
+    let geo_lp = perfsim::run(&AccelConfig::lp_geo(64, 128), &vgg);
+    let eyeriss_lp = EyerissConfig::lp_8bit().simulate(&vgg);
+    assert!(geo_lp.fps > eyeriss_lp.fps * 2.0);
+    assert!(geo_lp.frames_per_joule > eyeriss_lp.frames_per_joule * 1.5);
+}
+
+/// §IV-A: LFSR inference is bit-exact reproducible — the property the
+/// whole training story rests on.
+#[test]
+fn lfsr_inference_is_reproducible_across_engines() {
+    let mut model: Sequential = models::cnn4(3, 8, 10, 7);
+    let x = geo::nn::Tensor::full(&[2, 3, 8, 8], 0.5);
+    let mut e1 = ScEngine::new(GeoConfig::geo(32, 64)).expect("valid config");
+    let mut e2 = ScEngine::new(GeoConfig::geo(32, 64)).expect("valid config");
+    let a = e1.forward(&mut model, &x, false).expect("forward");
+    let b = e2.forward(&mut model, &x, false).expect("forward");
+    assert_eq!(a.data(), b.data());
+}
