@@ -323,8 +323,9 @@ impl AccelConfig {
                     modules::sng_comparator(self.opts.lfsr_bits.min(8))
                         .times(self.weight_sngs() as f64),
                 ),
-            Category::WgtSngBuffers => modules::sng_buffer(self.opts.progressive_shadow)
-                .times(self.weight_sngs() as f64),
+            Category::WgtSngBuffers => {
+                modules::sng_buffer(self.opts.progressive_shadow).times(self.weight_sngs() as f64)
+            }
             Category::OutputConv => {
                 let converters = (self.rows * self.positions_per_pass) as f64;
                 let counter_bits = if self.opts.partial_binary { 18 } else { 16 };

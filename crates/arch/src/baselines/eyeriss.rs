@@ -112,8 +112,7 @@ impl EyerissConfig {
                 .map(|l| l.input_activations() as f64 * 2.0 + l.outputs() as f64)
                 .sum::<f64>())
             * bytes_per_elem;
-        let dyn_pj = macs * mac_energy_pj(self.bits)
-            + buffer_traffic * self.buffer.pj_per_byte();
+        let dyn_pj = macs * mac_energy_pj(self.bits) + buffer_traffic * self.buffer.pj_per_byte();
         let mut external_pj = 0.0;
         if let Some(hbm) = &self.external {
             // External traffic: weights once, plus activation/psum spills
@@ -180,7 +179,11 @@ mod tests {
         let r = EyerissConfig::ulp_4bit().simulate(&NetworkDesc::cnn4_cifar());
         // Table II: Eyeriss-4bit ≈ 5.2k CIFAR frames/s.
         assert!(r.fps > 500.0 && r.fps < 50_000.0, "fps {}", r.fps);
-        assert!(r.power_mw > 1.0 && r.power_mw < 500.0, "power {}", r.power_mw);
+        assert!(
+            r.power_mw > 1.0 && r.power_mw < 500.0,
+            "power {}",
+            r.power_mw
+        );
     }
 
     #[test]

@@ -139,7 +139,9 @@ pub fn compile(net: &NetworkDesc, accel: &AccelConfig) -> Program {
             layer.outputs()
         };
         if near_mem {
-            prog.push(Instr::NearMemBatchNorm { elements: out_elems });
+            prog.push(Instr::NearMemBatchNorm {
+                elements: out_elems,
+            });
         }
         prog.push(Instr::WriteActivations { bytes: out_elems });
         prog.push(Instr::Sync);
@@ -241,10 +243,10 @@ mod tests {
             wgt_with + act_with
         );
         // And no near-memory instructions are emitted.
-        assert!(p_without
-            .instrs
-            .iter()
-            .all(|i| !matches!(i, Instr::NearMemAccumulate { .. } | Instr::NearMemBatchNorm { .. })));
+        assert!(p_without.instrs.iter().all(|i| !matches!(
+            i,
+            Instr::NearMemAccumulate { .. } | Instr::NearMemBatchNorm { .. }
+        )));
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::TruncatedStream { len } => {
-                write!(f, "stream of {len} bytes is not a whole number of instructions")
+                write!(
+                    f,
+                    "stream of {len} bytes is not a whole number of instructions"
+                )
             }
             DecodeError::UnknownOpcode { opcode, index } => {
                 write!(f, "unknown opcode {opcode:#04x} at instruction {index}")
@@ -77,7 +80,11 @@ pub fn encode_instr(instr: &Instr, buf: &mut Vec<u8>) {
         Instr::Generate {
             cycles,
             active_macs,
-        } => put(buf, OP_GEN, (cycles & 0xFFF_FFFF) | ((active_macs & 0xFFF_FFFF) << 28)),
+        } => put(
+            buf,
+            OP_GEN,
+            (cycles & 0xFFF_FFFF) | ((active_macs & 0xFFF_FFFF) << 28),
+        ),
         Instr::NearMemAccumulate { elements } => put(buf, OP_NMACC, elements),
         Instr::NearMemBatchNorm { elements } => put(buf, OP_NMBN, elements),
         Instr::WriteActivations { bytes } => put(buf, OP_STA, bytes),
@@ -101,7 +108,7 @@ pub fn encode(program: &Program) -> Vec<u8> {
 ///
 /// Returns [`DecodeError`] for truncated streams or unknown opcodes.
 pub fn decode(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
-    if bytes.len() % INSTR_BYTES != 0 {
+    if !bytes.len().is_multiple_of(INSTR_BYTES) {
         return Err(DecodeError::TruncatedStream { len: bytes.len() });
     }
     let mut out = Vec::with_capacity(bytes.len() / INSTR_BYTES);
@@ -209,7 +216,10 @@ mod tests {
         buf.extend_from_slice(&[0; 7]);
         assert!(matches!(
             decode(&buf).unwrap_err(),
-            DecodeError::UnknownOpcode { opcode: 0xFF, index: 0 }
+            DecodeError::UnknownOpcode {
+                opcode: 0xFF,
+                index: 0
+            }
         ));
         let e = DecodeError::TruncatedStream { len: 7 };
         assert!(!e.to_string().is_empty());

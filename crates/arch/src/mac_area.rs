@@ -67,9 +67,7 @@ pub fn sc_mac_unit(dims: KernelDims, mode: Accumulation) -> BlockCost {
                 .plus(parallel_counter(dims.h * dims.w).times(both_halves))
         }
         Accumulation::Fxp => multipliers.plus(fxp_conversion_fabric(v).times(both_halves)),
-        Accumulation::Apc => {
-            multipliers.plus(approximate_parallel_counter(v).times(both_halves))
-        }
+        Accumulation::Apc => multipliers.plus(approximate_parallel_counter(v).times(both_halves)),
     }
 }
 
@@ -150,7 +148,10 @@ mod tests {
                 count += 1;
             }
         }
-        assert!(count >= 7, "FXP should be ≥3× SC for most sizes, got {count}/10");
+        assert!(
+            count >= 7,
+            "FXP should be ≥3× SC for most sizes, got {count}/10"
+        );
     }
 
     #[test]
@@ -159,7 +160,10 @@ mod tests {
         let apc = rel(dims, Accumulation::Apc);
         let pbw = rel(dims, Accumulation::Pbw);
         let fxp = rel(dims, Accumulation::Fxp);
-        assert!(apc > 2.0 * pbw, "APC ≫ PBW for large kernels: {apc} vs {pbw}");
+        assert!(
+            apc > 2.0 * pbw,
+            "APC ≫ PBW for large kernels: {apc} vs {pbw}"
+        );
         assert!(apc < fxp, "APC < FXP: {apc} vs {fxp}");
     }
 

@@ -57,7 +57,10 @@ pub fn sc_multiplier() -> BlockCost {
 /// An OR-accumulation tree over `inputs` streams (per split half):
 /// `inputs − 1` OR gates.
 pub fn or_tree(inputs: usize) -> BlockCost {
-    BlockCost::from_ge((inputs.saturating_sub(1)) as f64 * ge::GATE2, activity::SC_MAC)
+    BlockCost::from_ge(
+        (inputs.saturating_sub(1)) as f64 * ge::GATE2,
+        activity::SC_MAC,
+    )
 }
 
 /// An exact parallel counter over `inputs` one-bit streams: a full-adder
@@ -107,7 +110,10 @@ pub fn accumulator(bits: u8) -> BlockCost {
 /// sums ("parallel counters in the average pooling fabric need to be
 /// adjusted to handle wider inputs" — §III-B).
 pub fn output_converter(counter_bits: u8) -> BlockCost {
-    let sub = BlockCost::from_ge(f64::from(counter_bits) * ge::FULL_ADDER, activity::CONVERTER);
+    let sub = BlockCost::from_ge(
+        f64::from(counter_bits) * ge::FULL_ADDER,
+        activity::CONVERTER,
+    );
     accumulator(counter_bits)
         .times(2.0)
         .plus(sub)
@@ -145,7 +151,10 @@ mod tests {
     fn progressive_shadow_is_quarter_of_full_shadow() {
         let prog = sng_buffer(true).area_um2 - sng_buffer(false).area_um2;
         let full = sng_buffer_full_shadow().area_um2 - sng_buffer(false).area_um2;
-        assert!((full / prog - 4.0).abs() < 1e-9, "4x smaller shadow (§III-D)");
+        assert!(
+            (full / prog - 4.0).abs() < 1e-9,
+            "4x smaller shadow (§III-D)"
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl LayerShape {
     /// Input activation count.
     pub fn input_activations(&self) -> u64 {
         match *self {
-            LayerShape::Conv { cin, in_h, in_w, .. } => (cin * in_h * in_w) as u64,
+            LayerShape::Conv {
+                cin, in_h, in_w, ..
+            } => (cin * in_h * in_w) as u64,
             LayerShape::Fc { inf, .. } => inf as u64,
         }
     }
@@ -286,10 +288,7 @@ impl NetworkDesc {
             inf: 512,
             outf: 512,
         });
-        layers.push(LayerShape::Fc {
-            inf: 512,
-            outf: 10,
-        });
+        layers.push(LayerShape::Fc { inf: 512, outf: 10 });
         NetworkDesc {
             name: "VGG-16 (scaled, CIFAR-10)".into(),
             layers,
@@ -324,7 +323,10 @@ mod tests {
 
     #[test]
     fn fc_shape_math() {
-        let fc = LayerShape::Fc { inf: 1024, outf: 10 };
+        let fc = LayerShape::Fc {
+            inf: 1024,
+            outf: 10,
+        };
         assert_eq!(fc.output_hw(), (1, 1));
         assert_eq!(fc.macs(), 10240);
         assert_eq!(fc.weights(), 10240);
@@ -382,7 +384,9 @@ mod tests {
             _ => panic!("first layer should be conv"),
         }
         match net.layers[2] {
-            LayerShape::Conv { cin, in_h, pooled, .. } => {
+            LayerShape::Conv {
+                cin, in_h, pooled, ..
+            } => {
                 assert_eq!(cin, 24);
                 assert_eq!(in_h, 2);
                 assert!(!pooled);

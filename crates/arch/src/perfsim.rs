@@ -129,8 +129,8 @@ pub fn simulate(accel: &AccelConfig, program: &Program) -> SimReport {
                         Category::ScMacArrays | Category::OutputConv => util,
                         _ => 1.0,
                     };
-                    dyn_pj[cat_idx(cat)] += cat_dyn[cat_idx(cat)] * 1e-3 * c as f64 * scale
-                        * dyn_scale;
+                    dyn_pj[cat_idx(cat)] +=
+                        cat_dyn[cat_idx(cat)] * 1e-3 * c as f64 * scale * dyn_scale;
                 }
             }
             Instr::NearMemAccumulate { elements } | Instr::NearMemBatchNorm { elements } => {
@@ -201,10 +201,18 @@ mod tests {
     #[test]
     fn cnn4_on_ulp_runs_in_plausible_time() {
         let r = run(&AccelConfig::ulp_geo(32, 64), &NetworkDesc::cnn4_cifar());
-        assert!(r.cycles > 1_000 && r.cycles < 10_000_000, "cycles {}", r.cycles);
+        assert!(
+            r.cycles > 1_000 && r.cycles < 10_000_000,
+            "cycles {}",
+            r.cycles
+        );
         assert!(r.fps > 1_000.0, "fps {}", r.fps);
         assert!(r.energy_j > 0.0 && r.energy_j < 1e-3);
-        assert!(r.power_mw > 1.0 && r.power_mw < 2_000.0, "power {}", r.power_mw);
+        assert!(
+            r.power_mw > 1.0 && r.power_mw < 2_000.0,
+            "power {}",
+            r.power_mw
+        );
     }
 
     #[test]
@@ -255,7 +263,10 @@ mod tests {
 
     #[test]
     fn lp_vgg_includes_external_energy() {
-        let r = run(&AccelConfig::lp_geo(64, 128), &NetworkDesc::vgg16_scaled_cifar());
+        let r = run(
+            &AccelConfig::lp_geo(64, 128),
+            &NetworkDesc::vgg16_scaled_cifar(),
+        );
         assert!(r.external_pj > 0.0);
         assert!(r.energy_j_no_external() < r.energy_j);
         assert!(r.fps > 10.0, "VGG fps {}", r.fps);

@@ -32,8 +32,12 @@ pub fn markdown_comparison(reports: &[SimReport]) -> String {
         out.push_str("---|");
     }
     out.push('\n');
-    let rows: Vec<(&str, Box<dyn Fn(&SimReport) -> String>)> = vec![
-        ("cycles/frame", Box::new(|r: &SimReport| si(r.cycles as f64))),
+    type MetricFn = Box<dyn Fn(&SimReport) -> String>;
+    let rows: Vec<(&str, MetricFn)> = vec![
+        (
+            "cycles/frame",
+            Box::new(|r: &SimReport| si(r.cycles as f64)),
+        ),
         ("frames/s", Box::new(|r: &SimReport| si(r.fps))),
         (
             "energy/frame [µJ]",

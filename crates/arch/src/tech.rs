@@ -75,6 +75,30 @@ impl OperatingPoint {
     pub fn period_ns(&self) -> f64 {
         1e3 / self.freq_mhz
     }
+
+    /// Datapath bit-error rate at this supply voltage.
+    ///
+    /// Undervolting erodes timing margin, and near-threshold failure rates
+    /// grow exponentially with the voltage deficit — the standard
+    /// Razor/voltage-speculation observation. We anchor the curve at
+    /// 10⁻⁹ errors/bit at the nominal 0.9 V and let it grow one decade per
+    /// 30 mV below nominal (clamped to 0.5, a fully random bit):
+    ///
+    /// * 0.9 V (nominal) → 10⁻⁹
+    /// * 0.81 V (GEO's DVFS point) → 10⁻⁶
+    /// * 0.72 V (aggressive) → 10⁻³
+    ///
+    /// Feed the result into
+    /// [`geo_sc::fault::FaultModel::stream_ber`] to co-simulate
+    /// accuracy-vs-voltage (the `fault_sweep` bench binary does exactly
+    /// this). Above-nominal voltages round down to the nominal floor.
+    pub fn bit_error_rate(&self) -> f64 {
+        const NOMINAL_V: f64 = 0.9;
+        const BER_NOMINAL: f64 = 1e-9;
+        const VOLTS_PER_DECADE: f64 = 0.03;
+        let deficit = (NOMINAL_V - self.voltage).max(0.0);
+        (BER_NOMINAL * 10f64.powf(deficit / VOLTS_PER_DECADE)).min(0.5)
+    }
 }
 
 /// An area/energy/leakage triple for a hardware block.
@@ -135,6 +159,44 @@ mod tests {
         assert!((p.dynamic_scale() - 1.0).abs() < 1e-12);
         assert!((p.leakage_scale() - 1.0).abs() < 1e-12);
         assert!((p.period_ns() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_curve_hits_anchor_points() {
+        let nominal = OperatingPoint::nominal().bit_error_rate();
+        assert!((nominal - 1e-9).abs() < 1e-12);
+        let dvfs = OperatingPoint::geo_dvfs().bit_error_rate();
+        assert!(
+            (dvfs - 1e-6).abs() / 1e-6 < 1e-6,
+            "0.81 V → 1e-6, got {dvfs}"
+        );
+        // Deep undervolting clamps at a fully random bit.
+        let deep = OperatingPoint {
+            voltage: 0.3,
+            freq_mhz: 400.0,
+        };
+        assert_eq!(deep.bit_error_rate(), 0.5);
+        // Overvolting never goes below the nominal floor.
+        let over = OperatingPoint {
+            voltage: 1.0,
+            freq_mhz: 400.0,
+        };
+        assert_eq!(over.bit_error_rate(), 1e-9);
+    }
+
+    #[test]
+    fn ber_curve_is_monotone_in_undervoltage() {
+        let mut prev = 0.0;
+        for step in 0..30 {
+            let v = 0.9 - 0.01 * step as f64;
+            let ber = OperatingPoint {
+                voltage: v,
+                freq_mhz: 400.0,
+            }
+            .bit_error_rate();
+            assert!(ber >= prev, "ber({v}) = {ber} < {prev}");
+            prev = ber;
+        }
     }
 
     #[test]

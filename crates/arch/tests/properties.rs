@@ -9,7 +9,12 @@ use geo_sc::KernelDims;
 use proptest::prelude::*;
 
 fn conv_strategy() -> impl Strategy<Value = LayerShape> {
-    (1usize..64, 1usize..64, prop::sample::select(vec![1usize, 3, 5]), 4usize..17)
+    (
+        1usize..64,
+        1usize..64,
+        prop::sample::select(vec![1usize, 3, 5]),
+        4usize..17,
+    )
         .prop_map(|(cin, cout, kernel, size)| LayerShape::Conv {
             cin,
             cout,

@@ -18,16 +18,11 @@ fn bench_accumulation_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("sc_forward_lenet5");
     group.sample_size(20);
     for mode in Accumulation::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("mode", mode.label()),
-            &mode,
-            |b, &mode| {
-                let (mut model, x) = lenet();
-                let mut engine =
-                    ScEngine::new(GeoConfig::geo(32, 64).with_accumulation(mode)).unwrap();
-                b.iter(|| engine.forward(&mut model, black_box(&x), false).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("mode", mode.label()), &mode, |b, &mode| {
+            let (mut model, x) = lenet();
+            let mut engine = ScEngine::new(GeoConfig::geo(32, 64).with_accumulation(mode)).unwrap();
+            b.iter(|| engine.forward(&mut model, black_box(&x), false).unwrap());
+        });
     }
     group.finish();
 }
@@ -61,7 +56,6 @@ fn bench_stream_lengths(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Short measurement windows: the benches run as part of the full
 /// `cargo bench --workspace` sweep, so favor turnaround over precision.

@@ -43,7 +43,6 @@ fn bench_mac_area_sweep(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement windows: the benches run as part of the full
 /// `cargo bench --workspace` sweep, so favor turnaround over precision.
 fn fast_config() -> Criterion {

@@ -60,7 +60,6 @@ fn bench_sc_ops(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the benches run as part of the full
 /// `cargo bench --workspace` sweep, so favor turnaround over precision.
 fn fast_config() -> Criterion {

@@ -20,26 +20,44 @@ fn main() {
     let (train_ds, test_ds) = dataset(DatasetSpec::svhn_like(11), scale);
     let model = models::cnn4(3, 8, 10, 0);
     print!("{:<8}", "stream");
-    for mode in [Accumulation::Or, Accumulation::Pbw, Accumulation::Pbhw, Accumulation::Fxp] {
+    for mode in [
+        Accumulation::Or,
+        Accumulation::Pbw,
+        Accumulation::Pbhw,
+        Accumulation::Fxp,
+    ] {
         print!(" {:>8}", mode.label());
     }
     println!();
     for len in [16usize, 32, 64, 128] {
         print!("{len:<8}");
-        for mode in [Accumulation::Or, Accumulation::Pbw, Accumulation::Pbhw, Accumulation::Fxp] {
-            let cfg = GeoConfig::geo(len, len).with_progressive(false).with_accumulation(mode);
+        for mode in [
+            Accumulation::Or,
+            Accumulation::Pbw,
+            Accumulation::Pbhw,
+            Accumulation::Fxp,
+        ] {
+            let cfg = GeoConfig::geo(len, len)
+                .with_progressive(false)
+                .with_accumulation(mode);
             let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs).1;
             print!(" {:>8}", pct(acc));
         }
         println!();
     }
-    println!("expected: every mode improves with longer streams; PBW ≈ PBHW ≈ FXP ≫ OR at short streams");
+    println!(
+        "expected: every mode improves with longer streams; PBW ≈ PBHW ≈ FXP ≫ OR at short streams"
+    );
 
     // --- Sharing robustness across dataset seeds. ---
     println!();
     println!("Sharing-level robustness across dataset seeds (GEO-64,64, OR accumulation)");
     println!("{:-<70}", "");
-    let seeds = if scale == Scale::Quick { vec![11, 23] } else { vec![11, 23, 47] };
+    let seeds = if scale == Scale::Quick {
+        vec![11, 23]
+    } else {
+        vec![11, 23, 47]
+    };
     for sharing in SharingLevel::ALL {
         let mut accs = Vec::new();
         for &seed in &seeds {
@@ -53,10 +71,7 @@ fn main() {
             accs.push(train_and_eval(&model, cfg, &tr, &te, epochs).1);
         }
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
-        let spread = accs
-            .iter()
-            .map(|a| (a - mean).abs())
-            .fold(0.0f32, f32::max);
+        let spread = accs.iter().map(|a| (a - mean).abs()).fold(0.0f32, f32::max);
         println!(
             "{:<10} mean {:>7}  max-dev {:>6.1} pts  ({})",
             format!("{sharing:?}"),

@@ -39,8 +39,13 @@ fn main() {
         for rng in [RngKind::Trng, RngKind::Lfsr] {
             let mut row = Vec::new();
             for sharing in SharingLevel::ALL {
-                let (_, acc) =
-                    train_and_eval(&model, config(len, rng, sharing), &train_ds, &test_ds, epochs);
+                let (_, acc) = train_and_eval(
+                    &model,
+                    config(len, rng, sharing),
+                    &train_ds,
+                    &test_ds,
+                    epochs,
+                );
                 row.push(pct(acc));
             }
             println!(

@@ -38,10 +38,10 @@ fn rms_series(progressive_mode: bool, pairs: usize, len: usize) -> Vec<f64> {
         };
         let product = &sa & &sb;
         let mut ones = 0u32;
-        for c in 0..len {
+        for (c, slot) in sum_sq.iter_mut().enumerate() {
             ones += u32::from(product.get(c));
             let est = f64::from(ones) / (c + 1) as f64;
-            sum_sq[c] += (est - reference) * (est - reference);
+            *slot += (est - reference) * (est - reference);
         }
     }
     sum_sq
@@ -90,12 +90,16 @@ fn network(scale: Scale) {
             &test_ds,
             epochs,
         );
-        let (_, prog_acc) =
-            train_and_eval(&model, base.with_progressive(true), &train_ds, &test_ds, epochs);
+        let (_, prog_acc) = train_and_eval(
+            &model,
+            base.with_progressive(true),
+            &train_ds,
+            &test_ds,
+            epochs,
+        );
         // Also record the unadapted drop: the normal-trained model run
         // with progressive streams it never saw.
-        let swap_acc =
-            geo_bench::runs::eval_under(&trained, base.with_progressive(true), &test_ds);
+        let swap_acc = geo_bench::runs::eval_under(&trained, base.with_progressive(true), &test_ds);
         println!(
             "stream {len:<4} normal {:>7}  progressive(trained) {:>7}  delta {:+.2} pts \
              (paper: ≤0.42 @32, ≤0.16 @64); unadapted swap {:>7}",
@@ -125,7 +129,10 @@ fn main() {
     let len = 128usize;
     println!("Figure 2 — multiplication RMS error vs. cycles (7-bit LFSR, 128-bit streams, {pairs} uniform pairs)");
     println!("{:-<64}", "");
-    println!("{:>6} {:>14} {:>14} {:>12}", "cycle", "normal", "progressive", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "cycle", "normal", "progressive", "ratio"
+    );
     let normal = rms_series(false, pairs, len);
     let prog = rms_series(true, pairs, len);
     for &c in &[0usize, 1, 3, 5, 7, 9, 15, 31, 63, 127] {

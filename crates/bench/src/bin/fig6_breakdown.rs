@@ -59,7 +59,11 @@ fn main() {
             let area_frac = areas[i].1 / r.area_mm2;
             let dyn_total: f64 = r.breakdown_pj.iter().map(|(_, e)| e).sum();
             let energy_frac = r.breakdown_pj[i].1 / dyn_total;
-            print!(" {:>13.1}% {:>7.1}%", 100.0 * area_frac, 100.0 * energy_frac);
+            print!(
+                " {:>13.1}% {:>7.1}%",
+                100.0 * area_frac,
+                100.0 * energy_frac
+            );
         }
         println!();
     }

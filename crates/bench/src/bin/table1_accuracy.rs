@@ -18,7 +18,13 @@ use geo_nn::train::{evaluate_quantized, train, TrainConfig};
 use geo_nn::Sequential;
 use geo_sc::RngKind;
 
-fn eyeriss_accuracy(model: &Sequential, train_ds: &Dataset, test_ds: &Dataset, bits: u8, epochs: usize) -> f32 {
+fn eyeriss_accuracy(
+    model: &Sequential,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    bits: u8,
+    epochs: usize,
+) -> f32 {
     let mut m = model.clone();
     let mut opt = Optimizer::paper_default();
     let cfg = TrainConfig {
@@ -36,9 +42,30 @@ fn row(name: &str, model: &Sequential, train_ds: &Dataset, test_ds: &Dataset, ep
     let e4 = eyeriss_accuracy(model, train_ds, test_ds, 4, epochs);
     let a256 = train_and_eval(model, GeoConfig::acoustic(256), train_ds, test_ds, epochs).1;
     let a128 = train_and_eval(model, GeoConfig::acoustic(128), train_ds, test_ds, epochs).1;
-    let g64 = train_and_eval(model, GeoConfig::geo(64, 128).with_progressive(false), train_ds, test_ds, epochs).1;
-    let g32 = train_and_eval(model, GeoConfig::geo(32, 64).with_progressive(false), train_ds, test_ds, epochs).1;
-    let g16 = train_and_eval(model, GeoConfig::geo(16, 32).with_progressive(false), train_ds, test_ds, epochs).1;
+    let g64 = train_and_eval(
+        model,
+        GeoConfig::geo(64, 128).with_progressive(false),
+        train_ds,
+        test_ds,
+        epochs,
+    )
+    .1;
+    let g32 = train_and_eval(
+        model,
+        GeoConfig::geo(32, 64).with_progressive(false),
+        train_ds,
+        test_ds,
+        epochs,
+    )
+    .1;
+    let g16 = train_and_eval(
+        model,
+        GeoConfig::geo(16, 32).with_progressive(false),
+        train_ds,
+        test_ds,
+        epochs,
+    )
+    .1;
     println!(
         "{:<22} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
         name,
@@ -59,7 +86,14 @@ fn ablations(scale: Scale) {
     let (_, _, epochs) = scale.sizing();
     let (train_ds, test_ds) = dataset(DatasetSpec::svhn_like(11), scale);
     let model = models::cnn4(3, 8, 10, 0);
-    let full = train_and_eval(&model, GeoConfig::geo(32, 64).with_progressive(false), &train_ds, &test_ds, epochs).1;
+    let full = train_and_eval(
+        &model,
+        GeoConfig::geo(32, 64).with_progressive(false),
+        &train_ds,
+        &test_ds,
+        epochs,
+    )
+    .1;
     let no_pbw = train_and_eval(
         &model,
         GeoConfig::geo(32, 64)
@@ -81,15 +115,31 @@ fn ablations(scale: Scale) {
         epochs,
     )
     .1;
-    println!("GEO-32,64 (full)            {:>7}  (paper: 90.8%)", pct(full));
-    println!("  − partial binary (OR)     {:>7}  (paper: 79.6%)", pct(no_pbw));
-    println!("    − LFSR (TRNG instead)   {:>7}  (paper: 73.7%)", pct(trng));
+    println!(
+        "GEO-32,64 (full)            {:>7}  (paper: 90.8%)",
+        pct(full)
+    );
+    println!(
+        "  − partial binary (OR)     {:>7}  (paper: 79.6%)",
+        pct(no_pbw)
+    );
+    println!(
+        "    − LFSR (TRNG instead)   {:>7}  (paper: 73.7%)",
+        pct(trng)
+    );
     println!();
     println!("Accumulation-mode sweep (§III-B; paper: PBW +4.5 pts @128, +9.4 pts @32 over OR; PBHW <+0.5 more)");
     for len in [32usize, 128] {
         let mut accs = Vec::new();
-        for mode in [Accumulation::Or, Accumulation::Pbw, Accumulation::Pbhw, Accumulation::Fxp] {
-            let cfg = GeoConfig::geo(len, len).with_progressive(false).with_accumulation(mode);
+        for mode in [
+            Accumulation::Or,
+            Accumulation::Pbw,
+            Accumulation::Pbhw,
+            Accumulation::Fxp,
+        ] {
+            let cfg = GeoConfig::geo(len, len)
+                .with_progressive(false)
+                .with_accumulation(mode);
             let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs).1;
             accs.push(format!("{} {}", mode.label(), pct(acc)));
         }

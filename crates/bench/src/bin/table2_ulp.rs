@@ -68,11 +68,24 @@ fn si(x: f64) -> String {
 fn print_columns(title: &str, cols: &[Column]) {
     println!("{title}");
     println!("{:-<100}", "");
-    let rows: Vec<(&str, Box<dyn Fn(&Column) -> String>)> = vec![
-        ("Voltage [V]", Box::new(|c: &Column| format!("{:.3}", c.voltage))),
-        ("Area [mm2]", Box::new(|c: &Column| format!("{:.2}", c.area))),
-        ("Power [mW]", Box::new(|c: &Column| format!("{:.1}", c.power))),
-        ("Clock [MHz]", Box::new(|c: &Column| format!("{:.0}", c.clock))),
+    type ColFn = Box<dyn Fn(&Column) -> String>;
+    let rows: Vec<(&str, ColFn)> = vec![
+        (
+            "Voltage [V]",
+            Box::new(|c: &Column| format!("{:.3}", c.voltage)),
+        ),
+        (
+            "Area [mm2]",
+            Box::new(|c: &Column| format!("{:.2}", c.area)),
+        ),
+        (
+            "Power [mW]",
+            Box::new(|c: &Column| format!("{:.1}", c.power)),
+        ),
+        (
+            "Clock [MHz]",
+            Box::new(|c: &Column| format!("{:.0}", c.clock)),
+        ),
         (
             "CIFAR-10 Fr/s",
             Box::new(|c: &Column| c.cifar.map_or("---".into(), |(f, _)| si(f))),
@@ -90,7 +103,10 @@ fn print_columns(title: &str, cols: &[Column]) {
             Box::new(|c: &Column| c.lenet.map_or("---".into(), |(_, j)| si(j))),
         ),
         ("Peak GOPS", Box::new(|c: &Column| format!("{:.0}", c.gops))),
-        ("Peak TOPS/W", Box::new(|c: &Column| format!("{:.2}", c.tops_w))),
+        (
+            "Peak TOPS/W",
+            Box::new(|c: &Column| format!("{:.2}", c.tops_w)),
+        ),
     ];
     print!("{:<16}", "");
     for c in cols {

@@ -63,7 +63,7 @@ fn eyeriss_row(e: &EyerissConfig) -> Row {
 }
 
 fn reported_row(p: &ReportedPoint) -> Row {
-    let opt = |v: Option<f64>, fmt: &dyn Fn(f64) -> String| v.map_or("---".into(), |x| fmt(x));
+    let opt = |v: Option<f64>, fmt: &dyn Fn(f64) -> String| v.map_or("---".into(), fmt);
     Row {
         name: format!("{} (rep.)", p.name),
         voltage: opt(p.voltage, &|v| format!("{v:.2}")),
@@ -93,7 +93,8 @@ fn main() {
         print!(" {:>15}", r.name.chars().take(15).collect::<String>());
     }
     println!();
-    let fields: Vec<(&str, Box<dyn Fn(&Row) -> &str>)> = vec![
+    type FieldFn = Box<dyn Fn(&Row) -> &str>;
+    let fields: Vec<(&str, FieldFn)> = vec![
         ("Voltage [V]", Box::new(|r: &Row| r.voltage.as_str())),
         ("Area [mm2]", Box::new(|r: &Row| r.area.as_str())),
         ("Power [mW]", Box::new(|r: &Row| r.power.as_str())),
@@ -122,9 +123,7 @@ fn main() {
         geo.frames_per_joule / eye.frames_per_joule
     );
     let no_ext_ratio = (1.0 / geo.energy_j_no_external()) / (1.0 / eye.energy_j_no_external());
-    println!(
-        "  …omitting external memory accesses: {no_ext_ratio:.1}x energy (paper: up to 6.1x)"
-    );
+    println!("  …omitting external memory accesses: {no_ext_ratio:.1}x energy (paper: up to 6.1x)");
     println!(
         "GEO-LP-64,128 vs ACOUSTIC-LP-128: {:.1}x throughput, {:.1}x energy (paper: 2.4x / 1.6x)",
         geo.fps / aco.fps,

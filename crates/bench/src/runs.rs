@@ -79,6 +79,25 @@ pub fn eval_under(model: &Sequential, config: GeoConfig, test_ds: &Dataset) -> f
     evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds")
 }
 
+/// Evaluates an already-trained model with a fault model installed in the
+/// engine, returning the accuracy and the total injected-fault counters.
+///
+/// # Panics
+///
+/// Panics on engine/configuration errors.
+pub fn eval_with_faults(
+    model: &Sequential,
+    config: GeoConfig,
+    faults: geo_sc::FaultModel,
+    test_ds: &Dataset,
+) -> (f32, geo_sc::FaultCounters) {
+    let mut model = model.clone();
+    let mut engine = ScEngine::with_faults(config, faults).expect("valid experiment config");
+    let acc = evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds");
+    let counters = engine.resilience_report().total;
+    (acc, counters)
+}
+
 /// Formats a percentage with one decimal, the paper's table style.
 pub fn pct(x: f32) -> String {
     format!("{:.1}%", 100.0 * x)

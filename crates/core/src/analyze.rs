@@ -64,10 +64,7 @@ pub fn layer_errors(
     for (i, stream_len) in plan.iter().enumerate() {
         // Float forward of this layer on the float activations.
         let kind = model.layers()[i].kind();
-        let is_param = matches!(
-            model.layers()[i],
-            Layer::Conv2d(_) | Layer::Linear(_)
-        );
+        let is_param = matches!(model.layers()[i], Layer::Conv2d(_) | Layer::Linear(_));
         let float_out = model.layers_mut()[i].forward(&x)?;
         if is_param {
             // SC forward of the *single* layer on the same activations:
@@ -173,10 +170,8 @@ mod tests {
     fn fxp_error_is_smaller_than_or_error() {
         let (mut model, x) = setup();
         let base = GeoConfig::geo(128, 128).with_progressive(false);
-        let mut eng_or =
-            ScEngine::new(base.with_accumulation(Accumulation::Or)).unwrap();
-        let mut eng_fxp =
-            ScEngine::new(base.with_accumulation(Accumulation::Fxp)).unwrap();
+        let mut eng_or = ScEngine::new(base.with_accumulation(Accumulation::Or)).unwrap();
+        let mut eng_fxp = ScEngine::new(base.with_accumulation(Accumulation::Fxp)).unwrap();
         let or_err = layer_errors(&mut eng_or, &mut model, &x).unwrap();
         let fxp_err = layer_errors(&mut eng_fxp, &mut model, &x).unwrap();
         // Total rms across parametrized layers.

@@ -17,6 +17,7 @@ use crate::config::{Accumulation, GeoConfig};
 use crate::error::GeoError;
 use crate::tables::{ProgressiveTable, TableCache};
 use geo_nn::{Conv2d, Layer, Linear, Sequential, Tensor};
+use geo_sc::fault::{FaultCounters, FaultInjector, FaultModel};
 use geo_sc::{quantize_unipolar, Bitstream, KernelDims, SeedPlan, StreamTable};
 use std::sync::Arc;
 
@@ -36,11 +37,60 @@ enum LaneTable {
 }
 
 impl LaneTable {
-    fn stream(&self, level: u32) -> &Bitstream {
+    /// Stream lookup for a quantized operand level.
+    ///
+    /// [`ScEngine::act_level`] / [`ScEngine::weight_levels`] quantize every
+    /// operand into the table's range, so an out-of-range level here means
+    /// an engine bug — it surfaces as [`GeoError::Internal`] rather than a
+    /// silent clamp (which would alias distinct operands) or a panic.
+    fn stream(&self, level: u32) -> Result<&Bitstream, GeoError> {
         match self {
-            LaneTable::Normal(t) => t.stream(level),
-            LaneTable::Progressive(t) => t.stream(level.min(255) as u8),
+            LaneTable::Normal(t) => {
+                if level > (1u32 << t.width()) {
+                    return Err(GeoError::Internal(format!(
+                        "operand level {level} exceeds stream-table range 0..={}",
+                        1u32 << t.width()
+                    )));
+                }
+                Ok(t.stream(level))
+            }
+            LaneTable::Progressive(t) => {
+                if level > 255 {
+                    return Err(GeoError::Internal(format!(
+                        "operand level {level} exceeds the 8-bit progressive buffer"
+                    )));
+                }
+                Ok(t.stream(level as u8))
+            }
         }
+    }
+}
+
+/// Per-layer and total fault-injection counts observed by an engine built
+/// with [`ScEngine::with_faults`].
+///
+/// Counters attribute each injected fault to the parametrized layer whose
+/// stream tables were being built when it happened; because deterministic
+/// tables are cached, a layer's static faults are counted on the pass that
+/// first builds its tables, while transient faults recur every pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Forward passes executed with fault injection active.
+    pub passes: u64,
+    /// Fault counts per parametrized (conv/linear) layer, in network order.
+    pub layers: Vec<FaultCounters>,
+    /// Fault counts across all layers.
+    pub total: FaultCounters,
+}
+
+impl ResilienceReport {
+    fn record(&mut self, param_layer: u32, delta: FaultCounters) {
+        let idx = param_layer as usize;
+        if self.layers.len() <= idx {
+            self.layers.resize(idx + 1, FaultCounters::default());
+        }
+        self.layers[idx].accumulate(&delta);
+        self.total.accumulate(&delta);
     }
 }
 
@@ -71,6 +121,7 @@ struct WeightRef {
 pub struct ScEngine {
     config: GeoConfig,
     cache: TableCache,
+    resilience: ResilienceReport,
 }
 
 impl ScEngine {
@@ -80,16 +131,54 @@ impl ScEngine {
     ///
     /// Returns [`GeoError::InvalidConfig`] for unrealizable configurations.
     pub fn new(config: GeoConfig) -> Result<Self, GeoError> {
+        Self::with_faults(config, FaultModel::none())
+    }
+
+    /// Creates an engine whose datapath injects the given fault model
+    /// (see [`geo_sc::fault`]).
+    ///
+    /// [`FaultModel::none`] is guaranteed to take the exact fault-free code
+    /// path, so its outputs are bit-for-bit identical to
+    /// [`ScEngine::new`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidConfig`] for unrealizable configurations
+    /// and [`GeoError::Sc`] for fault rates outside `[0, 1]`.
+    pub fn with_faults(config: GeoConfig, faults: FaultModel) -> Result<Self, GeoError> {
         config.validate()?;
+        faults.validate().map_err(GeoError::Sc)?;
+        let mut cache = TableCache::new();
+        if !faults.is_none() {
+            cache.set_faults(Some(FaultInjector::new(faults).map_err(GeoError::Sc)?));
+        }
         Ok(ScEngine {
             config,
-            cache: TableCache::new(),
+            cache,
+            resilience: ResilienceReport::default(),
         })
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &GeoConfig {
         &self.config
+    }
+
+    /// The fault model injected into this engine's datapath, if any.
+    pub fn fault_model(&self) -> Option<&FaultModel> {
+        self.cache.fault_model()
+    }
+
+    /// Per-layer fault counts accumulated since creation (or the last
+    /// [`ScEngine::reset_resilience_report`]). Empty for fault-free
+    /// engines.
+    pub fn resilience_report(&self) -> &ResilienceReport {
+        &self.resilience
+    }
+
+    /// Clears the accumulated resilience report.
+    pub fn reset_resilience_report(&mut self) {
+        self.resilience = ResilienceReport::default();
     }
 
     /// Stream length assigned to each parametrized (conv/linear) layer:
@@ -138,6 +227,9 @@ impl ScEngine {
         training: bool,
     ) -> Result<Tensor, GeoError> {
         self.cache.begin_pass();
+        if self.fault_model().is_some() {
+            self.resilience.passes += 1;
+        }
         model.set_training(training);
         let plan = self.stream_plan(model);
         let mut x = input.clone();
@@ -145,19 +237,23 @@ impl ScEngine {
         for (i, layer) in model.layers_mut().iter_mut().enumerate() {
             match layer {
                 Layer::Conv2d(conv) => {
-                    let len = plan[i].expect("conv layers are planned");
+                    let len = planned_len(&plan, i)?;
                     if training {
                         let _ = conv.forward(&x)?; // cache input for backward
                     }
+                    let before = self.cache.fault_counters();
                     x = self.sc_conv(conv, &x, len, param_layer)?;
+                    self.record_layer_faults(param_layer, before);
                     param_layer += 1;
                 }
                 Layer::Linear(lin) => {
-                    let len = plan[i].expect("linear layers are planned");
+                    let len = planned_len(&plan, i)?;
                     if training {
                         let _ = lin.forward(&x)?;
                     }
+                    let before = self.cache.fault_counters();
                     x = self.sc_linear(lin, &x, len, param_layer)?;
+                    self.record_layer_faults(param_layer, before);
                     param_layer += 1;
                 }
                 Layer::BatchNorm2d(bn) => {
@@ -210,7 +306,8 @@ impl ScEngine {
             .iter()
             .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
             .count() as u32;
-        match &model.layers_mut()[layer_index] {
+        let before = self.cache.fault_counters();
+        let out = match &model.layers_mut()[layer_index] {
             Layer::Conv2d(conv) => {
                 let conv = conv.clone();
                 self.sc_conv(&conv, input, len, param_layer)
@@ -219,8 +316,25 @@ impl ScEngine {
                 let lin = lin.clone();
                 self.sc_linear(&lin, input, len, param_layer)
             }
-            _ => unreachable!("plan only assigns lengths to conv/linear"),
+            other => {
+                return Err(GeoError::Internal(format!(
+                    "stream plan assigned a length to non-parametrized layer {}",
+                    other.kind()
+                )))
+            }
+        };
+        self.record_layer_faults(param_layer, before);
+        out
+    }
+
+    /// Attributes faults injected since the `before` snapshot to
+    /// `param_layer`.
+    fn record_layer_faults(&mut self, param_layer: u32, before: FaultCounters) {
+        if self.cache.fault_model().is_none() {
+            return;
         }
+        let delta = self.cache.fault_counters().delta_since(&before);
+        self.resilience.record(param_layer, delta);
     }
 
     fn layer_seed(&self, param_layer: u32) -> u32 {
@@ -229,12 +343,17 @@ impl ScEngine {
             .wrapping_add(param_layer.wrapping_mul(LAYER_SEED_STRIDE))
     }
 
-    fn lane_table(&mut self, width: u8, len: usize, spec: geo_sc::RngSpec) -> LaneTable {
-        if self.config.progressive {
-            LaneTable::Progressive(self.cache.progressive(self.config.rng, width, len, spec))
+    fn lane_table(
+        &mut self,
+        width: u8,
+        len: usize,
+        spec: geo_sc::RngSpec,
+    ) -> Result<LaneTable, GeoError> {
+        Ok(if self.config.progressive {
+            LaneTable::Progressive(self.cache.progressive(self.config.rng, width, len, spec)?)
         } else {
-            LaneTable::Normal(self.cache.regular(self.config.rng, width, len, spec))
-        }
+            LaneTable::Normal(self.cache.regular(self.config.rng, width, len, spec)?)
+        })
     }
 
     /// Quantized activation level for table lookup.
@@ -287,7 +406,12 @@ impl ScEngine {
         let (oh, ow) = conv.output_size(h, w);
         let width = GeoConfig::width_for(len);
         let dims = KernelDims::new(cout, cin, k, k);
-        let plan = SeedPlan::new(self.config.sharing, width, self.layer_seed(param_layer), dims);
+        let plan = SeedPlan::new(
+            self.config.sharing,
+            width,
+            self.layer_seed(param_layer),
+            dims,
+        );
         let volume = dims.kernel_volume();
 
         // Resolve activation lane tables: one generator per kernel position,
@@ -297,7 +421,7 @@ impl ScEngine {
                 let spec = plan.activation_spec(lane);
                 self.lane_table(width, len, spec)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         // Resolve weight references: per (kernel, position).
         let mut wrefs = Vec::with_capacity(cout * volume);
@@ -306,7 +430,7 @@ impl ScEngine {
                 for ky in 0..k {
                     for kx in 0..k {
                         let spec = plan.weight_spec(co, ci, ky, kx);
-                        let table = self.lane_table(width, len, spec);
+                        let table = self.lane_table(width, len, spec)?;
                         let (pos, neg) =
                             self.weight_levels(conv.weight.value.at4(co, ci, ky, kx), width);
                         wrefs.push(WeightRef { table, pos, neg });
@@ -366,7 +490,7 @@ impl ScEngine {
                                     if wref.pos == 0 && wref.neg == 0 {
                                         continue;
                                     }
-                                    let astream = act_tables[cur].stream(alevel);
+                                    let astream = act_tables[cur].stream(alevel)?;
                                     let aw = astream.as_words();
                                     let g = match self.config.accumulation {
                                         Accumulation::Or => 0,
@@ -387,7 +511,7 @@ impl ScEngine {
                                         &mut fxp_neg,
                                         &mut apc_pos,
                                         &mut apc_neg,
-                                    );
+                                    )?;
                                 }
                             }
                         }
@@ -430,19 +554,24 @@ impl ScEngine {
         let wdim = FC_BINARY_WIDTH.min(features);
         let cdim = features.div_ceil(wdim);
         let dims = KernelDims::new(outf, cdim, 1, wdim);
-        let plan = SeedPlan::new(self.config.sharing, width, self.layer_seed(param_layer), dims);
+        let plan = SeedPlan::new(
+            self.config.sharing,
+            width,
+            self.layer_seed(param_layer),
+            dims,
+        );
 
         let act_tables: Vec<LaneTable> = (0..features)
             .map(|lane| {
                 let spec = plan.activation_spec(lane);
                 self.lane_table(width, len, spec)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let mut wrefs = Vec::with_capacity(outf * features);
         for o in 0..outf {
             for i in 0..features {
                 let spec = plan.weight_spec(o, i / wdim, 0, i % wdim);
-                let table = self.lane_table(width, len, spec);
+                let table = self.lane_table(width, len, spec)?;
                 let (pos, neg) = self.weight_levels(lin.weight.value.at2(o, i), width);
                 wrefs.push(WeightRef { table, pos, neg });
             }
@@ -479,7 +608,7 @@ impl ScEngine {
                     if wref.pos == 0 && wref.neg == 0 {
                         continue;
                     }
-                    let astream = act_tables[i].stream(alevel);
+                    let astream = act_tables[i].stream(alevel)?;
                     let g = match self.config.accumulation {
                         Accumulation::Or => 0,
                         Accumulation::Pbw | Accumulation::Pbhw => i % wdim,
@@ -498,7 +627,7 @@ impl ScEngine {
                         &mut fxp_neg,
                         &mut apc_pos,
                         &mut apc_neg,
-                    );
+                    )?;
                 }
                 let signed = finish_count(
                     self.config.accumulation,
@@ -516,6 +645,16 @@ impl ScEngine {
     }
 }
 
+/// Stream length planned for layer `i`, which the forward loop only asks
+/// for at conv/linear layers — a `None` there is an engine bug.
+fn planned_len(plan: &[Option<usize>], i: usize) -> Result<usize, GeoError> {
+    plan.get(i).copied().flatten().ok_or_else(|| {
+        GeoError::Internal(format!(
+            "parametrized layer {i} missing from the stream plan"
+        ))
+    })
+}
+
 /// Folds one multiply-accumulate into the mode-specific accumulator state.
 #[allow(clippy::too_many_arguments)]
 fn accumulate(
@@ -531,17 +670,17 @@ fn accumulate(
     fxp_neg: &mut i64,
     apc_pos: &mut Vec<Bitstream>,
     apc_neg: &mut Vec<Bitstream>,
-) {
+) -> Result<(), GeoError> {
     match mode {
         Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
             if wref.pos > 0 {
-                let pw = wref.table.stream(wref.pos).as_words();
+                let pw = wref.table.stream(wref.pos)?.as_words();
                 for j in 0..words {
                     acc_pos[group * words + j] |= act_words[j] & pw[j];
                 }
             }
             if wref.neg > 0 {
-                let nw = wref.table.stream(wref.neg).as_words();
+                let nw = wref.table.stream(wref.neg)?.as_words();
                 for j in 0..words {
                     acc_neg[group * words + j] |= act_words[j] & nw[j];
                 }
@@ -549,13 +688,13 @@ fn accumulate(
         }
         Accumulation::Fxp => {
             if wref.pos > 0 {
-                let pw = wref.table.stream(wref.pos).as_words();
+                let pw = wref.table.stream(wref.pos)?.as_words();
                 *fxp_pos += (0..words)
                     .map(|j| (act_words[j] & pw[j]).count_ones() as i64)
                     .sum::<i64>();
             }
             if wref.neg > 0 {
-                let nw = wref.table.stream(wref.neg).as_words();
+                let nw = wref.table.stream(wref.neg)?.as_words();
                 *fxp_neg += (0..words)
                     .map(|j| (act_words[j] & nw[j]).count_ones() as i64)
                     .sum::<i64>();
@@ -563,17 +702,18 @@ fn accumulate(
         }
         Accumulation::Apc => {
             if wref.pos > 0 {
-                let pw = wref.table.stream(wref.pos).as_words();
+                let pw = wref.table.stream(wref.pos)?.as_words();
                 let product: Vec<u64> = (0..words).map(|j| act_words[j] & pw[j]).collect();
                 apc_pos.push(Bitstream::from_words(product, len));
             }
             if wref.neg > 0 {
-                let nw = wref.table.stream(wref.neg).as_words();
+                let nw = wref.table.stream(wref.neg)?.as_words();
                 let product: Vec<u64> = (0..words).map(|j| act_words[j] & nw[j]).collect();
                 apc_neg.push(Bitstream::from_words(product, len));
             }
         }
     }
+    Ok(())
 }
 
 /// Converts the accumulator state into the signed output count.

@@ -14,6 +14,9 @@ pub enum GeoError {
     Nn(NnError),
     /// A configuration the engine cannot realize.
     InvalidConfig(String),
+    /// An engine invariant that should be unreachable was violated —
+    /// indicates a bug in the engine itself, not in caller input.
+    Internal(String),
 }
 
 impl fmt::Display for GeoError {
@@ -22,6 +25,7 @@ impl fmt::Display for GeoError {
             GeoError::Sc(e) => write!(f, "stochastic substrate: {e}"),
             GeoError::Nn(e) => write!(f, "network substrate: {e}"),
             GeoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            GeoError::Internal(msg) => write!(f, "engine invariant violated (bug): {msg}"),
         }
     }
 }
@@ -31,7 +35,7 @@ impl std::error::Error for GeoError {
         match self {
             GeoError::Sc(e) => Some(e),
             GeoError::Nn(e) => Some(e),
-            GeoError::InvalidConfig(_) => None,
+            GeoError::InvalidConfig(_) | GeoError::Internal(_) => None,
         }
     }
 }

@@ -40,7 +40,7 @@ mod tables;
 mod training;
 
 pub use config::{Accumulation, GeoConfig};
-pub use engine::{ScEngine, FC_BINARY_WIDTH};
+pub use engine::{ResilienceReport, ScEngine, FC_BINARY_WIDTH};
 pub use error::GeoError;
 pub use tables::{ProgressiveTable, TableCache};
 pub use training::{evaluate_sc, train_sc, ScHistory};

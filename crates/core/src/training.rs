@@ -32,7 +32,7 @@ impl ScHistory {
     }
 }
 
-fn gather(ds: &Dataset, idx: &[usize]) -> (geo_nn::Tensor, Vec<usize>) {
+fn gather(ds: &Dataset, idx: &[usize]) -> Result<(geo_nn::Tensor, Vec<usize>), GeoError> {
     let (c, h, w) = ds.image_shape();
     let sz = c * h * w;
     let mut data = Vec::with_capacity(idx.len() * sz);
@@ -41,11 +41,8 @@ fn gather(ds: &Dataset, idx: &[usize]) -> (geo_nn::Tensor, Vec<usize>) {
         data.extend_from_slice(&ds.images.data()[i * sz..(i + 1) * sz]);
         labels.push(ds.labels[i]);
     }
-    (
-        geo_nn::Tensor::from_vec(vec![idx.len(), c, h, w], data)
-            .expect("gathered batch is consistent"),
-        labels,
-    )
+    let batch = geo_nn::Tensor::from_vec(vec![idx.len(), c, h, w], data).map_err(GeoError::Nn)?;
+    Ok((batch, labels))
 }
 
 /// Trains `model` with SC forward passes and float backward passes.
@@ -94,7 +91,7 @@ pub fn train_sc(
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {
-            let (batch, labels) = gather(dataset, chunk);
+            let (batch, labels) = gather(dataset, chunk)?;
             let logits = engine.forward(model, &batch, true)?;
             let out = softmax_cross_entropy(&logits, &labels)?;
             model.backward(&out.grad)?;

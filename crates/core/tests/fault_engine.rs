@@ -1,0 +1,134 @@
+//! Engine-level fault-injection guarantees: the `FaultModel::none()`
+//! byte-identity contract, seeded reproducibility, report accounting, and
+//! graceful degradation under rising bit-error rates.
+
+use geo_core::{GeoConfig, GeoError, ScEngine};
+use geo_nn::{models, Sequential, Tensor};
+use geo_sc::FaultModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(seed: u64) -> Sequential {
+    models::lenet5(1, 8, 10, seed)
+}
+
+fn input(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::kaiming(&[2, 1, 8, 8], 8, &mut rng).map(|v| v.abs().min(1.0))
+}
+
+fn logits(engine: &mut ScEngine, seed: u64) -> Vec<f32> {
+    let mut m = model(seed);
+    engine
+        .forward(&mut m, &input(seed ^ 0xFF), false)
+        .expect("forward succeeds")
+        .data()
+        .to_vec()
+}
+
+fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn none_model_is_bit_identical_to_fault_free() {
+    let config = GeoConfig::geo(32, 64);
+    let reference = logits(&mut ScEngine::new(config).unwrap(), 1);
+    let mut engine = ScEngine::with_faults(config, FaultModel::none()).unwrap();
+    assert!(bitwise_eq(&reference, &logits(&mut engine, 1)));
+    assert!(
+        engine.fault_model().is_none(),
+        "none model installs no injector"
+    );
+    // A nonzero seed with all-zero rates is still "none".
+    let mut seeded = ScEngine::with_faults(config, FaultModel::with_stream_ber(0.0, 42)).unwrap();
+    assert!(bitwise_eq(&reference, &logits(&mut seeded, 1)));
+}
+
+#[test]
+fn same_fault_seed_reproduces_logits_exactly() {
+    let config = GeoConfig::geo(32, 64);
+    let faults = FaultModel::with_stream_ber(0.02, 7);
+    let a = logits(&mut ScEngine::with_faults(config, faults).unwrap(), 2);
+    let b = logits(&mut ScEngine::with_faults(config, faults).unwrap(), 2);
+    assert!(
+        bitwise_eq(&a, &b),
+        "fault universe must be seed-deterministic"
+    );
+    let c = logits(
+        &mut ScEngine::with_faults(config, FaultModel::with_stream_ber(0.02, 8)).unwrap(),
+        2,
+    );
+    assert!(!bitwise_eq(&a, &c), "different fault seeds must differ");
+}
+
+#[test]
+fn logit_distortion_grows_with_ber() {
+    let config = GeoConfig::geo(32, 64);
+    let clean = logits(&mut ScEngine::new(config).unwrap(), 3);
+    let distortion = |ber: f64| {
+        let noisy = logits(
+            &mut ScEngine::with_faults(config, FaultModel::with_stream_ber(ber, 5)).unwrap(),
+            3,
+        );
+        clean
+            .iter()
+            .zip(&noisy)
+            .map(|(a, b)| (a - b).abs() as f64)
+            .sum::<f64>()
+            / clean.len() as f64
+    };
+    let mild = distortion(1e-3);
+    let severe = distortion(0.3);
+    assert!(
+        severe > mild,
+        "mean |Δlogit| must grow with BER: {mild} at 1e-3 vs {severe} at 0.3"
+    );
+}
+
+#[test]
+fn resilience_report_accounts_for_injected_faults() {
+    let config = GeoConfig::geo(32, 64);
+    let mut engine = ScEngine::with_faults(config, FaultModel::with_stream_ber(0.05, 11)).unwrap();
+    logits(&mut engine, 4);
+    let report = engine.resilience_report();
+    assert_eq!(report.passes, 1);
+    assert!(
+        report.total.stream_bits_flipped > 0,
+        "5% BER must flip bits"
+    );
+    assert!(!report.layers.is_empty(), "per-layer attribution recorded");
+    let layer_sum: u64 = report.layers.iter().map(|c| c.total()).sum();
+    assert_eq!(
+        layer_sum,
+        report.total.total(),
+        "layer counters sum to total"
+    );
+    engine.reset_resilience_report();
+    assert_eq!(engine.resilience_report().passes, 0);
+    assert!(!engine.resilience_report().total.any());
+}
+
+#[test]
+fn fault_free_engine_reports_nothing() {
+    let mut engine = ScEngine::new(GeoConfig::geo(32, 64)).unwrap();
+    logits(&mut engine, 5);
+    let report = engine.resilience_report();
+    assert_eq!(report.passes, 0, "no injector → no pass accounting");
+    assert!(!report.total.any());
+    assert!(report.layers.is_empty());
+}
+
+#[test]
+fn invalid_fault_rates_are_rejected() {
+    let config = GeoConfig::geo(32, 64);
+    for bad in [-0.1, 1.5, f64::NAN] {
+        match ScEngine::with_faults(config, FaultModel::with_stream_ber(bad, 0)) {
+            Err(err) => assert!(
+                matches!(err, GeoError::Sc(_)),
+                "rate {bad} must surface as an SC validation error, got {err:?}"
+            ),
+            Ok(_) => panic!("rate {bad} must be rejected"),
+        }
+    }
+}

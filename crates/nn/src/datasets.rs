@@ -178,7 +178,12 @@ fn upsample(grid: &[f32], g: usize, size: usize) -> Vec<f32> {
     out
 }
 
-fn generate_split(spec: &DatasetSpec, templates: &[Vec<f32>], n: usize, rng: &mut StdRng) -> Dataset {
+fn generate_split(
+    spec: &DatasetSpec,
+    templates: &[Vec<f32>],
+    n: usize,
+    rng: &mut StdRng,
+) -> Dataset {
     let (c, s) = (spec.channels, spec.size);
     let mut data = vec![0.0f32; n * c * s * s];
     let mut labels = Vec::with_capacity(n);
@@ -271,7 +276,7 @@ mod tests {
     #[test]
     fn labels_are_balanced_and_in_range() {
         let (train, _) = generate(&DatasetSpec::mnist_like(3));
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for &l in &train.labels {
             assert!(l < 10);
             counts[l] += 1;

@@ -233,8 +233,8 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
         }

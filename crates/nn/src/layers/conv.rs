@@ -219,7 +219,8 @@ mod tests {
         for v in conv.weight.value.data_mut() {
             *v = 1.0;
         }
-        let input = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
+        let input =
+            Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|i| i as f32).collect()).unwrap();
         let out = conv.forward(&input).unwrap();
         assert_eq!(out.shape(), &[1, 1, 1, 1]);
         assert_eq!(out.data()[0], 45.0);

@@ -242,7 +242,14 @@ mod tests {
         let kinds: Vec<&str> = layers.iter().map(|l| l.kind()).collect();
         assert_eq!(
             kinds,
-            ["conv2d", "batchnorm2d", "relu", "avgpool2d", "flatten", "linear"]
+            [
+                "conv2d",
+                "batchnorm2d",
+                "relu",
+                "avgpool2d",
+                "flatten",
+                "linear"
+            ]
         );
         // Param counts: conv (1) + bn (2) + linear (2).
         let n_params: usize = layers.iter_mut().map(|l| l.params_mut().len()).sum();

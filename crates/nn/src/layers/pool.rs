@@ -32,7 +32,7 @@ impl AvgPool2d {
     /// spatial dimensions.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         let s = input.shape();
-        if s.len() != 4 || s[2] % 2 != 0 || s[3] % 2 != 0 {
+        if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
             return Err(NnError::ShapeMismatch {
                 expected: "(N, C, even H, even W)".into(),
                 actual: s.to_vec(),
@@ -104,7 +104,7 @@ impl MaxPool2d {
     /// spatial dimensions.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
         let s = input.shape();
-        if s.len() != 4 || s[2] % 2 != 0 || s[3] % 2 != 0 {
+        if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
             return Err(NnError::ShapeMismatch {
                 expected: "(N, C, even H, even W)".into(),
                 actual: s.to_vec(),

@@ -49,15 +49,14 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
     }
     let mut grad = Tensor::zeros(s);
     let mut total = 0.0f32;
-    for b in 0..n {
+    for (b, &label) in labels.iter().enumerate() {
         let row: Vec<f32> = (0..classes).map(|c| logits.at2(b, c)).collect();
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[b];
         total += -(exps[label] / sum).ln();
-        for c in 0..classes {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             let target = if c == label { 1.0 } else { 0.0 };
             grad.set2(b, c, (p - target) / n as f32);
         }
@@ -69,13 +68,16 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
 }
 
 /// Index of the maximum logit per row — the predicted class.
+///
+/// NaN logits (e.g. from diverged training) are ordered deterministically
+/// under the IEEE total order instead of panicking the comparator.
 pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
     let s = logits.shape();
     let (n, classes) = (s[0], s[1]);
     (0..n)
         .map(|b| {
             (0..classes)
-                .max_by(|&i, &j| logits.at2(b, i).partial_cmp(&logits.at2(b, j)).unwrap())
+                .max_by(|&i, &j| logits.at2(b, i).total_cmp(&logits.at2(b, j)))
                 .unwrap_or(0)
         })
         .collect()

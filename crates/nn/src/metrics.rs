@@ -92,7 +92,7 @@ impl ConfusionMatrix {
             for p in 0..self.classes {
                 if a != p && self.count(a, p) > 0 {
                     let c = self.count(a, p);
-                    if best.map_or(true, |(_, _, bc)| c > bc) {
+                    if best.is_none_or(|(_, _, bc)| c > bc) {
                         best = Some((a, p, c));
                     }
                 }

@@ -40,7 +40,10 @@ fn conv_bn_relu(cin: usize, cout: usize, rng: &mut StdRng) -> Vec<Layer> {
 /// assert_eq!(model.layers().len(), 13); // 3×(conv+bn+relu) + 2 pools + flatten + fc
 /// ```
 pub fn cnn4(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(size % 4 == 0, "cnn4 needs size divisible by 4, got {size}");
+    assert!(
+        size.is_multiple_of(4),
+        "cnn4 needs size divisible by 4, got {size}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut layers = Vec::new();
     layers.extend(conv_bn_relu(channels, 16, &mut rng));
@@ -65,7 +68,10 @@ pub fn cnn4(channels: usize, size: usize, classes: usize, seed: u64) -> Sequenti
 ///
 /// Panics unless `size` is divisible by 4.
 pub fn lenet5(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
-    assert!(size % 4 == 0, "lenet5 needs size divisible by 4, got {size}");
+    assert!(
+        size.is_multiple_of(4),
+        "lenet5 needs size divisible by 4, got {size}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut layers = Vec::new();
     layers.extend(conv_bn_relu(channels, 6, &mut rng));
@@ -93,11 +99,17 @@ pub fn lenet5(channels: usize, size: usize, classes: usize, seed: u64) -> Sequen
 /// Panics unless `size` is divisible by 8 (three pooling stages).
 pub fn vgg16_small(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
     assert!(
-        size % 8 == 0,
+        size.is_multiple_of(8),
         "vgg16_small needs size divisible by 8, got {size}"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let widths: [&[usize]; 5] = [&[8, 8], &[16, 16], &[24, 24, 24], &[32, 32, 32], &[32, 32, 32]];
+    let widths: [&[usize]; 5] = [
+        &[8, 8],
+        &[16, 16],
+        &[24, 24, 24],
+        &[32, 32, 32],
+        &[32, 32, 32],
+    ];
     let mut layers = Vec::new();
     let mut cin = channels;
     for (block, ws) in widths.iter().enumerate() {

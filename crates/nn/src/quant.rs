@@ -147,9 +147,12 @@ mod tests {
         let mut model = crate::models::cnn4(1, 8, 4, 3);
         model.set_training(false);
         quantize_weights(&mut model, 8);
-        let out =
-            forward_quantized(&mut model, &Tensor::full(&[1, 1, 8, 8], 0.5), QuantConfig::uniform(8))
-                .unwrap();
+        let out = forward_quantized(
+            &mut model,
+            &Tensor::full(&[1, 1, 8, 8], 0.5),
+            QuantConfig::uniform(8),
+        )
+        .unwrap();
         assert_eq!(out.shape(), &[1, 4]);
         assert!(out.data().iter().all(|x| x.is_finite()));
     }

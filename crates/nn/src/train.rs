@@ -59,7 +59,7 @@ pub(crate) fn epoch_order(n: usize, rng: &mut StdRng) -> Vec<usize> {
 }
 
 /// Gathers samples `idx` into a batch tensor + labels.
-pub(crate) fn gather(ds: &Dataset, idx: &[usize]) -> (Tensor, Vec<usize>) {
+pub(crate) fn gather(ds: &Dataset, idx: &[usize]) -> Result<(Tensor, Vec<usize>), NnError> {
     let (c, h, w) = ds.image_shape();
     let sz = c * h * w;
     let mut data = Vec::with_capacity(idx.len() * sz);
@@ -68,10 +68,8 @@ pub(crate) fn gather(ds: &Dataset, idx: &[usize]) -> (Tensor, Vec<usize>) {
         data.extend_from_slice(&ds.images.data()[i * sz..(i + 1) * sz]);
         labels.push(ds.labels[i]);
     }
-    (
-        Tensor::from_vec(vec![idx.len(), c, h, w], data).expect("gathered batch is consistent"),
-        labels,
-    )
+    let batch = Tensor::from_vec(vec![idx.len(), c, h, w], data)?;
+    Ok((batch, labels))
 }
 
 /// Trains `model` in float with the given optimizer.
@@ -93,7 +91,7 @@ pub fn train(
         let mut epoch_loss = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(config.batch_size) {
-            let (batch, labels) = gather(dataset, chunk);
+            let (batch, labels) = gather(dataset, chunk)?;
             let logits = model.forward(&batch)?;
             let out = softmax_cross_entropy(&logits, &labels)?;
             model.backward(&out.grad)?;

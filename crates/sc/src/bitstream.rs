@@ -81,7 +81,7 @@ impl Bitstream {
         let mut len = 0usize;
         let mut cur = 0u64;
         for b in bits {
-            if len % 64 == 0 && len > 0 {
+            if len.is_multiple_of(64) && len > 0 {
                 words.push(cur);
                 cur = 0;
             }
@@ -290,7 +290,13 @@ impl fmt::Debug for Bitstream {
 
 impl fmt::Display for Bitstream {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.4} ({}/{})", self.value(), self.count_ones(), self.len)
+        write!(
+            f,
+            "{:.4} ({}/{})",
+            self.value(),
+            self.count_ones(),
+            self.len
+        )
     }
 }
 
@@ -485,7 +491,10 @@ mod tests {
         let b = Bitstream::zeros(20);
         assert_eq!(
             a.clone().and_assign(&b),
-            Err(ScError::LengthMismatch { left: 10, right: 20 })
+            Err(ScError::LengthMismatch {
+                left: 10,
+                right: 20
+            })
         );
         assert!(a.overlap(&b).is_err());
     }

@@ -108,11 +108,7 @@ mod tests {
         for a in 0..=len_a {
             for b in 0..=len_b {
                 let p = exact_product(a, len_a, b, len_b).unwrap();
-                assert_eq!(
-                    p.count_ones() as usize,
-                    a * b,
-                    "{a}/{len_a} × {b}/{len_b}"
-                );
+                assert_eq!(p.count_ones() as usize, a * b, "{a}/{len_a} × {b}/{len_b}");
                 assert_eq!(p.len(), len_a * len_b);
             }
         }

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors produced by stream generation and bitstream manipulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ScError {
     /// An LFSR or SNG width outside the supported 3..=16 bit range.
@@ -27,6 +27,13 @@ pub enum ScError {
     },
     /// An operation that requires at least one input received none.
     EmptyInput,
+    /// A fault-model rate that is not a probability in `[0, 1]`.
+    InvalidFaultRate {
+        /// Name of the rejected [`crate::fault::FaultModel`] field.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ScError {
@@ -45,6 +52,12 @@ impl fmt::Display for ScError {
                 write!(f, "bitstream length mismatch: {left} vs {right}")
             }
             ScError::EmptyInput => write!(f, "operation requires at least one input stream"),
+            ScError::InvalidFaultRate { name, value } => {
+                write!(
+                    f,
+                    "fault rate {name} = {value} is not a probability in [0, 1]"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,675 @@
+//! Deterministic, seeded fault injection for the SC datapath.
+//!
+//! Stochastic computing is often claimed to be inherently fault tolerant: a
+//! single bit flip in a stream of length `L` perturbs the encoded value by
+//! at most `1/L`, whereas a flip in a binary word can be worth half the
+//! dynamic range. This module makes that claim testable. It models four
+//! hardware fault classes of the GEO datapath:
+//!
+//! * **Stream bit errors** ([`FaultModel::stream_ber`]) — transient
+//!   single-event upsets on generated/buffered stream bits, applied
+//!   independently per bit at a given bit-error rate (BER).
+//! * **LFSR stuck-at taps** ([`FaultModel::lfsr_stuck_rate`]) — permanent
+//!   manufacturing defects: an affected generator lane has one output tap
+//!   stuck at one for its whole lifetime ([`StuckAtRng`]).
+//! * **SNG seed corruption** ([`FaultModel::seed_corruption_rate`]) —
+//!   permanent corruption of a seed register, so the affected generator
+//!   walks a different (but still maximal-length) sequence.
+//! * **SRAM word errors** ([`FaultModel::sram_word_ber`]) — transient
+//!   single-bit upsets in buffered 64-bit stream words, one flipped bit per
+//!   affected word (the classic SEU model ECC is sized against).
+//!
+//! Injection is **deterministic**: every decision is a pure function of the
+//! model seed, a caller-supplied *domain* (which generator / which level),
+//! and — for transient faults only — the pass counter. The same seed
+//! reproduces the same fault universe regardless of call order, and a model
+//! with all rates zero ([`FaultModel::none`]) is bit-for-bit identical to
+//! not injecting at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use geo_sc::fault::{FaultInjector, FaultModel};
+//! use geo_sc::{generate_unipolar, Lfsr};
+//!
+//! # fn main() -> Result<(), geo_sc::ScError> {
+//! let mut lfsr = Lfsr::new(7, 1)?;
+//! let clean = generate_unipolar(0.5, 128, &mut lfsr);
+//!
+//! let mut inj = FaultInjector::new(FaultModel::with_stream_ber(0.05, 7))?;
+//! let mut faulty = clean.clone();
+//! inj.corrupt_level(42, 64, &mut faulty);
+//! assert_ne!(clean, faulty);
+//! assert!(inj.counters().stream_bits_flipped > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bitstream::Bitstream;
+use crate::error::ScError;
+use crate::rng::StreamRng;
+use crate::sharing::RngSpec;
+use crate::sng::StreamTable;
+
+/// Rates and seed of one fault universe.
+///
+/// All rates are probabilities in `[0, 1]`. Static faults (stuck taps, seed
+/// corruption) are decided once per generator; transient faults (stream and
+/// SRAM bit errors) are redrawn every generation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Per-bit flip probability on generated stream bits (transient).
+    pub stream_ber: f64,
+    /// Probability that a generator lane has one output tap stuck at one
+    /// (static, per generator).
+    pub lfsr_stuck_rate: f64,
+    /// Probability that a generator's seed register is corrupted (static,
+    /// per generator).
+    pub seed_corruption_rate: f64,
+    /// Per-64-bit-word probability of a single-bit upset in buffered stream
+    /// words (transient).
+    pub sram_word_ber: f64,
+    /// Seed of the fault universe; the same seed reproduces the same
+    /// faults.
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// The fault-free model: all rates zero. An engine configured with this
+    /// model is bit-for-bit identical to one without fault injection.
+    pub fn none() -> Self {
+        FaultModel {
+            stream_ber: 0.0,
+            lfsr_stuck_rate: 0.0,
+            seed_corruption_rate: 0.0,
+            sram_word_ber: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A model with only transient stream bit errors at `ber`.
+    pub fn with_stream_ber(ber: f64, seed: u64) -> Self {
+        FaultModel {
+            stream_ber: ber,
+            seed,
+            ..FaultModel::none()
+        }
+    }
+
+    /// Whether every rate is exactly zero (no injection will occur).
+    pub fn is_none(&self) -> bool {
+        self.stream_ber == 0.0
+            && self.lfsr_stuck_rate == 0.0
+            && self.seed_corruption_rate == 0.0
+            && self.sram_word_ber == 0.0
+    }
+
+    /// Whether any transient (per-pass) fault class is active.
+    pub fn has_transient(&self) -> bool {
+        self.stream_ber > 0.0 || self.sram_word_ber > 0.0
+    }
+
+    /// Validates that every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidFaultRate`] for any rate outside `[0, 1]`
+    /// or NaN.
+    pub fn validate(&self) -> Result<(), ScError> {
+        for (name, value) in [
+            ("stream_ber", self.stream_ber),
+            ("lfsr_stuck_rate", self.lfsr_stuck_rate),
+            ("seed_corruption_rate", self.seed_corruption_rate),
+            ("sram_word_ber", self.sram_word_ber),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ScError::InvalidFaultRate { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counts of injected faults, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transient stream bits flipped.
+    pub stream_bits_flipped: u64,
+    /// Buffered 64-bit words hit by an SRAM upset.
+    pub sram_words_upset: u64,
+    /// Generators whose seed register was corrupted.
+    pub seeds_corrupted: u64,
+    /// Generator lanes with a stuck-at-one tap.
+    pub stuck_lanes: u64,
+}
+
+impl FaultCounters {
+    /// Total injected fault events across all classes.
+    pub fn total(&self) -> u64 {
+        self.stream_bits_flipped + self.sram_words_upset + self.seeds_corrupted + self.stuck_lanes
+    }
+
+    /// Whether any fault was injected.
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+
+    /// Adds `other` into `self` (per-class).
+    pub fn accumulate(&mut self, other: &FaultCounters) {
+        self.stream_bits_flipped += other.stream_bits_flipped;
+        self.sram_words_upset += other.sram_words_upset;
+        self.seeds_corrupted += other.seeds_corrupted;
+        self.stuck_lanes += other.stuck_lanes;
+    }
+
+    /// Per-class difference `self - earlier` (saturating), for snapshots
+    /// around a region of interest.
+    pub fn delta_since(&self, earlier: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            stream_bits_flipped: self
+                .stream_bits_flipped
+                .saturating_sub(earlier.stream_bits_flipped),
+            sram_words_upset: self
+                .sram_words_upset
+                .saturating_sub(earlier.sram_words_upset),
+            seeds_corrupted: self.seeds_corrupted.saturating_sub(earlier.seeds_corrupted),
+            stuck_lanes: self.stuck_lanes.saturating_sub(earlier.stuck_lanes),
+        }
+    }
+}
+
+/// Mixes caller-supplied parts into a stable 64-bit fault domain.
+///
+/// Domains identify *where* a fault can land (a generator, a table level);
+/// two distinct domains draw independent faults, and the same domain always
+/// draws the same static faults.
+pub fn domain(parts: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &p in parts {
+        h = splitmix64(&mut { h ^ p });
+    }
+    h
+}
+
+/// SplitMix64 step: advances `state` and returns a mixed output. Local to
+/// this module so the fault universe never depends on an external RNG
+/// implementation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small deterministic RNG over one fault domain.
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// RNG for `(seed, domain, salt)` — pure function of its arguments, so
+    /// decisions are independent of call order.
+    fn keyed(seed: u64, dom: u64, salt: u64) -> Self {
+        let mut state = seed;
+        state = splitmix64(&mut { state ^ dom.rotate_left(17) });
+        state = splitmix64(&mut { state ^ salt.rotate_left(43) });
+        FaultRng { state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform in the half-open unit interval `(0, 1]` (never zero, so
+    /// `ln()` is always finite).
+    fn unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn bernoulli(&mut self, p: f64) -> bool {
+        p > 0.0 && self.unit() <= p
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Salts separating the fault classes within one domain.
+mod salt {
+    pub const SEED_CORRUPTION: u64 = 0x5EED;
+    pub const STUCK_TAP: u64 = 0x57AC;
+    pub const STREAM_BER: u64 = 0xB17F;
+    pub const SRAM_WORD: u64 = 0x50AD;
+}
+
+/// Applies a [`FaultModel`] deterministically, counting what it injects.
+///
+/// Static decisions depend only on `(model.seed, domain)`; transient
+/// decisions additionally mix the pass counter, so every generation pass
+/// draws fresh upsets while two injectors with the same seed and pass
+/// history stay bit-for-bit identical.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    model: FaultModel,
+    pass: u64,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Creates an injector for a validated model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScError::InvalidFaultRate`] if a rate is not a
+    /// probability.
+    pub fn new(model: FaultModel) -> Result<Self, ScError> {
+        model.validate()?;
+        Ok(FaultInjector {
+            model,
+            pass: 0,
+            counters: FaultCounters::default(),
+        })
+    }
+
+    /// The model being applied.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Counts of everything injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Advances the transient-fault pass counter. Streams regenerated after
+    /// this call draw fresh transient upsets.
+    pub fn begin_pass(&mut self) {
+        self.pass = self.pass.wrapping_add(1);
+    }
+
+    /// Current pass index.
+    pub fn pass(&self) -> u64 {
+        self.pass
+    }
+
+    /// Static SNG seed corruption: with probability
+    /// [`FaultModel::seed_corruption_rate`] the spec's seed is XORed with a
+    /// domain-derived nonzero value.
+    pub fn corrupt_spec(&mut self, dom: u64, spec: RngSpec) -> RngSpec {
+        let mut rng = FaultRng::keyed(self.model.seed, dom, salt::SEED_CORRUPTION);
+        if !rng.bernoulli(self.model.seed_corruption_rate) {
+            return spec;
+        }
+        self.counters.seeds_corrupted += 1;
+        let flip = (rng.next_u64() as u32) | 1; // nonzero: the seed does change
+        RngSpec {
+            seed: spec.seed ^ flip,
+            poly: spec.poly,
+        }
+    }
+
+    /// Static stuck-at-one tap for the generator in `dom`: the OR-mask to
+    /// apply to its output values (zero for healthy lanes, one bit within
+    /// `width` for afflicted ones).
+    pub fn stuck_mask(&mut self, dom: u64, width: u8) -> u32 {
+        let mut rng = FaultRng::keyed(self.model.seed, dom, salt::STUCK_TAP);
+        if width == 0 || !rng.bernoulli(self.model.lfsr_stuck_rate) {
+            return 0;
+        }
+        self.counters.stuck_lanes += 1;
+        1u32 << rng.below(u64::from(width))
+    }
+
+    /// Transient corruption of one buffered stream: per-bit flips at
+    /// [`FaultModel::stream_ber`], then per-64-bit-word single-bit upsets at
+    /// [`FaultModel::sram_word_ber`]. `table_domain` identifies the
+    /// generator, `level` the table entry; the pass counter is mixed in.
+    pub fn corrupt_level(&mut self, table_domain: u64, level: u32, bs: &mut Bitstream) {
+        if !self.model.has_transient() || bs.is_empty() {
+            return;
+        }
+        let dom = domain(&[table_domain, u64::from(level), self.pass]);
+        let len = bs.len();
+        let mut words = bs.as_words().to_vec();
+        self.flip_stream_bits(dom, &mut words, len);
+        self.upset_sram_words(dom, &mut words, len);
+        *bs = Bitstream::from_words(words, len);
+    }
+
+    /// Corrupts every level of a stream table (the table *is* the model of
+    /// the stream buffer SRAM contents for one generator).
+    pub fn corrupt_table(&mut self, table_domain: u64, table: &mut StreamTable) {
+        if !self.model.has_transient() {
+            return;
+        }
+        for level in 0..table.levels() {
+            // Split borrow: take the stream out, corrupt, put back.
+            let mut bs =
+                std::mem::replace(table.stream_mut(level), Bitstream::from_words(vec![], 0));
+            self.corrupt_level(table_domain, level, &mut bs);
+            *table.stream_mut(level) = bs;
+        }
+    }
+
+    /// Per-bit flips at `stream_ber` via geometric gap sampling (cheap for
+    /// realistic low rates).
+    fn flip_stream_bits(&mut self, dom: u64, words: &mut [u64], len: usize) {
+        let p = self.model.stream_ber;
+        if p <= 0.0 {
+            return;
+        }
+        let mut rng = FaultRng::keyed(self.model.seed, dom, salt::STREAM_BER);
+        if p >= 1.0 {
+            for i in 0..len {
+                words[i / 64] ^= 1u64 << (i % 64);
+            }
+            self.counters.stream_bits_flipped += len as u64;
+            return;
+        }
+        let ln_keep = (1.0 - p).ln();
+        let mut i = 0usize;
+        loop {
+            // Geometric gap to the next flipped bit.
+            let gap = (rng.unit().ln() / ln_keep) as usize;
+            i = match i.checked_add(gap) {
+                Some(v) if v < len => v,
+                _ => break,
+            };
+            words[i / 64] ^= 1u64 << (i % 64);
+            self.counters.stream_bits_flipped += 1;
+            i += 1;
+        }
+    }
+
+    /// Single-bit upsets per 64-bit word at `sram_word_ber`.
+    fn upset_sram_words(&mut self, dom: u64, words: &mut [u64], len: usize) {
+        let p = self.model.sram_word_ber;
+        if p <= 0.0 {
+            return;
+        }
+        let mut rng = FaultRng::keyed(self.model.seed, dom, salt::SRAM_WORD);
+        for (w, word) in words.iter_mut().enumerate() {
+            if !rng.bernoulli(p) {
+                continue;
+            }
+            let bits_in_word = (len - w * 64).min(64) as u64;
+            if bits_in_word == 0 {
+                continue;
+            }
+            *word ^= 1u64 << rng.below(bits_in_word);
+            self.counters.sram_words_upset += 1;
+        }
+    }
+}
+
+/// A [`StreamRng`] wrapper modeling a permanent stuck-at-one output tap:
+/// every produced value has the mask bit(s) forced high.
+///
+/// # Examples
+///
+/// ```
+/// use geo_sc::fault::StuckAtRng;
+/// use geo_sc::{Lfsr, StreamRng};
+///
+/// # fn main() -> Result<(), geo_sc::ScError> {
+/// let inner = Lfsr::new(8, 1)?;
+/// let mut rng = StuckAtRng::new(Box::new(inner), 0b100);
+/// for _ in 0..32 {
+///     assert_ne!(rng.next_value() & 0b100, 0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct StuckAtRng {
+    inner: Box<dyn StreamRng>,
+    or_mask: u32,
+}
+
+impl StuckAtRng {
+    /// Wraps `inner`, forcing the bits of `or_mask` (truncated to the inner
+    /// width) high on every output.
+    pub fn new(inner: Box<dyn StreamRng>, or_mask: u32) -> Self {
+        let mask = or_mask & (inner.range() - 1);
+        StuckAtRng {
+            inner,
+            or_mask: mask,
+        }
+    }
+}
+
+impl std::fmt::Debug for StuckAtRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StuckAtRng")
+            .field("or_mask", &self.or_mask)
+            .finish()
+    }
+}
+
+impl StreamRng for StuckAtRng {
+    fn width(&self) -> u8 {
+        self.inner.width()
+    }
+
+    fn next_value(&mut self) -> u32 {
+        self.inner.next_value() | self.or_mask
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.inner.is_deterministic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr;
+    use crate::sng::generate_unipolar;
+
+    fn stream() -> Bitstream {
+        let mut lfsr = Lfsr::new(8, 3).unwrap();
+        generate_unipolar(0.5, 256, &mut lfsr)
+    }
+
+    #[test]
+    fn none_model_is_a_no_op() {
+        let mut inj = FaultInjector::new(FaultModel::none()).unwrap();
+        let clean = stream();
+        let mut s = clean.clone();
+        inj.corrupt_level(1, 10, &mut s);
+        let spec = RngSpec { seed: 5, poly: 0 };
+        assert_eq!(inj.corrupt_spec(2, spec), spec);
+        assert_eq!(inj.stuck_mask(3, 8), 0);
+        assert_eq!(s, clean);
+        assert!(!inj.counters().any());
+    }
+
+    #[test]
+    fn same_seed_same_faults_regardless_of_call_order() {
+        let model = FaultModel {
+            stream_ber: 0.02,
+            lfsr_stuck_rate: 0.5,
+            seed_corruption_rate: 0.5,
+            sram_word_ber: 0.3,
+            seed: 99,
+        };
+        let mut a = FaultInjector::new(model).unwrap();
+        let mut b = FaultInjector::new(model).unwrap();
+        let spec = RngSpec { seed: 7, poly: 1 };
+        // b makes its decisions in a different order than a.
+        let a_spec = a.corrupt_spec(11, spec);
+        let a_mask = a.stuck_mask(12, 8);
+        let mut a_s = stream();
+        a.corrupt_level(13, 5, &mut a_s);
+        let mut b_s = stream();
+        b.corrupt_level(13, 5, &mut b_s);
+        let b_mask = b.stuck_mask(12, 8);
+        let b_spec = b.corrupt_spec(11, spec);
+        assert_eq!(a_spec, b_spec);
+        assert_eq!(a_mask, b_mask);
+        assert_eq!(a_s, b_s);
+    }
+
+    #[test]
+    fn transient_faults_differ_across_passes() {
+        let mut inj = FaultInjector::new(FaultModel::with_stream_ber(0.05, 4)).unwrap();
+        let mut pass1 = stream();
+        inj.corrupt_level(9, 3, &mut pass1);
+        inj.begin_pass();
+        let mut pass2 = stream();
+        inj.corrupt_level(9, 3, &mut pass2);
+        assert_ne!(pass1, pass2, "pass counter decorrelates transient faults");
+    }
+
+    #[test]
+    fn flip_rate_tracks_ber() {
+        let ber = 0.1;
+        let mut inj = FaultInjector::new(FaultModel::with_stream_ber(ber, 21)).unwrap();
+        let n_streams = 200;
+        let len = 256;
+        let mut lfsr = Lfsr::new(8, 3).unwrap();
+        for d in 0..n_streams {
+            let mut s = generate_unipolar(0.5, len, &mut lfsr);
+            inj.corrupt_level(d, 0, &mut s);
+        }
+        let total_bits = (n_streams as usize * len) as f64;
+        let rate = inj.counters().stream_bits_flipped as f64 / total_bits;
+        assert!(
+            (rate - ber).abs() < 0.02,
+            "measured flip rate {rate} vs ber {ber}"
+        );
+    }
+
+    #[test]
+    fn full_ber_inverts_everything() {
+        let mut inj = FaultInjector::new(FaultModel::with_stream_ber(1.0, 0)).unwrap();
+        let clean = stream();
+        let mut s = clean.clone();
+        inj.corrupt_level(0, 0, &mut s);
+        assert_eq!(
+            s.count_ones() as usize,
+            clean.len() - clean.count_ones() as usize
+        );
+    }
+
+    #[test]
+    fn sram_upsets_flip_one_bit_per_hit_word() {
+        let model = FaultModel {
+            sram_word_ber: 1.0,
+            seed: 8,
+            ..FaultModel::none()
+        };
+        let mut inj = FaultInjector::new(model).unwrap();
+        let clean = stream(); // 256 bits = 4 words
+        let mut s = clean.clone();
+        inj.corrupt_level(0, 0, &mut s);
+        assert_eq!(inj.counters().sram_words_upset, 4);
+        let differing: usize = (0..clean.len())
+            .filter(|&i| clean.get(i) != s.get(i))
+            .count();
+        assert_eq!(differing, 4, "exactly one flipped bit per word");
+    }
+
+    #[test]
+    fn stuck_mask_stays_within_width() {
+        let model = FaultModel {
+            lfsr_stuck_rate: 1.0,
+            seed: 5,
+            ..FaultModel::none()
+        };
+        let mut inj = FaultInjector::new(model).unwrap();
+        for w in [3u8, 8, 16] {
+            let mask = inj.stuck_mask(u64::from(w), w);
+            assert_eq!(mask.count_ones(), 1);
+            assert!(mask < (1u32 << w));
+        }
+        assert_eq!(inj.counters().stuck_lanes, 3);
+    }
+
+    #[test]
+    fn corrupted_spec_changes_seed_only() {
+        let model = FaultModel {
+            seed_corruption_rate: 1.0,
+            seed: 77,
+            ..FaultModel::none()
+        };
+        let mut inj = FaultInjector::new(model).unwrap();
+        let spec = RngSpec { seed: 123, poly: 2 };
+        let c = inj.corrupt_spec(0, spec);
+        assert_ne!(c.seed, spec.seed);
+        assert_eq!(c.poly, spec.poly);
+        assert_eq!(inj.counters().seeds_corrupted, 1);
+    }
+
+    #[test]
+    fn validation_rejects_non_probabilities() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let model = FaultModel {
+                stream_ber: bad,
+                ..FaultModel::none()
+            };
+            assert!(matches!(
+                model.validate(),
+                Err(ScError::InvalidFaultRate {
+                    name: "stream_ber",
+                    ..
+                })
+            ));
+            assert!(FaultInjector::new(model).is_err());
+        }
+        assert!(FaultModel::none().validate().is_ok());
+    }
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let mut a = FaultCounters {
+            stream_bits_flipped: 5,
+            sram_words_upset: 1,
+            seeds_corrupted: 2,
+            stuck_lanes: 0,
+        };
+        let b = FaultCounters {
+            stream_bits_flipped: 3,
+            sram_words_upset: 0,
+            seeds_corrupted: 1,
+            stuck_lanes: 4,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.total(), 16);
+        let d = a.delta_since(&b);
+        assert_eq!(d.stream_bits_flipped, 5);
+        assert_eq!(d.stuck_lanes, 0, "saturating");
+        assert!(a.any());
+        assert!(!FaultCounters::default().any());
+    }
+
+    #[test]
+    fn corrupt_table_touches_levels_independently() {
+        let mut lfsr = Lfsr::new(6, 9).unwrap();
+        let clean = StreamTable::new(64, &mut lfsr);
+        let mut table = clean.clone();
+        let mut inj = FaultInjector::new(FaultModel::with_stream_ber(0.05, 3)).unwrap();
+        inj.corrupt_table(17, &mut table);
+        let changed = (0..table.levels())
+            .filter(|&l| table.stream(l) != clean.stream(l))
+            .count();
+        assert!(changed > 10, "most levels see at least one flip: {changed}");
+        // Lengths are preserved.
+        for l in 0..table.levels() {
+            assert_eq!(table.stream(l).len(), 64);
+        }
+    }
+
+    #[test]
+    fn domains_are_stable_and_distinct() {
+        assert_eq!(domain(&[1, 2, 3]), domain(&[1, 2, 3]));
+        assert_ne!(domain(&[1, 2, 3]), domain(&[1, 2, 4]));
+        assert_ne!(domain(&[1, 2]), domain(&[2, 1]));
+    }
+}

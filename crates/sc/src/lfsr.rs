@@ -233,7 +233,9 @@ mod tests {
             assert!(lfsr.seed_state() >= 1 && lfsr.seed_state() <= 255);
         }
         // Distinct small seeds give distinct start states.
-        let states: HashSet<u32> = (0..255).map(|s| Lfsr::new(8, s).unwrap().seed_state()).collect();
+        let states: HashSet<u32> = (0..255)
+            .map(|s| Lfsr::new(8, s).unwrap().seed_state())
+            .collect();
         assert_eq!(states.len(), 255);
     }
 
@@ -248,8 +250,14 @@ mod tests {
 
     #[test]
     fn invalid_widths_and_polynomials_are_rejected() {
-        assert_eq!(Lfsr::new(2, 1).unwrap_err(), ScError::InvalidWidth { width: 2 });
-        assert_eq!(Lfsr::new(17, 1).unwrap_err(), ScError::InvalidWidth { width: 17 });
+        assert_eq!(
+            Lfsr::new(2, 1).unwrap_err(),
+            ScError::InvalidWidth { width: 2 }
+        );
+        assert_eq!(
+            Lfsr::new(17, 1).unwrap_err(),
+            ScError::InvalidWidth { width: 17 }
+        );
         assert_eq!(
             Lfsr::with_polynomial(8, 2, 1).unwrap_err(),
             ScError::InvalidPolynomial { width: 8, index: 2 }

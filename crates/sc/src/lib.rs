@@ -36,6 +36,7 @@ mod bitstream;
 pub mod deterministic;
 mod encode;
 mod error;
+pub mod fault;
 mod lfsr;
 pub mod metrics;
 pub mod ops;
@@ -47,6 +48,7 @@ mod sng;
 pub use bitstream::{Bitstream, Iter};
 pub use encode::{dequantize_unipolar, quantize_unipolar, SplitStream, SplitValue};
 pub use error::ScError;
+pub use fault::{FaultCounters, FaultInjector, FaultModel, StuckAtRng};
 pub use lfsr::{polynomial_count, Lfsr, MAX_WIDTH, MIN_WIDTH};
 pub use progressive::{ProgressiveSng, ShadowBuffer};
 pub use rng::{SobolRng, StreamRng, TrngRng};

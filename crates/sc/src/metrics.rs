@@ -134,7 +134,10 @@ mod tests {
         let a = Bitstream::ones(64);
         let b = Bitstream::from_fn(64, |i| i % 2 == 0);
         assert_eq!(scc(&a, &b).unwrap(), 0.0);
-        assert_eq!(scc(&Bitstream::zeros(0), &Bitstream::zeros(0)).unwrap(), 0.0);
+        assert_eq!(
+            scc(&Bitstream::zeros(0), &Bitstream::zeros(0)).unwrap(),
+            0.0
+        );
     }
 
     #[test]

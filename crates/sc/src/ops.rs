@@ -184,7 +184,11 @@ mod tests {
     fn stream(width: u8, seed: u32, poly: usize, value: f32, len: usize) -> Bitstream {
         let mut lfsr = Lfsr::with_polynomial(width, poly, seed).unwrap();
         lfsr.reset();
-        generate_stream(crate::encode::quantize_unipolar(value, width), len, &mut lfsr)
+        generate_stream(
+            crate::encode::quantize_unipolar(value, width),
+            len,
+            &mut lfsr,
+        )
     }
 
     #[test]

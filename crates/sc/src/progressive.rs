@@ -229,7 +229,17 @@ mod tests {
     #[test]
     fn schedule_matches_paper_description() {
         // 2 MSBs at start, +2 bits every 2 cycles.
-        let expect = [(0, 2), (1, 2), (2, 4), (3, 4), (4, 6), (5, 6), (6, 8), (7, 8), (100, 8)];
+        let expect = [
+            (0, 2),
+            (1, 2),
+            (2, 4),
+            (3, 4),
+            (4, 6),
+            (5, 6),
+            (6, 8),
+            (7, 8),
+            (100, 8),
+        ];
         for (cycle, bits) in expect {
             assert_eq!(bits_loaded_at(cycle, 8), bits, "cycle {cycle}");
         }

@@ -151,7 +151,9 @@ impl SeedPlan {
     /// Seed-space index of a weight position under the plan's sharing level.
     fn weight_index(&self, cout: usize, cin: usize, h: usize, w: usize) -> usize {
         match self.level {
-            SharingLevel::None => ((cout * self.dims.cin + cin) * self.dims.h + h) * self.dims.w + w,
+            SharingLevel::None => {
+                ((cout * self.dims.cin + cin) * self.dims.h + h) * self.dims.w + w
+            }
             SharingLevel::Moderate => (cin * self.dims.h + h) * self.dims.w + w,
             SharingLevel::Extreme => w,
         }
@@ -296,6 +298,8 @@ mod tests {
 
     #[test]
     fn lfsr_build_rejects_bad_width() {
-        assert!(RngKind::Lfsr.build(2, RngSpec { seed: 1, poly: 0 }).is_err());
+        assert!(RngKind::Lfsr
+            .build(2, RngSpec { seed: 1, poly: 0 })
+            .is_err());
     }
 }

@@ -101,6 +101,17 @@ impl StreamTable {
         self.width
     }
 
+    /// Number of table entries, `2^width + 1`.
+    pub fn levels(&self) -> u32 {
+        self.streams.len() as u32
+    }
+
+    /// Mutable access for fault injection (crate-internal so table
+    /// invariants stay under this module's control).
+    pub(crate) fn stream_mut(&mut self, level: u32) -> &mut Bitstream {
+        &mut self.streams[level as usize]
+    }
+
     /// The stream for quantized `level`.
     ///
     /// # Panics
@@ -182,7 +193,10 @@ mod tests {
         assert_eq!(table.width(), 6);
         assert_eq!(table.len(), 64);
         assert!(!table.is_empty());
-        assert_eq!(table.stream_for(0.5).count_ones(), table.stream(32).count_ones());
+        assert_eq!(
+            table.stream_for(0.5).count_ones(),
+            table.stream(32).count_ones()
+        );
     }
 
     #[test]

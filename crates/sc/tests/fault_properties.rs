@@ -1,0 +1,144 @@
+//! Property-based tests on the fault-injection layer: the determinism and
+//! exactness guarantees the engine integration relies on.
+
+use geo_sc::{Bitstream, FaultInjector, FaultModel, Lfsr, StreamRng, StuckAtRng};
+use proptest::prelude::*;
+
+fn stream(seed: u64, len: usize) -> Bitstream {
+    Bitstream::from_fn(len, |i| {
+        (seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64)).is_multiple_of(3)
+    })
+}
+
+proptest! {
+    /// Same model + same domain + same pass → bit-for-bit identical
+    /// corruption and identical counters, regardless of when the injector
+    /// was built.
+    #[test]
+    fn same_seed_corruption_is_deterministic(
+        seed in any::<u64>(),
+        dom in any::<u64>(),
+        level in 0u32..300,
+        len in 1usize..500,
+        ber in 1e-4f64..0.5,
+    ) {
+        let model = FaultModel::with_stream_ber(ber, seed);
+        let mut a = FaultInjector::new(model).unwrap();
+        let mut b = FaultInjector::new(model).unwrap();
+        let mut sa = stream(seed, len);
+        let mut sb = sa.clone();
+        a.corrupt_level(dom, level, &mut sa);
+        b.corrupt_level(dom, level, &mut sb);
+        prop_assert_eq!(&sa, &sb);
+        prop_assert_eq!(a.counters(), b.counters());
+    }
+
+    /// Corruption of one stream is a pure function of (model, domain,
+    /// level, pass) — injecting other streams first must not change it.
+    #[test]
+    fn corruption_is_call_order_independent(
+        seed in any::<u64>(),
+        dom in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let model = FaultModel::with_stream_ber(0.05, seed);
+        let mut direct = FaultInjector::new(model).unwrap();
+        let mut fresh = stream(seed, len);
+        direct.corrupt_level(dom, 7, &mut fresh);
+
+        let mut warmed = FaultInjector::new(model).unwrap();
+        let mut other = stream(seed ^ 1, len);
+        warmed.corrupt_level(dom ^ 0xABCD, 3, &mut other); // unrelated work first
+        let mut probed = stream(seed, len);
+        warmed.corrupt_level(dom, 7, &mut probed);
+        prop_assert_eq!(fresh, probed);
+    }
+
+    /// A zero-rate model never touches a stream, never counts a fault, and
+    /// never perturbs a generator spec — exactness, not "approximately off".
+    #[test]
+    fn zero_rate_is_exact(
+        seed in any::<u64>(),
+        dom in any::<u64>(),
+        len in 1usize..500,
+    ) {
+        let mut inj = FaultInjector::new(FaultModel::with_stream_ber(0.0, seed)).unwrap();
+        let original = stream(seed, len);
+        let mut probed = original.clone();
+        inj.corrupt_level(dom, 11, &mut probed);
+        prop_assert_eq!(&original, &probed);
+        let spec = geo_sc::RngSpec { seed: 0xACE1, poly: 0 };
+        prop_assert_eq!(inj.corrupt_spec(dom, spec), spec);
+        prop_assert_eq!(inj.stuck_mask(dom, 8), 0);
+        prop_assert!(!inj.counters().any());
+    }
+
+    /// The realized flip fraction tracks the requested BER: for long
+    /// streams it stays within a loose binomial band, and the counter
+    /// matches the observed Hamming distance exactly.
+    #[test]
+    fn flip_rate_tracks_ber(seed in any::<u64>(), ber in 0.01f64..0.5) {
+        let len = 20_000usize;
+        let mut inj = FaultInjector::new(FaultModel::with_stream_ber(ber, seed)).unwrap();
+        let original = stream(seed, len);
+        let mut probed = original.clone();
+        inj.corrupt_level(1, 1, &mut probed);
+        let flips = (0..len).filter(|&i| original.get(i) != probed.get(i)).count() as u64;
+        prop_assert_eq!(flips, inj.counters().stream_bits_flipped);
+        let expect = ber * len as f64;
+        let tol = 6.0 * (len as f64 * ber * (1.0 - ber)).sqrt() + 1.0;
+        prop_assert!(
+            (flips as f64 - expect).abs() < tol,
+            "{} flips vs {} expected at ber {}", flips, expect, ber
+        );
+    }
+
+    /// A stuck-at-one tap forces its bit in every generated value, so no
+    /// output can have that bit clear.
+    #[test]
+    fn stuck_tap_forces_bit(seed in 1u32..0xFFFF, bit in 0u32..8) {
+        let mask = 1u32 << bit;
+        let mut rng = StuckAtRng::new(Box::new(Lfsr::new(8, seed).unwrap()), mask);
+        for _ in 0..200 {
+            prop_assert_eq!(rng.next_value() & mask, mask);
+        }
+        prop_assert_eq!(rng.width(), 8);
+    }
+}
+
+#[test]
+fn transient_faults_decorrelate_across_passes() {
+    let mut inj = FaultInjector::new(FaultModel::with_stream_ber(0.1, 3)).unwrap();
+    let original = stream(3, 4096);
+    let mut first = original.clone();
+    inj.corrupt_level(5, 2, &mut first);
+    inj.begin_pass();
+    let mut second = original.clone();
+    inj.corrupt_level(5, 2, &mut second);
+    assert_ne!(first, second, "per-pass fault draws must differ");
+}
+
+#[test]
+fn static_faults_survive_passes() {
+    let model = FaultModel {
+        seed_corruption_rate: 1.0,
+        lfsr_stuck_rate: 1.0,
+        seed: 9,
+        ..FaultModel::none()
+    };
+    let mut inj = FaultInjector::new(model).unwrap();
+    let spec = geo_sc::RngSpec {
+        seed: 0x1234,
+        poly: 0,
+    };
+    let corrupted = inj.corrupt_spec(77, spec);
+    let mask = inj.stuck_mask(77, 8);
+    inj.begin_pass();
+    inj.begin_pass();
+    assert_eq!(
+        inj.corrupt_spec(77, spec),
+        corrupted,
+        "static seed fault is stable"
+    );
+    assert_eq!(inj.stuck_mask(77, 8), mask, "static stuck tap is stable");
+}

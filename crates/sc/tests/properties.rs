@@ -1,8 +1,8 @@
 //! Property-based tests on the SC substrate's core invariants.
 
 use geo_sc::{
-    generate_stream, generate_unipolar, metrics, ops, quantize_unipolar, Bitstream, Lfsr,
-    SobolRng, SplitValue, StreamRng,
+    generate_stream, generate_unipolar, metrics, ops, quantize_unipolar, Bitstream, Lfsr, SobolRng,
+    SplitValue, StreamRng,
 };
 use proptest::prelude::*;
 

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mode in [Accumulation::Or, Accumulation::Pbw, Accumulation::Fxp] {
         let mut engine = ScEngine::new(GeoConfig::geo(32, 64).with_accumulation(mode))?;
         let logits = engine.forward(&mut model, &image, false)?;
-        let preview: Vec<String> = logits.data()[..4].iter().map(|v| format!("{v:+.3}")).collect();
+        let preview: Vec<String> = logits.data()[..4]
+            .iter()
+            .map(|v| format!("{v:+.3}"))
+            .collect();
         println!("  {:<5} → [{}, …]", mode.label(), preview.join(", "));
     }
     println!();

@@ -29,19 +29,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("training LeNet-5 with SC forward / float backward (GEO-16,32)…");
-    let history = train_sc(&mut engine, &mut model, &train_ds, &mut optimizer, &train_cfg)?;
+    let history = train_sc(
+        &mut engine,
+        &mut model,
+        &train_ds,
+        &mut optimizer,
+        &train_cfg,
+    )?;
     for (epoch, loss) in history.losses.iter().enumerate() {
         println!("  epoch {:>2}: loss {loss:.4}", epoch + 1);
     }
 
     let lfsr_acc = evaluate_sc(&mut engine, &mut model, &test_ds)?;
     println!();
-    println!("test accuracy with the LFSRs it trained for: {:.1}%", 100.0 * lfsr_acc);
+    println!(
+        "test accuracy with the LFSRs it trained for: {:.1}%",
+        100.0 * lfsr_acc
+    );
 
     // The same weights under TRNG generation: the learned bias is gone.
     let mut trng_engine = ScEngine::new(config.with_rng(RngKind::Trng))?;
     let trng_acc = evaluate_sc(&mut trng_engine, &mut model, &test_ds)?;
-    println!("test accuracy under TRNG streams:            {:.1}%", 100.0 * trng_acc);
+    println!(
+        "test accuracy under TRNG streams:            {:.1}%",
+        100.0 * trng_acc
+    );
     println!();
     println!(
         "deterministic generation turned the SC error into something trainable — \

@@ -1,0 +1,333 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: per benchmark it runs a short warm-up, then
+//! `sample_size` timed samples, and prints mean/min per iteration. No
+//! statistical analysis, no HTML reports, no baselines; enough to catch
+//! order-of-magnitude regressions in hermetic environments.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness configuration and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget (caps sampling time).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Compatibility no-op (the shim has no CLI).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display2,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &id.render(),
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Warm-up override (compatibility; applied group-wide).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    /// Measurement-budget override (compatibility; applied group-wide).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display2,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(
+            &label,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display2,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with an optional parameter, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as benchmark ids (`&str` or [`BenchmarkId`]).
+pub trait Display2 {
+    /// The label to print.
+    fn render(&self) -> String;
+}
+
+impl Display2 for BenchmarkId {
+    fn render(&self) -> String {
+        self.text.clone()
+    }
+}
+
+impl Display2 for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl Display2 for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per configured batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+        self.samples_ns.push(ns);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    // Warm-up: run until the warm-up budget elapses, measuring a rough
+    // per-iteration cost to size the sample batches.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut probe = Bencher {
+        samples_ns: Vec::new(),
+        iters_per_sample: 1,
+    };
+    while warm_start.elapsed() < warm_up {
+        f(&mut probe);
+        warm_iters += 1;
+        if probe.samples_ns.is_empty() && warm_iters > 3 {
+            break; // closure never called iter(); avoid spinning
+        }
+    }
+    let rough_ns = probe
+        .samples_ns
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .max(1.0);
+    // Size batches so all samples fit the measurement budget.
+    let budget_ns = measurement.as_nanos() as f64 / samples.max(1) as f64;
+    let iters_per_sample = ((budget_ns / rough_ns).floor() as u64).clamp(1, 1_000_000);
+
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        iters_per_sample,
+    };
+    let deadline = Instant::now() + measurement.mul_f64(2.0);
+    for _ in 0..samples {
+        f(&mut bencher);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    if bencher.samples_ns.is_empty() {
+        println!("  {label}: no samples (closure never called iter())");
+        return;
+    }
+    let n = bencher.samples_ns.len() as f64;
+    let mean = bencher.samples_ns.iter().sum::<f64>() / n;
+    let min = bencher
+        .samples_ns
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    println!("  {label}: mean {} min {}", fmt_ns(mean), fmt_ns(min));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_closure() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("mode", "SC").render(), "mode/SC");
+        assert_eq!(BenchmarkId::from_parameter(64).render(), "64");
+    }
+}

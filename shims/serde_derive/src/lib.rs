@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` shim implements `Serialize`/`Deserialize` as
+//! blanket marker traits, so these derives have nothing to generate: they
+//! exist only so `#[derive(Serialize, Deserialize)]` attributes compile
+//! unchanged in hermetic builds. `#[serde(...)]` helper attributes are
+//! accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (blanket impl lives in the `serde` shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (blanket impl lives in the `serde` shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

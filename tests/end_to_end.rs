@@ -47,11 +47,7 @@ fn stream_plan_matches_compiler_stream_assignment() {
     // assignment must agree on which layers are pooled.
     let model = models::cnn4(3, 8, 10, 0);
     let engine = ScEngine::new(GeoConfig::geo(16, 64)).expect("valid config");
-    let plan: Vec<usize> = engine
-        .stream_plan(&model)
-        .into_iter()
-        .flatten()
-        .collect();
+    let plan: Vec<usize> = engine.stream_plan(&model).into_iter().flatten().collect();
     assert_eq!(plan, vec![16, 16, 64, 128]);
 
     let net = NetworkDesc::from_model("cnn4", &model, (3, 8, 8));
@@ -66,8 +62,7 @@ fn accumulation_modes_order_consistently_across_stack() {
     // and recovers more dynamic range.
     use geo::sc::KernelDims;
     let dims = KernelDims::new(1, 32, 5, 5);
-    let area =
-        |m: Accumulation| geo::arch::mac_area::sc_mac_unit(dims, m).area_um2;
+    let area = |m: Accumulation| geo::arch::mac_area::sc_mac_unit(dims, m).area_um2;
     assert!(area(Accumulation::Or) <= area(Accumulation::Pbw));
     assert!(area(Accumulation::Pbw) <= area(Accumulation::Pbhw));
     assert!(area(Accumulation::Pbhw) <= area(Accumulation::Fxp));

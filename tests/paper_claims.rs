@@ -37,7 +37,8 @@ fn fig1_lfsr_moderate_sharing_beats_unshared_trng() {
     };
     let lfsr_moderate = quick_train(base.with_sharing(SharingLevel::Moderate), 11);
     let trng_none = quick_train(
-        base.with_rng(RngKind::Trng).with_sharing(SharingLevel::None),
+        base.with_rng(RngKind::Trng)
+            .with_sharing(SharingLevel::None),
         11,
     );
     assert!(
@@ -101,8 +102,7 @@ fn progressive_generation_is_nearly_free() {
     )
     .expect("training");
     let normal = evaluate_sc(&mut engine, &mut model, &test_ds).expect("eval");
-    let mut prog_engine =
-        ScEngine::new(cfg_normal.with_progressive(true)).expect("valid config");
+    let mut prog_engine = ScEngine::new(cfg_normal.with_progressive(true)).expect("valid config");
     let progressive = evaluate_sc(&mut prog_engine, &mut model, &test_ds).expect("eval");
     assert!(
         (normal - progressive).abs() < 0.12,
