@@ -12,6 +12,26 @@
 //! inputs, but each parametrized layer's *output* is replaced by the SC
 //! result — the paper's "simulated SC computes output values while the
 //! floating-point forward pass guides back propagation".
+//!
+//! # Resolve/compute pipeline
+//!
+//! Each parametrized layer executes in two phases:
+//!
+//! 1. **Resolve** (serial, `&mut self`): every lane table is built or
+//!    fetched through the [`TableCache`] and every operand is quantized
+//!    into a [`ResolvedConv`]/[`ResolvedLinear`]. Table construction is
+//!    the injection point for the fault model, so running it serially in
+//!    a fixed order keeps fault draws and counters deterministic and
+//!    call-order independent.
+//! 2. **Compute** (pure, `&self`): output positions `(b, co, oy, ox)` are
+//!    computed over disjoint output slices, in parallel across `rayon`
+//!    workers. Each position's accumulators are position-local and the
+//!    resolved tables are immutable, so the result is **bit-identical to
+//!    the serial engine at every thread count** — the correctness
+//!    contract `crates/core/tests/parallel_equivalence.rs` enforces.
+//!
+//! Thread count follows `RAYON_NUM_THREADS` (or an installed
+//! `rayon::ThreadPool`), defaulting to the machine's parallelism.
 
 use crate::config::{Accumulation, GeoConfig};
 use crate::error::GeoError;
@@ -19,7 +39,8 @@ use crate::tables::{ProgressiveTable, TableCache};
 use geo_nn::{Conv2d, Layer, Linear, Sequential, Tensor};
 use geo_sc::fault::{FaultCounters, FaultInjector, FaultModel};
 use geo_sc::{quantize_unipolar, Bitstream, KernelDims, SeedPlan, StreamTable};
-use std::sync::Arc;
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
 
 /// Array width assumed when mapping fully-connected layers onto the MAC
 /// fabric: features fill a pseudo-kernel of this W dimension, so partial
@@ -94,12 +115,287 @@ impl ResilienceReport {
     }
 }
 
-/// A weight operand resolved to its generator table and quantized split
-/// levels.
+/// A weight operand resolved for the compute phase: quantized split
+/// levels, the accumulator group its lane feeds, and the packed words of
+/// its positive/negative streams. The words are copied out of the lane
+/// table once per resolve so the per-position hot loop reads flat local
+/// data instead of chasing table pointers; tables are immutable for the
+/// duration of a pass, so the copy is exact.
 struct WeightRef {
-    table: LaneTable,
     pos: u32,
     neg: u32,
+    group: usize,
+    pos_words: Vec<u64>,
+    neg_words: Vec<u64>,
+}
+
+impl WeightRef {
+    fn resolve(
+        table: &LaneTable,
+        (pos, neg): (u32, u32),
+        group: usize,
+    ) -> Result<WeightRef, GeoError> {
+        let words_of = |level: u32| -> Result<Vec<u64>, GeoError> {
+            Ok(if level > 0 {
+                table.stream(level)?.as_words().to_vec()
+            } else {
+                Vec::new()
+            })
+        };
+        Ok(WeightRef {
+            pos,
+            neg,
+            group,
+            pos_words: words_of(pos)?,
+            neg_words: words_of(neg)?,
+        })
+    }
+
+    /// Whether both split halves are zero (the lane contributes nothing).
+    fn is_zero(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+}
+
+/// Everything the pure compute phase needs for one convolution layer,
+/// produced serially by [`ScEngine::resolve_conv`]. Shared as `&self`
+/// across worker threads (see the compile-time assertions below).
+struct ResolvedConv {
+    mode: Accumulation,
+    len: usize,
+    words: usize,
+    groups: usize,
+    n: usize,
+    cin: usize,
+    h: usize,
+    w: usize,
+    cout: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    volume: usize,
+    act_tables: Vec<LaneTable>,
+    wrefs: Vec<WeightRef>,
+    act_levels: Vec<u32>,
+}
+
+/// Everything the pure compute phase needs for one fully-connected layer,
+/// produced serially by [`ScEngine::resolve_linear`].
+struct ResolvedLinear {
+    mode: Accumulation,
+    len: usize,
+    words: usize,
+    groups: usize,
+    n: usize,
+    features: usize,
+    outf: usize,
+    act_tables: Vec<LaneTable>,
+    wrefs: Vec<WeightRef>,
+    act_levels: Vec<u32>,
+}
+
+// The compute phase hands these to scoped worker threads by shared
+// reference; pin the auto-trait obligations at compile time so a future
+// non-Sync field (e.g. a Cell or Rc in a table) fails here, not at a
+// distant use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LaneTable>();
+    assert_send_sync::<WeightRef>();
+    assert_send_sync::<ResolvedConv>();
+    assert_send_sync::<ResolvedLinear>();
+};
+
+/// Per-worker accumulator state, allocated once per worker
+/// (`for_each_init`) and reset per output position — the parallel engine
+/// allocates no more scratch than the serial engine did.
+struct Scratch {
+    acc_pos: Vec<u64>,
+    acc_neg: Vec<u64>,
+    fxp_pos: i64,
+    fxp_neg: i64,
+    apc_pos: Vec<Bitstream>,
+    apc_neg: Vec<Bitstream>,
+}
+
+impl Scratch {
+    fn new(groups: usize, words: usize) -> Self {
+        Scratch {
+            acc_pos: vec![0u64; groups * words],
+            acc_neg: vec![0u64; groups * words],
+            fxp_pos: 0,
+            fxp_neg: 0,
+            apc_pos: Vec::new(),
+            apc_neg: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.acc_pos.fill(0);
+        self.acc_neg.fill(0);
+        self.fxp_pos = 0;
+        self.fxp_neg = 0;
+        self.apc_pos.clear();
+        self.apc_neg.clear();
+    }
+
+    /// Converts the accumulated state into the output value.
+    fn finish(&self, mode: Accumulation, len: usize) -> Result<f32, GeoError> {
+        let signed = finish_count(
+            mode,
+            &self.acc_pos,
+            &self.acc_neg,
+            self.fxp_pos,
+            self.fxp_neg,
+            &self.apc_pos,
+            &self.apc_neg,
+        )?;
+        Ok(signed as f32 / len as f32)
+    }
+}
+
+/// Stores the first error any worker produced (later ones are dropped —
+/// one failure already fails the whole layer).
+fn record_error(slot: &Mutex<Option<GeoError>>, err: GeoError) {
+    let mut guard = match slot.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if guard.is_none() {
+        *guard = Some(err);
+    }
+}
+
+impl ResolvedConv {
+    /// Phase 2: computes the whole output tensor, parallelizing over
+    /// output rows `(b, co, oy)`. Bit-identical at every thread count:
+    /// each row is written by exactly one worker from shared immutable
+    /// state.
+    fn compute(&self) -> Result<Tensor, GeoError> {
+        let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
+        let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
+        out.data_mut()
+            .par_chunks_mut(self.ow.max(1))
+            .enumerate()
+            .for_each_init(
+                || Scratch::new(self.groups, self.words),
+                |scratch, (row, chunk)| {
+                    if let Err(err) = self.compute_row(row, chunk, scratch) {
+                        record_error(&first_err, err);
+                    }
+                },
+            );
+        if let Some(err) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(err);
+        }
+        Ok(out)
+    }
+
+    /// Computes one output row: `b`, `co`, `oy` fixed, all `ox`.
+    fn compute_row(
+        &self,
+        row: usize,
+        chunk: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), GeoError> {
+        let oy = row % self.oh;
+        let bc = row / self.oh;
+        let co = bc % self.cout;
+        let b = bc / self.cout;
+        let idx_in = |c: usize, y: usize, x: usize| ((b * self.cin + c) * self.h + y) * self.w + x;
+        for (ox, out_v) in chunk.iter_mut().enumerate() {
+            scratch.reset();
+            let mut lane = 0usize;
+            for ci in 0..self.cin {
+                for ky in 0..self.k {
+                    for kx in 0..self.k {
+                        let cur = lane;
+                        lane += 1;
+                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                        if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize {
+                            continue;
+                        }
+                        let alevel = self.act_levels[idx_in(ci, iy as usize, ix as usize)];
+                        if alevel == 0 {
+                            continue;
+                        }
+                        let wref = &self.wrefs[co * self.volume + cur];
+                        if wref.is_zero() {
+                            continue;
+                        }
+                        let astream = self.act_tables[cur].stream(alevel)?;
+                        accumulate(
+                            self.mode,
+                            astream.as_words(),
+                            wref,
+                            self.words,
+                            self.len,
+                            scratch,
+                        );
+                    }
+                }
+            }
+            *out_v = scratch.finish(self.mode, self.len)?;
+        }
+        Ok(())
+    }
+}
+
+impl ResolvedLinear {
+    /// Phase 2: computes the whole output tensor, parallelizing over
+    /// output neurons `(b, o)`.
+    fn compute(&self) -> Result<Tensor, GeoError> {
+        let mut out = Tensor::zeros(&[self.n, self.outf]);
+        let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
+        out.data_mut().par_chunks_mut(1).enumerate().for_each_init(
+            || Scratch::new(self.groups, self.words),
+            |scratch, (row, chunk)| {
+                if let Err(err) = self.compute_neuron(row, chunk, scratch) {
+                    record_error(&first_err, err);
+                }
+            },
+        );
+        if let Some(err) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(err);
+        }
+        Ok(out)
+    }
+
+    /// Computes one output neuron: `row = b * outf + o`.
+    fn compute_neuron(
+        &self,
+        row: usize,
+        chunk: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<(), GeoError> {
+        let o = row % self.outf;
+        let b = row / self.outf;
+        scratch.reset();
+        for i in 0..self.features {
+            let alevel = self.act_levels[b * self.features + i];
+            if alevel == 0 {
+                continue;
+            }
+            let wref = &self.wrefs[o * self.features + i];
+            if wref.is_zero() {
+                continue;
+            }
+            let astream = self.act_tables[i].stream(alevel)?;
+            accumulate(
+                self.mode,
+                astream.as_words(),
+                wref,
+                self.words,
+                self.len,
+                scratch,
+            );
+        }
+        chunk[0] = scratch.finish(self.mode, self.len)?;
+        Ok(())
+    }
 }
 
 /// The stochastic inference engine.
@@ -291,7 +587,7 @@ impl ScEngine {
     /// conv/linear layer; propagates substrate errors.
     pub fn forward_single_layer(
         &mut self,
-        model: &mut Sequential,
+        model: &Sequential,
         layer_index: usize,
         input: &Tensor,
     ) -> Result<Tensor, GeoError> {
@@ -307,15 +603,11 @@ impl ScEngine {
             .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
             .count() as u32;
         let before = self.cache.fault_counters();
-        let out = match &model.layers_mut()[layer_index] {
-            Layer::Conv2d(conv) => {
-                let conv = conv.clone();
-                self.sc_conv(&conv, input, len, param_layer)
-            }
-            Layer::Linear(lin) => {
-                let lin = lin.clone();
-                self.sc_linear(&lin, input, len, param_layer)
-            }
+        // Layers are borrowed, not cloned: the resolve phase only reads
+        // weights, so nothing here needs `&mut` access to the model.
+        let out = match &model.layers()[layer_index] {
+            Layer::Conv2d(conv) => self.sc_conv(conv, input, len, param_layer),
+            Layer::Linear(lin) => self.sc_linear(lin, input, len, param_layer),
             other => {
                 return Err(GeoError::Internal(format!(
                     "stream plan assigned a length to non-parametrized layer {}",
@@ -360,32 +652,39 @@ impl ScEngine {
     ///
     /// Operands live in memory as 8-bit values; matching the LFSR width to
     /// the stream length *truncates* them to the top `width` bits (§II-B).
-    /// Both generation modes quantize identically so progressive loading
-    /// differs only in its first cycles.
+    /// A full-scale operand (`x = 1.0`) quantizes to level 256 — the
+    /// documented all-ones encoding of [`quantize_unipolar`] — and
+    /// `256 >> shift` is exactly `2^width`, the all-ones entry a normal
+    /// [`StreamTable`] explicitly carries. The progressive path instead
+    /// saturates at 255: its stream buffer holds 8-bit operands, a
+    /// deliberate hardware limit and the one place the two generation
+    /// modes encode operands differently.
     fn act_level(&self, x: f32, width: u8) -> u32 {
-        let v8 = quantize_unipolar(x.clamp(0.0, 1.0), 8).min(255);
+        let q = quantize_unipolar(x.clamp(0.0, 1.0), 8);
         if self.config.progressive {
-            v8
+            q.min(255)
         } else {
-            v8 >> (8 - width.min(8))
+            q >> (8 - width.min(8))
         }
     }
 
-    /// Quantized split-weight levels for table lookup (same truncation
-    /// semantics as [`Self::act_level`]).
+    /// Quantized split-weight levels for table lookup (same truncation and
+    /// full-scale semantics as [`Self::act_level`], so `|w| = 1.0` keeps
+    /// the all-ones stream in normal mode).
     fn weight_levels(&self, w: f32, width: u8) -> (u32, u32) {
         let w = w.clamp(-1.0, 1.0);
-        let pos8 = quantize_unipolar(w.max(0.0), 8).min(255);
-        let neg8 = quantize_unipolar((-w).max(0.0), 8).min(255);
+        let pos = quantize_unipolar(w.max(0.0), 8);
+        let neg = quantize_unipolar((-w).max(0.0), 8);
         if self.config.progressive {
-            (pos8, neg8)
+            (pos.min(255), neg.min(255))
         } else {
             let shift = 8 - width.min(8);
-            (pos8 >> shift, neg8 >> shift)
+            (pos >> shift, neg >> shift)
         }
     }
 
-    /// Stochastic convolution of one layer.
+    /// Stochastic convolution of one layer: serial resolve, parallel
+    /// compute.
     fn sc_conv(
         &mut self,
         conv: &Conv2d,
@@ -393,6 +692,19 @@ impl ScEngine {
         len: usize,
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
+        self.resolve_conv(conv, input, len, param_layer)?.compute()
+    }
+
+    /// Phase 1 for a convolution: builds/fetches every lane table through
+    /// the serial [`TableCache`] (in a fixed order, so fault injection is
+    /// deterministic) and quantizes every operand.
+    fn resolve_conv(
+        &mut self,
+        conv: &Conv2d,
+        input: &Tensor,
+        len: usize,
+        param_layer: u32,
+    ) -> Result<ResolvedConv, GeoError> {
         let s = input.shape();
         if s.len() != 4 || s[1] != conv.cin() {
             return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
@@ -413,8 +725,9 @@ impl ScEngine {
             dims,
         );
         let volume = dims.kernel_volume();
+        let mode = self.config.accumulation;
 
-        // Resolve activation lane tables: one generator per kernel position,
+        // Activation lane tables: one generator per kernel position,
         // broadcast across all rows (kernels).
         let act_tables: Vec<LaneTable> = (0..volume)
             .map(|lane| {
@@ -423,7 +736,8 @@ impl ScEngine {
             })
             .collect::<Result<_, _>>()?;
 
-        // Resolve weight references: per (kernel, position).
+        // Weight references: per (kernel, position), with the accumulator
+        // group each lane feeds precomputed from its kernel coordinates.
         let mut wrefs = Vec::with_capacity(cout * volume);
         for co in 0..cout {
             for ci in 0..cin {
@@ -431,109 +745,57 @@ impl ScEngine {
                     for kx in 0..k {
                         let spec = plan.weight_spec(co, ci, ky, kx);
                         let table = self.lane_table(width, len, spec)?;
-                        let (pos, neg) =
+                        let levels =
                             self.weight_levels(conv.weight.value.at4(co, ci, ky, kx), width);
-                        wrefs.push(WeightRef { table, pos, neg });
+                        let group = match mode {
+                            Accumulation::Pbw => kx,
+                            Accumulation::Pbhw => ky * k + kx,
+                            Accumulation::Or | Accumulation::Fxp | Accumulation::Apc => 0,
+                        };
+                        wrefs.push(WeightRef::resolve(&table, levels, group)?);
                     }
                 }
             }
         }
 
-        // Precompute activation levels for the whole input tensor.
+        // Activation levels for the whole input tensor.
         let act_levels: Vec<u32> = input
             .data()
             .iter()
             .map(|&x| self.act_level(x, width))
             .collect();
-        let idx_in = |b: usize, c: usize, y: usize, x_: usize| ((b * cin + c) * h + y) * w + x_;
 
-        let words = len.div_ceil(64);
-        let groups = match self.config.accumulation {
+        let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw => k,
             Accumulation::Pbhw => k * k,
             Accumulation::Fxp | Accumulation::Apc => 1, // handled separately
         };
-        let mut out = Tensor::zeros(&[n, cout, oh, ow]);
-        let mut acc_pos = vec![0u64; groups * words];
-        let mut acc_neg = vec![0u64; groups * words];
-        let mut apc_pos: Vec<Bitstream> = Vec::new();
-        let mut apc_neg: Vec<Bitstream> = Vec::new();
-
-        for b in 0..n {
-            for co in 0..cout {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        acc_pos.fill(0);
-                        acc_neg.fill(0);
-                        apc_pos.clear();
-                        apc_neg.clear();
-                        let mut fxp_pos = 0i64;
-                        let mut fxp_neg = 0i64;
-                        let mut lane = 0usize;
-                        for ci in 0..cin {
-                            for ky in 0..k {
-                                for kx in 0..k {
-                                    let cur = lane;
-                                    lane += 1;
-                                    let iy = (oy * stride + ky) as isize - pad as isize;
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
-                                        continue;
-                                    }
-                                    let alevel =
-                                        act_levels[idx_in(b, ci, iy as usize, ix as usize)];
-                                    if alevel == 0 {
-                                        continue;
-                                    }
-                                    let wref = &wrefs[co * volume + cur];
-                                    if wref.pos == 0 && wref.neg == 0 {
-                                        continue;
-                                    }
-                                    let astream = act_tables[cur].stream(alevel)?;
-                                    let aw = astream.as_words();
-                                    let g = match self.config.accumulation {
-                                        Accumulation::Or => 0,
-                                        Accumulation::Pbw => kx,
-                                        Accumulation::Pbhw => ky * k + kx,
-                                        _ => 0,
-                                    };
-                                    accumulate(
-                                        self.config.accumulation,
-                                        aw,
-                                        wref,
-                                        g,
-                                        words,
-                                        len,
-                                        &mut acc_pos,
-                                        &mut acc_neg,
-                                        &mut fxp_pos,
-                                        &mut fxp_neg,
-                                        &mut apc_pos,
-                                        &mut apc_neg,
-                                    )?;
-                                }
-                            }
-                        }
-                        let signed = finish_count(
-                            self.config.accumulation,
-                            &acc_pos,
-                            &acc_neg,
-                            fxp_pos,
-                            fxp_neg,
-                            &apc_pos,
-                            &apc_neg,
-                        )?;
-                        out.set4(b, co, oy, ox, signed as f32 / len as f32);
-                    }
-                }
-            }
-        }
-        Ok(out)
+        Ok(ResolvedConv {
+            mode,
+            len,
+            words: len.div_ceil(64),
+            groups,
+            n,
+            cin,
+            h,
+            w,
+            cout,
+            k,
+            stride,
+            pad,
+            oh,
+            ow,
+            volume,
+            act_tables,
+            wrefs,
+            act_levels,
+        })
     }
 
     /// Stochastic fully-connected layer: features map onto a pseudo-kernel
     /// of width [`FC_BINARY_WIDTH`], so the accumulation split applies.
+    /// Serial resolve, parallel compute.
     fn sc_linear(
         &mut self,
         lin: &Linear,
@@ -541,6 +803,17 @@ impl ScEngine {
         len: usize,
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
+        self.resolve_linear(lin, input, len, param_layer)?.compute()
+    }
+
+    /// Phase 1 for a fully-connected layer (see [`Self::resolve_conv`]).
+    fn resolve_linear(
+        &mut self,
+        lin: &Linear,
+        input: &Tensor,
+        len: usize,
+        param_layer: u32,
+    ) -> Result<ResolvedLinear, GeoError> {
         let s = input.shape();
         if s.len() != 2 || s[1] != lin.input_features() {
             return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
@@ -560,6 +833,7 @@ impl ScEngine {
             self.layer_seed(param_layer),
             dims,
         );
+        let mode = self.config.accumulation;
 
         let act_tables: Vec<LaneTable> = (0..features)
             .map(|lane| {
@@ -572,76 +846,37 @@ impl ScEngine {
             for i in 0..features {
                 let spec = plan.weight_spec(o, i / wdim, 0, i % wdim);
                 let table = self.lane_table(width, len, spec)?;
-                let (pos, neg) = self.weight_levels(lin.weight.value.at2(o, i), width);
-                wrefs.push(WeightRef { table, pos, neg });
+                let levels = self.weight_levels(lin.weight.value.at2(o, i), width);
+                let group = match mode {
+                    Accumulation::Pbw | Accumulation::Pbhw => i % wdim,
+                    Accumulation::Or | Accumulation::Fxp | Accumulation::Apc => 0,
+                };
+                wrefs.push(WeightRef::resolve(&table, levels, group)?);
             }
         }
 
-        let words = len.div_ceil(64);
-        let groups = match self.config.accumulation {
+        let act_levels: Vec<u32> = (0..n)
+            .flat_map(|b| (0..features).map(move |i| (b, i)))
+            .map(|(b, i)| self.act_level(input.at2(b, i), width))
+            .collect();
+
+        let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw | Accumulation::Pbhw => wdim,
             Accumulation::Fxp | Accumulation::Apc => 1,
         };
-        let mut out = Tensor::zeros(&[n, outf]);
-        let mut acc_pos = vec![0u64; groups * words];
-        let mut acc_neg = vec![0u64; groups * words];
-        let mut apc_pos: Vec<Bitstream> = Vec::new();
-        let mut apc_neg: Vec<Bitstream> = Vec::new();
-        for b in 0..n {
-            let act_levels: Vec<u32> = (0..features)
-                .map(|i| self.act_level(input.at2(b, i), width))
-                .collect();
-            for o in 0..outf {
-                acc_pos.fill(0);
-                acc_neg.fill(0);
-                apc_pos.clear();
-                apc_neg.clear();
-                let mut fxp_pos = 0i64;
-                let mut fxp_neg = 0i64;
-                for i in 0..features {
-                    let alevel = act_levels[i];
-                    if alevel == 0 {
-                        continue;
-                    }
-                    let wref = &wrefs[o * features + i];
-                    if wref.pos == 0 && wref.neg == 0 {
-                        continue;
-                    }
-                    let astream = act_tables[i].stream(alevel)?;
-                    let g = match self.config.accumulation {
-                        Accumulation::Or => 0,
-                        Accumulation::Pbw | Accumulation::Pbhw => i % wdim,
-                        _ => 0,
-                    };
-                    accumulate(
-                        self.config.accumulation,
-                        astream.as_words(),
-                        wref,
-                        g,
-                        words,
-                        len,
-                        &mut acc_pos,
-                        &mut acc_neg,
-                        &mut fxp_pos,
-                        &mut fxp_neg,
-                        &mut apc_pos,
-                        &mut apc_neg,
-                    )?;
-                }
-                let signed = finish_count(
-                    self.config.accumulation,
-                    &acc_pos,
-                    &acc_neg,
-                    fxp_pos,
-                    fxp_neg,
-                    &apc_pos,
-                    &apc_neg,
-                )?;
-                out.set2(b, o, signed as f32 / len as f32);
-            }
-        }
-        Ok(out)
+        Ok(ResolvedLinear {
+            mode,
+            len,
+            words: len.div_ceil(64),
+            groups,
+            n,
+            features,
+            outf,
+            act_tables,
+            wrefs,
+            act_levels,
+        })
     }
 }
 
@@ -656,64 +891,70 @@ fn planned_len(plan: &[Option<usize>], i: usize) -> Result<usize, GeoError> {
 }
 
 /// Folds one multiply-accumulate into the mode-specific accumulator state.
-#[allow(clippy::too_many_arguments)]
+///
+/// Infallible: the weight stream words were copied into `wref` during the
+/// resolve phase, so the hot loop performs no table lookups for weights.
+/// The single-word case (stream lengths up to 64 cycles — every paper
+/// configuration's hidden layers) is special-cased so the compiler drops
+/// the inner loops.
 fn accumulate(
     mode: Accumulation,
     act_words: &[u64],
     wref: &WeightRef,
-    group: usize,
     words: usize,
     len: usize,
-    acc_pos: &mut [u64],
-    acc_neg: &mut [u64],
-    fxp_pos: &mut i64,
-    fxp_neg: &mut i64,
-    apc_pos: &mut Vec<Bitstream>,
-    apc_neg: &mut Vec<Bitstream>,
-) -> Result<(), GeoError> {
+    scratch: &mut Scratch,
+) {
+    let g = wref.group;
     match mode {
         Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+            if words == 1 {
+                if wref.pos > 0 {
+                    scratch.acc_pos[g] |= act_words[0] & wref.pos_words[0];
+                }
+                if wref.neg > 0 {
+                    scratch.acc_neg[g] |= act_words[0] & wref.neg_words[0];
+                }
+                return;
+            }
             if wref.pos > 0 {
-                let pw = wref.table.stream(wref.pos)?.as_words();
-                for j in 0..words {
-                    acc_pos[group * words + j] |= act_words[j] & pw[j];
+                for (j, &a) in act_words.iter().enumerate().take(words) {
+                    scratch.acc_pos[g * words + j] |= a & wref.pos_words[j];
                 }
             }
             if wref.neg > 0 {
-                let nw = wref.table.stream(wref.neg)?.as_words();
-                for j in 0..words {
-                    acc_neg[group * words + j] |= act_words[j] & nw[j];
+                for (j, &a) in act_words.iter().enumerate().take(words) {
+                    scratch.acc_neg[g * words + j] |= a & wref.neg_words[j];
                 }
             }
         }
         Accumulation::Fxp => {
             if wref.pos > 0 {
-                let pw = wref.table.stream(wref.pos)?.as_words();
-                *fxp_pos += (0..words)
-                    .map(|j| (act_words[j] & pw[j]).count_ones() as i64)
+                scratch.fxp_pos += (0..words)
+                    .map(|j| (act_words[j] & wref.pos_words[j]).count_ones() as i64)
                     .sum::<i64>();
             }
             if wref.neg > 0 {
-                let nw = wref.table.stream(wref.neg)?.as_words();
-                *fxp_neg += (0..words)
-                    .map(|j| (act_words[j] & nw[j]).count_ones() as i64)
+                scratch.fxp_neg += (0..words)
+                    .map(|j| (act_words[j] & wref.neg_words[j]).count_ones() as i64)
                     .sum::<i64>();
             }
         }
         Accumulation::Apc => {
             if wref.pos > 0 {
-                let pw = wref.table.stream(wref.pos)?.as_words();
-                let product: Vec<u64> = (0..words).map(|j| act_words[j] & pw[j]).collect();
-                apc_pos.push(Bitstream::from_words(product, len));
+                let product: Vec<u64> = (0..words)
+                    .map(|j| act_words[j] & wref.pos_words[j])
+                    .collect();
+                scratch.apc_pos.push(Bitstream::from_words(product, len));
             }
             if wref.neg > 0 {
-                let nw = wref.table.stream(wref.neg)?.as_words();
-                let product: Vec<u64> = (0..words).map(|j| act_words[j] & nw[j]).collect();
-                apc_neg.push(Bitstream::from_words(product, len));
+                let product: Vec<u64> = (0..words)
+                    .map(|j| act_words[j] & wref.neg_words[j])
+                    .collect();
+                scratch.apc_neg.push(Bitstream::from_words(product, len));
             }
         }
     }
-    Ok(())
 }
 
 /// Converts the accumulator state into the signed output count.

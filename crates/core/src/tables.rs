@@ -62,6 +62,13 @@ pub struct ProgressiveTable {
     streams: Vec<Bitstream>,
 }
 
+// Like `StreamTable`, progressive tables are resolved serially and then
+// read concurrently through `Arc` handles by the parallel compute phase.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProgressiveTable>();
+};
+
 impl ProgressiveTable {
     fn new(len: usize, rng: &mut dyn StreamRng) -> Self {
         let streams = (0..=255u8)

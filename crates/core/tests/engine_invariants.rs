@@ -20,6 +20,18 @@ fn input(seed: u64, cin: usize) -> Tensor {
     Tensor::kaiming(&[1, cin, 4, 4], 4, &mut rng).map(|v| v.abs().min(1.0))
 }
 
+/// A 1×1 identity convolution with a single pinned weight.
+fn unit_conv(weight: f32) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = Sequential::new(vec![Layer::Conv2d(Conv2d::new(
+        1, 1, 1, 1, 0, false, &mut rng,
+    ))]);
+    if let Layer::Conv2d(c) = &mut model.layers_mut()[0] {
+        c.weight.value.data_mut()[0] = weight;
+    }
+    model
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -98,6 +110,58 @@ proptest! {
         prop_assert!(y.data().iter().all(|&v| v == 0.0));
     }
 
+    /// Full-scale operands survive quantization in normal mode: with
+    /// `x = 1.0` and `w = 1.0` the engine must select the all-ones
+    /// stream (level `2^width`), never the clamped `255/256` level, so a
+    /// 1×1 identity convolution reproduces its input *exactly* in every
+    /// accumulation mode.
+    #[test]
+    fn full_scale_conv_is_exact_in_every_mode(mode_idx in 0usize..5) {
+        let mut model = unit_conv(1.0);
+        let x = Tensor::full(&[1, 1, 1, 1], 1.0);
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(32, 32)
+                .with_accumulation(Accumulation::ALL[mode_idx])
+                .with_progressive(false),
+        ).unwrap();
+        let y = engine.forward(&mut model, &x, false).unwrap();
+        prop_assert_eq!(y.data(), &[1.0f32][..]);
+    }
+
+    /// Same full-scale contract through the FC path: a 1-in/1-out linear
+    /// layer with unit weight passes `x = 1.0` through exactly.
+    #[test]
+    fn full_scale_linear_is_exact_in_every_mode(mode_idx in 0usize..5) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Sequential::new(vec![Layer::Linear(Linear::new(1, 1, &mut rng))]);
+        if let Layer::Linear(l) = &mut model.layers_mut()[0] {
+            l.weight.value.data_mut()[0] = 1.0;
+        }
+        let x = Tensor::full(&[1, 1], 1.0);
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(32, 32)
+                .with_accumulation(Accumulation::ALL[mode_idx])
+                .with_progressive(false),
+        ).unwrap();
+        let y = engine.forward(&mut model, &x, false).unwrap();
+        prop_assert_eq!(y.data(), &[1.0f32][..]);
+    }
+
+    /// Negative full scale is symmetric: `w = -1.0` on `x = 1.0` yields
+    /// exactly `-1.0` through the split-unipolar negative stream.
+    #[test]
+    fn full_scale_negative_weight_is_exact(mode_idx in 0usize..5) {
+        let mut model = unit_conv(-1.0);
+        let x = Tensor::full(&[1, 1, 1, 1], 1.0);
+        let mut engine = ScEngine::new(
+            GeoConfig::geo(32, 32)
+                .with_accumulation(Accumulation::ALL[mode_idx])
+                .with_progressive(false),
+        ).unwrap();
+        let y = engine.forward(&mut model, &x, false).unwrap();
+        prop_assert_eq!(y.data(), &[-1.0f32][..]);
+    }
+
     /// FC layers obey the same stream-bound invariant as convolutions.
     #[test]
     fn linear_or_outputs_bounded(seed in 0u64..200) {
@@ -112,4 +176,27 @@ proptest! {
             prop_assert!((-1.0..=1.0).contains(&v));
         }
     }
+}
+
+/// Progressive generation deliberately clamps levels to 255: the 256-entry
+/// progressive buffer models GEO's 8-bit counter hardware, so full scale
+/// lands close to — but intentionally not exactly — `1.0` (the act and
+/// weight streams each lose a bit, and their AND loses a little more to
+/// stream correlation).
+#[test]
+fn progressive_full_scale_clamps_to_buffer_limit() {
+    let mut model = unit_conv(1.0);
+    let x = Tensor::full(&[1, 1, 1, 1], 1.0);
+    let mut engine = ScEngine::new(
+        GeoConfig::geo(128, 128)
+            .with_accumulation(Accumulation::Fxp)
+            .with_progressive(true),
+    )
+    .unwrap();
+    let y = engine.forward(&mut model, &x, false).unwrap();
+    let v = y.data()[0];
+    assert!(
+        (0.9..1.0).contains(&v),
+        "progressive full scale should clamp just below 1.0, got {v}"
+    );
 }

@@ -119,6 +119,43 @@ fn fault_free_engine_reports_nothing() {
     assert!(report.layers.is_empty());
 }
 
+/// Fault injection must be untouched by the parallel compute phase: all
+/// fault draws happen while tables are built in the serial resolve phase,
+/// so logits *and* the resilience report are bit-identical at every
+/// thread count.
+#[test]
+fn fault_injection_is_deterministic_under_parallel_compute() {
+    let config = GeoConfig::geo(32, 64);
+    let faults = FaultModel::with_stream_ber(0.05, 13);
+    let run = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let mut engine = ScEngine::with_faults(config, faults).unwrap();
+            let y = logits(&mut engine, 6);
+            (y, engine.resilience_report().clone())
+        })
+    };
+    let (serial_logits, serial_report) = run(1);
+    assert!(
+        serial_report.total.any(),
+        "5% BER must inject faults in the reference run"
+    );
+    for threads in [2, 4, 8] {
+        let (par_logits, par_report) = run(threads);
+        assert!(
+            bitwise_eq(&serial_logits, &par_logits),
+            "faulty logits diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_report, par_report,
+            "resilience report diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn invalid_fault_rates_are_rejected() {
     let config = GeoConfig::geo(32, 64);

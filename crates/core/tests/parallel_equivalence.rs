@@ -1,0 +1,141 @@
+//! The parallel compute phase must be *bit-identical* to serial
+//! execution — not merely close. Every output position is produced by
+//! exactly one worker from shared immutable resolved state, and all
+//! stateful work (table construction, fault draws) happens in the serial
+//! resolve phase, so the thread count cannot influence a single bit of
+//! the result. These tests pin that contract across every accumulation
+//! mode, both generation modes, every RNG kind, and every sharing level.
+//!
+//! Engines are built *inside* the thread-pool scope so TRNG table
+//! construction (re-seeded per forward pass) sees identical pass
+//! counters on both sides of each comparison.
+
+use geo_core::{Accumulation, GeoConfig, ScEngine};
+use geo_nn::{AvgPool2d, Conv2d, Flatten, Layer, Linear, Relu, Sequential, Tensor};
+use geo_sc::{RngKind, SharingLevel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+
+const RNGS: [RngKind; 3] = [RngKind::Lfsr, RngKind::Trng, RngKind::Sobol];
+
+/// Conv → ReLU → pool → FC: exercises both SC layer kinds plus the
+/// pure-binary layers in one forward pass.
+fn mixed_model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(2, 3, 3, 1, 1, false, &mut rng)),
+        Layer::Relu(Relu::new()),
+        Layer::AvgPool2d(AvgPool2d::new()),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(12, 5, &mut rng)),
+    ])
+}
+
+/// Batch of 2 so the output rows span batch × channel × spatial indices;
+/// the first element is pinned to exact full scale to keep the all-ones
+/// stream path under test here too.
+fn input(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Tensor::kaiming(&[2, 2, 4, 4], 4, &mut rng).map(|v| v.abs().min(1.0));
+    x.data_mut()[0] = 1.0;
+    x
+}
+
+/// One full forward pass on a fresh engine + model under a pool of
+/// `threads` workers, returning the raw output bit patterns.
+fn forward_bits(threads: usize, cfg: GeoConfig, seed: u64) -> Vec<u32> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction never fails");
+    pool.install(|| {
+        let mut model = mixed_model(seed);
+        let x = input(seed ^ 0x5eed);
+        let mut engine = ScEngine::new(cfg).expect("valid config");
+        let y = engine.forward(&mut model, &x, false).expect("forward");
+        y.data().iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial (1 thread) and parallel (2..=8 threads) forwards agree to
+    /// the bit for every accumulation mode × generation mode × RNG kind
+    /// × sharing level.
+    #[test]
+    fn parallel_forward_is_bit_identical_to_serial(
+        seed in 0u64..500,
+        mode_idx in 0usize..5,
+        rng_idx in 0usize..3,
+        sharing_idx in 0usize..3,
+        progressive in any::<bool>(),
+        threads in 2usize..9,
+    ) {
+        let cfg = GeoConfig::geo(32, 32)
+            .with_accumulation(Accumulation::ALL[mode_idx])
+            .with_rng(RNGS[rng_idx])
+            .with_sharing(SharingLevel::ALL[sharing_idx])
+            .with_progressive(progressive);
+        let serial = forward_bits(1, cfg, seed);
+        let parallel = forward_bits(threads, cfg, seed);
+        prop_assert_eq!(serial, parallel, "{} threads diverged from serial", threads);
+    }
+}
+
+/// Exhaustive sweep at fixed thread counts: all five accumulation modes
+/// under both generation modes match serial at 2, 3, and 8 workers
+/// (covering fewer-workers-than-rows, uneven splits, and
+/// more-workers-than-rows).
+#[test]
+fn every_accumulation_mode_matches_serial_at_fixed_thread_counts() {
+    for mode in Accumulation::ALL {
+        for progressive in [false, true] {
+            let cfg = GeoConfig::geo(32, 32)
+                .with_accumulation(mode)
+                .with_progressive(progressive);
+            let serial = forward_bits(1, cfg, 42);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    serial,
+                    forward_bits(threads, cfg, 42),
+                    "{mode:?} progressive={progressive} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// `ThreadPool::install` scopes nest and restore: an equivalence check
+/// run inside an outer pool still resolves its own thread counts.
+#[test]
+fn nested_pools_do_not_leak_thread_counts() {
+    let outer = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    let cfg = GeoConfig::geo(32, 32).with_accumulation(Accumulation::Fxp);
+    let (serial, parallel) = outer.install(|| (forward_bits(1, cfg, 7), forward_bits(3, cfg, 7)));
+    assert_eq!(serial, parallel);
+    assert_eq!(rayon::current_num_threads(), rayon::current_num_threads());
+}
+
+/// The engine reports identical results whether the thread count comes
+/// from an installed pool or the ambient default — parallelism is
+/// invisible to the numerics.
+#[test]
+fn ambient_thread_count_matches_explicit_serial() {
+    let cfg = GeoConfig::geo(32, 32);
+    let serial = forward_bits(1, cfg, 99);
+    // No install: uses RAYON_NUM_THREADS or available_parallelism.
+    let mut model = mixed_model(99);
+    let x = input(99 ^ 0x5eed);
+    let mut engine = ScEngine::new(cfg).expect("valid config");
+    let ambient: Vec<u32> = engine
+        .forward(&mut model, &x, false)
+        .expect("forward")
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(serial, ambient);
+}

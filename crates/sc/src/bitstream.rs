@@ -33,6 +33,15 @@ pub struct Bitstream {
     len: usize,
 }
 
+// The GEO engine shares streams (via `Arc`-held tables) across worker
+// threads during its parallel compute phase. Pin the auto-trait
+// obligation at compile time so an interior-mutability field can never
+// sneak in silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Bitstream>();
+};
+
 #[inline]
 fn words_for(len: usize) -> usize {
     len.div_ceil(64)

@@ -68,6 +68,14 @@ pub struct StreamTable {
     streams: Vec<Bitstream>,
 }
 
+// Tables are built once (serially, inside the engine's resolve phase) and
+// then read concurrently by compute workers through `Arc<StreamTable>`;
+// this compile-time pin keeps the type shareable-by-construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StreamTable>();
+};
+
 impl StreamTable {
     /// Precomputes streams of `len` cycles for every level `0..=2^w` of
     /// `rng` (which is reset before each level).

@@ -17,4 +17,5 @@ run fig1       $B fig1_sharing                   > $R/fig1.txt
 run table1     $B table1_accuracy -- --ablations > $R/table1.txt
 run ablations  $B ablation_sweeps                > $R/ablation_sweeps.txt
 run faults     $B fault_sweep                    > $R/fault_sweep.txt
+run scaling    $B thread_scaling                 > $R/thread_scaling.txt
 echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,358 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the data-parallel APIs the GEO engine actually uses are
+//! reimplemented here behind the same names: [`ParallelSliceMut`]
+//! (`par_chunks_mut` with `enumerate`, `for_each`, and `for_each_init`),
+//! [`current_num_threads`], and scoped pools
+//! ([`ThreadPoolBuilder::num_threads`] + [`ThreadPool::install`]).
+//!
+//! Instead of a work-stealing pool, work is split into one *contiguous*
+//! block of chunks per worker and executed under [`std::thread::scope`].
+//! Each chunk is handed to exactly one closure invocation with exclusive
+//! (`&mut`) access, and the chunk index passed to the closure is its
+//! global position — so for any pure per-chunk computation, results are
+//! **bit-identical at every thread count by construction**. That is the
+//! property the GEO engine's parallel compute phase relies on.
+//!
+//! Thread-count resolution order mirrors upstream rayon closely enough
+//! for this workspace:
+//!
+//! 1. the innermost [`ThreadPool::install`] active on the calling thread,
+//! 2. the `RAYON_NUM_THREADS` environment variable (read per call, not
+//!    latched at startup — handy for benchmarks),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Known differences from upstream: `install` affects only the calling
+//! thread (the override is thread-local, not a real pool, and does not
+//! propagate into nested parallel calls made *from worker threads*), and
+//! workers are plain scoped threads spawned per call rather than pooled.
+//! Nothing in this repository relies on those upstream behaviors.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED: Cell<Option<NonZeroUsize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// The number of worker threads a parallel call issued from this thread
+/// would use right now.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED.with(Cell::get) {
+        return n.get();
+    }
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count; `0` means "automatic".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the `Result` mirrors the upstream
+    /// signature so callers can keep the same error handling.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match NonZeroUsize::new(self.num_threads) {
+            Some(n) => n,
+            None => NonZeroUsize::new(current_num_threads().max(1))
+                .expect("current_num_threads is at least 1"),
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fixed thread-count scope for parallel calls, mirroring
+/// `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: NonZeroUsize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.get()
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// calls `op` makes on the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<NonZeroUsize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                INSTALLED.with(|c| c.set(prev));
+            }
+        }
+        let prev = INSTALLED.with(|c| c.replace(Some(self.num_threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Splits `slice` into `≈ total_chunks / workers` contiguous runs of
+/// whole chunks and drives `op(state, chunk_index, chunk)` over each, one
+/// scoped thread per run. `init` runs once per worker.
+fn drive_chunks<T, S, I, F>(slice: &mut [T], chunk_size: usize, init: I, op: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be nonzero");
+    let total_chunks = slice.len().div_ceil(chunk_size);
+    let workers = current_num_threads().min(total_chunks.max(1));
+    if workers <= 1 {
+        let mut state = init();
+        for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+            op(&mut state, i, chunk);
+        }
+        return;
+    }
+    let chunks_per_worker = total_chunks.div_ceil(workers);
+    let items_per_worker = chunks_per_worker * chunk_size;
+    std::thread::scope(|scope| {
+        let mut rest = slice;
+        let mut next_chunk = 0usize;
+        while !rest.is_empty() {
+            let take = items_per_worker.min(rest.len());
+            let (block, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first_chunk = next_chunk;
+            next_chunk += chunks_per_worker;
+            let (init, op) = (&init, &op);
+            scope.spawn(move || {
+                let mut state = init();
+                for (j, chunk) in block.chunks_mut(chunk_size).enumerate() {
+                    op(&mut state, first_chunk + j, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel mutable-slice operations, mirroring
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be nonzero");
+        ChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut(self)
+    }
+
+    /// Runs `op` on every chunk, in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        drive_chunks(self.slice, self.chunk_size, || (), |(), _, c| op(c));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks of a slice.
+pub struct EnumerateChunksMut<'a, T>(ChunksMut<'a, T>);
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Runs `op` on every `(chunk_index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        drive_chunks(
+            self.0.slice,
+            self.0.chunk_size,
+            || (),
+            |(), i, c| op((i, c)),
+        );
+    }
+
+    /// Like [`Self::for_each`], but hands `op` mutable state created by
+    /// `init` once per worker — scratch buffers that would be wasteful to
+    /// allocate per chunk.
+    pub fn for_each_init<S, I, F>(self, init: I, op: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &mut [T])) + Sync,
+    {
+        drive_chunks(self.0.slice, self.0.chunk_size, init, |s, i, c| {
+            op(s, (i, c))
+        });
+    }
+}
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_indices_are_global_positions() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.fill(i));
+        for (pos, &v) in data.iter().enumerate() {
+            assert_eq!(v, pos / 10);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut data = vec![0u64; 1000];
+                data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i as u64) << 32 | j as u64;
+                    }
+                });
+                data
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(serial, run(threads), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn for_each_init_state_is_per_worker_not_shared() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let mut data = vec![0usize; 64];
+            data.par_chunks_mut(4).enumerate().for_each_init(
+                Vec::<u8>::new,
+                |scratch, (i, chunk)| {
+                    scratch.clear();
+                    scratch.extend_from_slice(&[1, 2, 3]);
+                    chunk.fill(i + scratch.len());
+                },
+            );
+            for (pos, &v) in data.iter().enumerate() {
+                assert_eq!(v, pos / 4 + 3);
+            }
+        });
+    }
+
+    #[test]
+    fn install_overrides_and_restores_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outer = current_num_threads();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
+        // Nested installs: innermost wins, then restores.
+        let pool2 = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(pool2.install(current_num_threads), 2);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn zero_thread_builder_uses_automatic_count() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_short_slices_are_handled() {
+        let mut empty: Vec<u32> = Vec::new();
+        empty.as_mut_slice().par_chunks_mut(8).for_each(|_| {
+            panic!("no chunks in an empty slice");
+        });
+        let mut short = vec![1u32; 3];
+        short
+            .as_mut_slice()
+            .par_chunks_mut(8)
+            .for_each(|c| c.fill(9));
+        assert_eq!(short, vec![9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_chunk_size_panics() {
+        let mut data = vec![0u8; 4];
+        data.as_mut_slice().par_chunks_mut(0).for_each(|_| {});
+    }
+}

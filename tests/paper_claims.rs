@@ -12,6 +12,22 @@ use geo::nn::train::TrainConfig;
 use geo::nn::{models, Sequential};
 use geo::sc::{RngKind, SharingLevel};
 
+/// Set `GEO_SKIP_HEAVY_TESTS=1` to skip the training-loop tests in this
+/// file (tens of seconds each). CI uses this for the auxiliary serial
+/// lane; the default `cargo test` run — the tier-1 gate — runs everything.
+fn skip_heavy() -> bool {
+    std::env::var("GEO_SKIP_HEAVY_TESTS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+macro_rules! heavy_test {
+    () => {
+        if skip_heavy() {
+            eprintln!("skipped: GEO_SKIP_HEAVY_TESTS is set");
+            return;
+        }
+    };
+}
+
 fn quick_train(config: GeoConfig, seed: u64) -> f32 {
     let (train_ds, test_ds) = generate(&DatasetSpec::svhn_like(seed).with_samples(96, 48));
     let mut model = models::cnn4(3, 8, 10, 0);
@@ -30,6 +46,7 @@ fn quick_train(config: GeoConfig, seed: u64) -> f32 {
 /// unshared TRNG generation.
 #[test]
 fn fig1_lfsr_moderate_sharing_beats_unshared_trng() {
+    heavy_test!();
     let base = GeoConfig {
         accumulation: Accumulation::Or,
         progressive: false,
@@ -50,6 +67,7 @@ fn fig1_lfsr_moderate_sharing_beats_unshared_trng() {
 /// Fig. 1: extreme sharing collapses accuracy even with training.
 #[test]
 fn fig1_extreme_sharing_collapses() {
+    heavy_test!();
     let base = GeoConfig {
         accumulation: Accumulation::Or,
         progressive: false,
@@ -67,6 +85,7 @@ fn fig1_extreme_sharing_collapses() {
 /// streams.
 #[test]
 fn pbw_beats_or_at_short_streams() {
+    heavy_test!();
     let pbw = quick_train(GeoConfig::geo(32, 32).with_progressive(false), 17);
     let or_only = quick_train(
         GeoConfig::geo(32, 32)
@@ -84,6 +103,7 @@ fn pbw_beats_or_at_short_streams() {
 /// network.
 #[test]
 fn progressive_generation_is_nearly_free() {
+    heavy_test!();
     let (train_ds, test_ds) = generate(&DatasetSpec::svhn_like(19).with_samples(96, 48));
     let mut model = models::cnn4(3, 8, 10, 0);
     let cfg_normal = GeoConfig::geo(64, 64).with_progressive(false);
@@ -154,6 +174,21 @@ fn geo_beats_iso_area_eyeriss() {
     let eyeriss_lp = EyerissConfig::lp_8bit().simulate(&vgg);
     assert!(geo_lp.fps > eyeriss_lp.fps * 2.0);
     assert!(geo_lp.frames_per_joule > eyeriss_lp.frames_per_joule * 1.5);
+}
+
+/// Table I-style check: the full GEO configuration (PBW + progressive +
+/// moderate LFSR sharing) trains to an accuracy floor far above the 10%
+/// chance level at CI scale. This pins the end-to-end accuracy path —
+/// including the full-scale operand encoding, which used to lose the
+/// all-ones stream level and silently shave every saturated operand.
+#[test]
+fn table1_trained_geo_accuracy_floor() {
+    heavy_test!();
+    let acc = quick_train(GeoConfig::geo(32, 64), 23);
+    assert!(
+        acc > 0.4,
+        "trained GEO config should clear 40% on the CI-scale dataset, got {acc}"
+    );
 }
 
 /// §IV-A: LFSR inference is bit-exact reproducible — the property the
