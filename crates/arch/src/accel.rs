@@ -10,7 +10,7 @@ use crate::mac_area;
 use crate::memory::{Hbm2, Sram};
 use crate::modules;
 use crate::tech::{um2_to_mm2, BlockCost, OperatingPoint};
-use geo_core::Accumulation;
+use geo_sc::Accumulation;
 use geo_sc::KernelDims;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +105,22 @@ impl Category {
         Category::ActMemory,
         Category::WgtMemory,
     ];
+
+    /// Position of this category in [`Category::ALL`] — infallible, so
+    /// breakdown tables can index per-category arrays without a linear
+    /// scan or an `unwrap`.
+    pub const fn index(self) -> usize {
+        match self {
+            Category::ScMacArrays => 0,
+            Category::ActSng => 1,
+            Category::ActSngBuffers => 2,
+            Category::WgtSng => 3,
+            Category::WgtSngBuffers => 4,
+            Category::OutputConv => 5,
+            Category::ActMemory => 6,
+            Category::WgtMemory => 7,
+        }
+    }
 
     /// Display label matching the figure legend.
     pub fn label(&self) -> &'static str {
@@ -501,5 +517,12 @@ mod tests {
     fn category_labels_match_fig6_legend() {
         assert_eq!(Category::ScMacArrays.label(), "SC MAC Arrays");
         assert_eq!(Category::WgtSngBuffers.label(), "Wgt. SNG Buffers");
+    }
+
+    #[test]
+    fn category_index_matches_all_order() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{}", c.label());
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::accel::AccelConfig;
 use crate::dataflow::{count_accesses, kernel_passes, ArraySpec, Dataflow};
-use crate::isa::{Instr, Program};
+use crate::isa::{Instr, Program, Tile};
 use crate::network::{LayerShape, NetworkDesc};
 
 /// Output layers always run 128-cycle streams (×2 split-unipolar): small
@@ -95,19 +95,21 @@ pub fn compile(net: &NetworkDesc, accel: &AccelConfig) -> Program {
         let rows_active = accel.rows.min(cout) as u64;
         let active_macs = rows_active * (accel.row_macs.min(v) as u64);
 
-        for _cg in 0..cout_groups {
+        for cg in 0..cout_groups {
             if accel.external.is_some() {
                 prog.push(Instr::LoadWeightsExternal {
                     bytes: acc.weight_reads / cout_groups,
                 });
             }
+            let cout_begin = (cg as usize * accel.rows).min(cout) as u32;
+            let cout_end = ((cg as usize + 1) * accel.rows).min(cout) as u32;
             for cp in 0..col_passes {
                 if near_mem || col_passes == 1 {
                     prog.push(Instr::LoadWeights {
                         bytes: wgt_bytes_per_load,
                     });
                 }
-                for _pg in 0..pos_groups {
+                for pg in 0..pos_groups {
                     if !(near_mem || col_passes == 1) {
                         // Strict output-stationary: weights reload per pass.
                         prog.push(Instr::LoadWeights {
@@ -117,9 +119,22 @@ pub fn compile(net: &NetworkDesc, accel: &AccelConfig) -> Program {
                     prog.push(Instr::LoadActivations {
                         bytes: act_bytes_per_pass,
                     });
+                    let pos_begin = (pg as usize * accel.positions_per_pass).min(outputs) as u32;
+                    let pos_end =
+                        ((pg as usize + 1) * accel.positions_per_pass).min(outputs) as u32;
                     prog.push(Instr::Generate {
                         cycles,
                         active_macs,
+                        tile: Tile {
+                            layer: li as u32,
+                            sng_group: cg as u32,
+                            cout_begin,
+                            cout_end,
+                            pos_begin,
+                            pos_end,
+                            col_pass: cp as u32,
+                            col_passes: col_passes as u32,
+                        },
                     });
                 }
                 if near_mem && cp > 0 {
@@ -127,6 +142,7 @@ pub fn compile(net: &NetworkDesc, accel: &AccelConfig) -> Program {
                     // running sums in activation memory.
                     prog.push(Instr::NearMemAccumulate {
                         elements: rows_active * pos_groups * accel.positions_per_pass as u64,
+                        layer: li as u32,
                     });
                 }
             }
@@ -141,6 +157,7 @@ pub fn compile(net: &NetworkDesc, accel: &AccelConfig) -> Program {
         if near_mem {
             prog.push(Instr::NearMemBatchNorm {
                 elements: out_elems,
+                layer: li as u32,
             });
         }
         prog.push(Instr::WriteActivations { bytes: out_elems });
@@ -247,6 +264,57 @@ mod tests {
             i,
             Instr::NearMemAccumulate { .. } | Instr::NearMemBatchNorm { .. }
         )));
+    }
+
+    /// The tiles of each layer's `GEN` passes must exactly cover the
+    /// layer's output volume once per column pass: in bounds, pairwise
+    /// disjoint, total area = col_passes × cout × outputs. This is what
+    /// lets an executor trust a program's operand addressing.
+    #[test]
+    fn tiles_cover_each_layer_exactly() {
+        for (net, accel) in [
+            (NetworkDesc::cnn4_cifar(), AccelConfig::ulp_geo(32, 64)),
+            (NetworkDesc::lenet5_mnist(), AccelConfig::ulp_geo(16, 32)),
+            (
+                NetworkDesc::vgg16_scaled_cifar(),
+                AccelConfig::lp_geo(64, 128),
+            ),
+        ] {
+            let prog = compile(&net, &accel);
+            for (li, layer) in net.layers.iter().enumerate() {
+                let cout = layer.output_channels();
+                let (oh, ow) = layer.output_hw();
+                let outputs = (oh * ow).max(1);
+                let tiles: Vec<_> = prog.tiles().filter(|t| t.layer as usize == li).collect();
+                assert!(!tiles.is_empty(), "{} layer {li} has no tiles", net.name);
+                let col_passes = tiles[0].col_passes as usize;
+                let mut covered = vec![false; col_passes * cout * outputs];
+                for t in &tiles {
+                    assert!(t.cout_begin < t.cout_end && t.cout_end as usize <= cout);
+                    assert!(t.pos_begin < t.pos_end && t.pos_end as usize <= outputs);
+                    assert!((t.col_pass as usize) < col_passes);
+                    assert_eq!(t.col_passes as usize, col_passes);
+                    assert_eq!(t.sng_group as usize, t.cout_begin as usize / accel.rows);
+                    for c in t.cout_begin..t.cout_end {
+                        for p in t.pos_begin..t.pos_end {
+                            let cell =
+                                (t.col_pass as usize * cout + c as usize) * outputs + p as usize;
+                            assert!(
+                                !std::mem::replace(&mut covered[cell], true),
+                                "{} layer {li}: cell ({c},{p}) covered twice in col pass {}",
+                                net.name,
+                                t.col_pass
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    covered.iter().all(|&b| b),
+                    "{} layer {li}: output volume not fully covered",
+                    net.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,16 +1,24 @@
 //! Binary instruction encoding for the GEO ISA.
 //!
 //! GEO is programmable with its own instruction memory (§III-A); this
-//! module defines a compact fixed-width encoding (8 bytes per instruction:
-//! 1 opcode byte + 7 bytes of immediate) so compiled programs have a
-//! concrete footprint, and the control/instruction-memory budget of a
-//! design point can be checked against real networks.
+//! module defines a compact fixed-width encoding (8-byte words: 1 opcode
+//! byte + 7 bytes of immediate) so compiled programs have a concrete
+//! footprint, and the control/instruction-memory budget of a design point
+//! can be checked against real networks.
+//!
+//! Most instructions are one word. `GEN` carries its output-tile operand
+//! ([`crate::isa::Tile`]) in two mandatory extension words (`TILE0`,
+//! `TILE1`) following the base word, the way variable-length ISAs attach
+//! addressing-mode bytes.
 
-use crate::isa::{Instr, Program};
+use crate::isa::{Instr, Program, Tile};
 use std::fmt;
 
-/// Bytes per encoded instruction.
+/// Bytes per encoded instruction word.
 pub const INSTR_BYTES: usize = 8;
+
+/// Words per encoded `GEN` (base + two tile-extension words).
+pub const GEN_WORDS: usize = 3;
 
 /// Errors produced when decoding an instruction stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +33,13 @@ pub enum DecodeError {
     UnknownOpcode {
         /// The rejected opcode.
         opcode: u8,
-        /// Instruction index.
+        /// Word index.
+        index: usize,
+    },
+    /// A `GEN` word without both tile-extension words, or a stray
+    /// tile-extension word outside a `GEN`.
+    BadTileExtension {
+        /// Word index.
         index: usize,
     },
 }
@@ -36,11 +50,14 @@ impl fmt::Display for DecodeError {
             DecodeError::TruncatedStream { len } => {
                 write!(
                     f,
-                    "stream of {len} bytes is not a whole number of instructions"
+                    "stream of {len} bytes is not a whole number of instruction words"
                 )
             }
             DecodeError::UnknownOpcode { opcode, index } => {
-                write!(f, "unknown opcode {opcode:#04x} at instruction {index}")
+                write!(f, "unknown opcode {opcode:#04x} at word {index}")
+            }
+            DecodeError::BadTileExtension { index } => {
+                write!(f, "malformed GEN tile extension at word {index}")
             }
         }
     }
@@ -56,6 +73,11 @@ const OP_NMACC: u8 = 0x05;
 const OP_NMBN: u8 = 0x06;
 const OP_STA: u8 = 0x07;
 const OP_SYNC: u8 = 0x08;
+const OP_TILE0: u8 = 0x09;
+const OP_TILE1: u8 = 0x0A;
+
+/// Near-memory immediates pack as 48-bit element counts + 8-bit layer.
+const NM_ELEM_MASK: u64 = 0xFFFF_FFFF_FFFF;
 
 fn put(buf: &mut Vec<u8>, opcode: u8, imm: u64) {
     buf.push(opcode);
@@ -68,10 +90,41 @@ fn imm(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(b)
 }
 
-/// Encodes one instruction into `buf`.
+/// `TILE0`: layer (8) | SNG group (8) | cout_begin (12) | cout_end (12) |
+/// col_pass (8) | col_passes (8) — 56 bits.
+fn tile0_imm(t: &Tile) -> u64 {
+    u64::from(t.layer & 0xFF)
+        | (u64::from(t.sng_group & 0xFF) << 8)
+        | (u64::from(t.cout_begin & 0xFFF) << 16)
+        | (u64::from(t.cout_end & 0xFFF) << 28)
+        | (u64::from(t.col_pass & 0xFF) << 40)
+        | (u64::from(t.col_passes & 0xFF) << 48)
+}
+
+/// `TILE1`: pos_begin (28) | pos_end (28) — 56 bits.
+fn tile1_imm(t: &Tile) -> u64 {
+    u64::from(t.pos_begin & 0xFFF_FFFF) | (u64::from(t.pos_end & 0xFFF_FFFF) << 28)
+}
+
+fn tile_from_imms(t0: u64, t1: u64) -> Tile {
+    Tile {
+        layer: (t0 & 0xFF) as u32,
+        sng_group: ((t0 >> 8) & 0xFF) as u32,
+        cout_begin: ((t0 >> 16) & 0xFFF) as u32,
+        cout_end: ((t0 >> 28) & 0xFFF) as u32,
+        col_pass: ((t0 >> 40) & 0xFF) as u32,
+        col_passes: ((t0 >> 48) & 0xFF) as u32,
+        pos_begin: (t1 & 0xFFF_FFFF) as u32,
+        pos_end: ((t1 >> 28) & 0xFFF_FFFF) as u32,
+    }
+}
+
+/// Encodes one instruction into `buf` (one word, or [`GEN_WORDS`] for
+/// `GEN`).
 ///
-/// `Generate`'s two fields pack as 28-bit cycles + 28-bit active-MAC count
-/// (both far beyond any realizable pass).
+/// `Generate`'s stream fields pack as 28-bit cycles + 28-bit active-MAC
+/// count (both far beyond any realizable pass); its tile rides in the two
+/// extension words.
 pub fn encode_instr(instr: &Instr, buf: &mut Vec<u8>) {
     match *instr {
         Instr::LoadWeightsExternal { bytes } => put(buf, OP_LDW_EXT, bytes),
@@ -80,13 +133,26 @@ pub fn encode_instr(instr: &Instr, buf: &mut Vec<u8>) {
         Instr::Generate {
             cycles,
             active_macs,
-        } => put(
+            ref tile,
+        } => {
+            put(
+                buf,
+                OP_GEN,
+                (cycles & 0xFFF_FFFF) | ((active_macs & 0xFFF_FFFF) << 28),
+            );
+            put(buf, OP_TILE0, tile0_imm(tile));
+            put(buf, OP_TILE1, tile1_imm(tile));
+        }
+        Instr::NearMemAccumulate { elements, layer } => put(
             buf,
-            OP_GEN,
-            (cycles & 0xFFF_FFFF) | ((active_macs & 0xFFF_FFFF) << 28),
+            OP_NMACC,
+            (elements & NM_ELEM_MASK) | (u64::from(layer & 0xFF) << 48),
         ),
-        Instr::NearMemAccumulate { elements } => put(buf, OP_NMACC, elements),
-        Instr::NearMemBatchNorm { elements } => put(buf, OP_NMBN, elements),
+        Instr::NearMemBatchNorm { elements, layer } => put(
+            buf,
+            OP_NMBN,
+            (elements & NM_ELEM_MASK) | (u64::from(layer & 0xFF) << 48),
+        ),
         Instr::WriteActivations { bytes } => put(buf, OP_STA, bytes),
         Instr::Sync => put(buf, OP_SYNC, 0),
     }
@@ -106,35 +172,58 @@ pub fn encode(program: &Program) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`DecodeError`] for truncated streams or unknown opcodes.
+/// Returns [`DecodeError`] for truncated streams, unknown opcodes, or
+/// malformed `GEN` tile extensions.
 pub fn decode(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
     if !bytes.len().is_multiple_of(INSTR_BYTES) {
         return Err(DecodeError::TruncatedStream { len: bytes.len() });
     }
-    let mut out = Vec::with_capacity(bytes.len() / INSTR_BYTES);
-    for (index, chunk) in bytes.chunks(INSTR_BYTES).enumerate() {
+    let chunks: Vec<&[u8]> = bytes.chunks(INSTR_BYTES).collect();
+    let mut out = Vec::with_capacity(chunks.len());
+    let mut index = 0;
+    while index < chunks.len() {
+        let chunk = chunks[index];
         let v = imm(chunk);
         out.push(match chunk[0] {
             OP_LDW_EXT => Instr::LoadWeightsExternal { bytes: v },
             OP_LDW => Instr::LoadWeights { bytes: v },
             OP_LDA => Instr::LoadActivations { bytes: v },
-            OP_GEN => Instr::Generate {
-                cycles: v & 0xFFF_FFFF,
-                active_macs: (v >> 28) & 0xFFF_FFFF,
+            OP_GEN => {
+                let t0 = chunks.get(index + 1).filter(|c| c[0] == OP_TILE0);
+                let t1 = chunks.get(index + 2).filter(|c| c[0] == OP_TILE1);
+                match (t0, t1) {
+                    (Some(t0), Some(t1)) => {
+                        index += GEN_WORDS - 1;
+                        Instr::Generate {
+                            cycles: v & 0xFFF_FFFF,
+                            active_macs: (v >> 28) & 0xFFF_FFFF,
+                            tile: tile_from_imms(imm(t0), imm(t1)),
+                        }
+                    }
+                    _ => return Err(DecodeError::BadTileExtension { index }),
+                }
+            }
+            OP_TILE0 | OP_TILE1 => return Err(DecodeError::BadTileExtension { index }),
+            OP_NMACC => Instr::NearMemAccumulate {
+                elements: v & NM_ELEM_MASK,
+                layer: ((v >> 48) & 0xFF) as u32,
             },
-            OP_NMACC => Instr::NearMemAccumulate { elements: v },
-            OP_NMBN => Instr::NearMemBatchNorm { elements: v },
+            OP_NMBN => Instr::NearMemBatchNorm {
+                elements: v & NM_ELEM_MASK,
+                layer: ((v >> 48) & 0xFF) as u32,
+            },
             OP_STA => Instr::WriteActivations { bytes: v },
             OP_SYNC => Instr::Sync,
             opcode => return Err(DecodeError::UnknownOpcode { opcode, index }),
         });
+        index += 1;
     }
     Ok(out)
 }
 
 /// Instruction-memory footprint of a program in bytes.
 pub fn footprint_bytes(program: &Program) -> usize {
-    program.instrs.len() * INSTR_BYTES
+    (program.instrs.len() + (GEN_WORDS - 1) * program.generate_count()) * INSTR_BYTES
 }
 
 #[cfg(test)]
@@ -144,6 +233,19 @@ mod tests {
     use crate::compiler::compile;
     use crate::network::NetworkDesc;
 
+    fn sample_tile() -> Tile {
+        Tile {
+            layer: 3,
+            sng_group: 1,
+            cout_begin: 32,
+            cout_end: 64,
+            pos_begin: 256,
+            pos_end: 512,
+            col_pass: 1,
+            col_passes: 2,
+        }
+    }
+
     fn sample_instrs() -> Vec<Instr> {
         vec![
             Instr::LoadWeightsExternal { bytes: 123_456 },
@@ -152,9 +254,16 @@ mod tests {
             Instr::Generate {
                 cycles: 256,
                 active_macs: 25_600,
+                tile: sample_tile(),
             },
-            Instr::NearMemAccumulate { elements: 8192 },
-            Instr::NearMemBatchNorm { elements: 2048 },
+            Instr::NearMemAccumulate {
+                elements: 8192,
+                layer: 3,
+            },
+            Instr::NearMemBatchNorm {
+                elements: 2048,
+                layer: 3,
+            },
             Instr::WriteActivations { bytes: 8192 },
             Instr::Sync,
         ]
@@ -201,6 +310,28 @@ mod tests {
         let i = Instr::Generate {
             cycles: 0xABC_DEF,
             active_macs: 0x123_456,
+            tile: Tile {
+                layer: 255,
+                sng_group: 255,
+                cout_begin: 4000,
+                cout_end: 4095,
+                pos_begin: 0xFFF_FFF0,
+                pos_end: 0xFFF_FFFF,
+                col_pass: 254,
+                col_passes: 255,
+            },
+        };
+        encode_instr(&i, &mut buf);
+        assert_eq!(buf.len(), GEN_WORDS * INSTR_BYTES);
+        assert_eq!(decode(&buf).unwrap()[0], i);
+    }
+
+    #[test]
+    fn near_memory_packing_preserves_layer() {
+        let mut buf = Vec::new();
+        let i = Instr::NearMemAccumulate {
+            elements: NM_ELEM_MASK,
+            layer: 200,
         };
         encode_instr(&i, &mut buf);
         assert_eq!(decode(&buf).unwrap()[0], i);
@@ -223,5 +354,23 @@ mod tests {
         ));
         let e = DecodeError::TruncatedStream { len: 7 };
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_gen_without_tile_words() {
+        // A lone GEN base word is malformed.
+        let mut buf = Vec::new();
+        super::put(&mut buf, super::OP_GEN, 0);
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            DecodeError::BadTileExtension { index: 0 }
+        );
+        // So is a stray tile-extension word.
+        let mut buf = Vec::new();
+        super::put(&mut buf, super::OP_TILE0, 0);
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            DecodeError::BadTileExtension { index: 0 }
+        );
     }
 }

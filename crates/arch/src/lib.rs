@@ -43,5 +43,6 @@ pub mod report;
 pub mod tech;
 
 pub use accel::{AccelConfig, Category, Optimizations};
+pub use isa::{Instr, Program, Tile};
 pub use network::{LayerShape, NetworkDesc};
 pub use perfsim::SimReport;

@@ -19,7 +19,7 @@ use crate::modules::{
     approximate_parallel_counter, fxp_conversion_fabric, or_tree, parallel_counter, sc_multiplier,
 };
 use crate::tech::BlockCost;
-use geo_core::Accumulation;
+use geo_sc::Accumulation;
 use geo_sc::KernelDims;
 use serde::{Deserialize, Serialize};
 

@@ -88,7 +88,7 @@ pub fn fxp_conversion_fabric(inputs: usize) -> BlockCost {
         .plus(parallel_counter(inputs))
 }
 
-/// An approximate parallel counter (Kim et al. [24]): one AND/OR compressor
+/// An approximate parallel counter (Kim et al. \[24\]): one AND/OR compressor
 /// layer halves the inputs before the conversion fabric — cheaper than FXP
 /// but, as Fig. 5 shows, still several times a PBW counter for large
 /// kernels.

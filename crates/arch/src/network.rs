@@ -1,11 +1,15 @@
 //! Network descriptors: the layer shapes the compiler and performance
 //! simulator consume.
 //!
-//! Descriptors can be traced from a live `geo-nn` model or built directly
-//! at the paper's full evaluation scale (CIFAR-10 CNN-4, MNIST LeNet-5,
-//! downscaled VGG-16) — performance simulation needs shapes, not weights.
+//! Descriptors are *derived*, never hand-maintained: either traced from a
+//! live `geo-nn` model ([`NetworkDesc::from_model`]) or lowered from a
+//! declarative [`ModelSpec`] ([`NetworkDesc::from_spec`]). The paper-scale
+//! evaluation networks (CIFAR-10 CNN-4, MNIST LeNet-5, downscaled VGG-16)
+//! are lowered from the single topology source of truth in
+//! `geo_nn::models::spec`, so the performance tables and the functional
+//! engine can never disagree about a network's shape.
 
-use geo_nn::{Layer, Sequential};
+use geo_nn::{Layer, ModelSpec, Sequential, SpecLayer};
 use serde::{Deserialize, Serialize};
 
 /// Shape of one compute layer.
@@ -176,123 +180,98 @@ impl NetworkDesc {
         }
     }
 
-    /// The paper-scale CNN-4 on CIFAR-10 (CMSIS-NN): three 5×5
-    /// convolutions with pooling, then the classifier FC.
-    pub fn cnn4_cifar() -> Self {
+    /// Lowers a declarative [`ModelSpec`] into compute-layer shapes.
+    ///
+    /// This is the canonical `Model → NetworkDesc` path: a conv block
+    /// becomes a [`LayerShape::Conv`] (marked `pooled` when a pooling
+    /// stage follows before the next compute layer), a linear becomes a
+    /// [`LayerShape::Fc`] whose input features come from the traced shape,
+    /// and pure data-movement layers (pool, flatten, BN, ReLU) only advance
+    /// the running shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's shapes do not compose (a kernel larger than
+    /// its padded input, or pooling a 1-pixel map) — the same condition
+    /// `ModelSpec::build` reports as an error.
+    pub fn from_spec(spec: &ModelSpec) -> Self {
+        let (mut c, mut h, mut w) = spec.input;
+        let mut flattened: Option<usize> = None;
+        let mut layers = Vec::new();
+        for (i, layer) in spec.layers.iter().enumerate() {
+            match *layer {
+                SpecLayer::ConvBnRelu {
+                    cout,
+                    kernel,
+                    stride,
+                    pad,
+                } => {
+                    assert!(
+                        h + 2 * pad >= kernel && w + 2 * pad >= kernel && stride > 0,
+                        "spec layer {i}: {kernel}×{kernel} conv does not fit a {h}×{w} input"
+                    );
+                    let pooled = spec.layers[i + 1..]
+                        .iter()
+                        .take_while(|l| {
+                            !matches!(l, SpecLayer::ConvBnRelu { .. } | SpecLayer::Linear { .. })
+                        })
+                        .any(|l| matches!(l, SpecLayer::AvgPool));
+                    let shape = LayerShape::Conv {
+                        cin: c,
+                        cout,
+                        kernel,
+                        stride,
+                        pad,
+                        in_h: h,
+                        in_w: w,
+                        pooled,
+                    };
+                    let (oh, ow) = shape.output_hw();
+                    layers.push(shape);
+                    c = cout;
+                    h = oh;
+                    w = ow;
+                }
+                SpecLayer::AvgPool => {
+                    assert!(
+                        h >= 2 && w >= 2,
+                        "spec layer {i}: cannot pool a {h}×{w} map"
+                    );
+                    h /= 2;
+                    w /= 2;
+                }
+                SpecLayer::Flatten => flattened = Some(c * h * w),
+                SpecLayer::Linear { outf, .. } => {
+                    let inf = flattened.take().unwrap_or(c * h * w);
+                    layers.push(LayerShape::Fc { inf, outf });
+                    flattened = Some(outf);
+                }
+            }
+        }
         NetworkDesc {
-            name: "CNN-4 (CIFAR-10)".into(),
-            layers: vec![
-                LayerShape::Conv {
-                    cin: 3,
-                    cout: 32,
-                    kernel: 5,
-                    stride: 1,
-                    pad: 2,
-                    in_h: 32,
-                    in_w: 32,
-                    pooled: true,
-                },
-                LayerShape::Conv {
-                    cin: 32,
-                    cout: 32,
-                    kernel: 5,
-                    stride: 1,
-                    pad: 2,
-                    in_h: 16,
-                    in_w: 16,
-                    pooled: true,
-                },
-                LayerShape::Conv {
-                    cin: 32,
-                    cout: 64,
-                    kernel: 5,
-                    stride: 1,
-                    pad: 2,
-                    in_h: 8,
-                    in_w: 8,
-                    pooled: true,
-                },
-                LayerShape::Fc {
-                    inf: 64 * 4 * 4,
-                    outf: 10,
-                },
-            ],
+            name: spec.name.clone(),
+            layers,
         }
     }
 
-    /// The paper-scale LeNet-5 on MNIST.
+    /// The paper-scale CNN-4 on CIFAR-10 (CMSIS-NN): three 5×5
+    /// convolutions with pooling, then the classifier FC. Lowered from
+    /// `geo_nn::models::spec::cnn4_cifar`.
+    pub fn cnn4_cifar() -> Self {
+        Self::from_spec(&geo_nn::models::spec::cnn4_cifar())
+    }
+
+    /// The paper-scale LeNet-5 on MNIST. Lowered from
+    /// `geo_nn::models::spec::lenet5_mnist`.
     pub fn lenet5_mnist() -> Self {
-        NetworkDesc {
-            name: "LeNet-5 (MNIST)".into(),
-            layers: vec![
-                LayerShape::Conv {
-                    cin: 1,
-                    cout: 6,
-                    kernel: 5,
-                    stride: 1,
-                    pad: 2,
-                    in_h: 28,
-                    in_w: 28,
-                    pooled: true,
-                },
-                LayerShape::Conv {
-                    cin: 6,
-                    cout: 16,
-                    kernel: 5,
-                    stride: 1,
-                    pad: 0,
-                    in_h: 14,
-                    in_w: 14,
-                    pooled: true,
-                },
-                LayerShape::Fc {
-                    inf: 16 * 5 * 5,
-                    outf: 120,
-                },
-                LayerShape::Fc { inf: 120, outf: 84 },
-                LayerShape::Fc { inf: 84, outf: 10 },
-            ],
-        }
+        Self::from_spec(&geo_nn::models::spec::lenet5_mnist())
     }
 
     /// VGG-16 with the paper's downscaling: X/Y input dimensions halved
-    /// (16×16 input) and the FC layers reduced to 512.
+    /// (16×16 input) and the FC layers reduced to 512. Lowered from
+    /// `geo_nn::models::spec::vgg16_scaled_cifar`.
     pub fn vgg16_scaled_cifar() -> Self {
-        let widths: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
-        let mut layers = Vec::new();
-        let mut cin = 3usize;
-        let mut size = 16usize;
-        for (block, &(w, reps)) in widths.iter().enumerate() {
-            for r in 0..reps {
-                layers.push(LayerShape::Conv {
-                    cin,
-                    cout: w,
-                    kernel: 3,
-                    stride: 1,
-                    pad: 1,
-                    in_h: size,
-                    in_w: size,
-                    pooled: r + 1 == reps && block < 4,
-                });
-                cin = w;
-            }
-            if block < 4 {
-                size /= 2;
-            }
-        }
-        layers.push(LayerShape::Fc {
-            inf: 512 * size * size,
-            outf: 512,
-        });
-        layers.push(LayerShape::Fc {
-            inf: 512,
-            outf: 512,
-        });
-        layers.push(LayerShape::Fc { inf: 512, outf: 10 });
-        NetworkDesc {
-            name: "VGG-16 (scaled, CIFAR-10)".into(),
-            layers,
-        }
+        Self::from_spec(&geo_nn::models::spec::vgg16_scaled_cifar())
     }
 }
 
@@ -367,6 +346,54 @@ mod tests {
         assert_eq!((convs, fcs), (13, 3));
         // Downscaled VGG is still tens of MMACs per frame.
         assert!(net.total_macs() > 50_000_000, "macs {}", net.total_macs());
+    }
+
+    /// The derived descriptors must reproduce the totals of the
+    /// previously hand-written constructors exactly — this is the
+    /// regression gate for the spec-lowering refactor.
+    #[test]
+    fn derived_descs_match_hand_written_totals() {
+        let cases: [(NetworkDesc, u64, u64); 3] = [
+            (NetworkDesc::cnn4_cifar(), 12_298_240, 89_440),
+            (NetworkDesc::lenet5_mnist(), 416_520, 61_470),
+            (NetworkDesc::vgg16_scaled_cifar(), 78_828_544, 15_239_872),
+        ];
+        for (net, macs, weights) in cases {
+            assert_eq!(net.total_macs(), macs, "{} MACs", net.name);
+            assert_eq!(net.total_weights(), weights, "{} weights", net.name);
+        }
+    }
+
+    /// Lowering a spec and tracing the model built from the same spec
+    /// must agree layer-for-layer (shape-level MAC/weight/activation
+    /// consistency between the functional and performance paths).
+    #[test]
+    fn spec_lowering_agrees_with_model_trace() {
+        for spec in [
+            geo_nn::models::spec::cnn4(3, 8, 10),
+            geo_nn::models::spec::lenet5(1, 8, 10),
+            geo_nn::models::spec::vgg16_small(3, 8, 10),
+        ] {
+            let derived = NetworkDesc::from_spec(&spec);
+            let model = spec.build(0).expect("spec builds");
+            let traced = NetworkDesc::from_model(&spec.name, &model, spec.input);
+            assert_eq!(derived.layers, traced.layers, "{}", spec.name);
+            assert_eq!(derived.total_macs(), traced.total_macs());
+            assert_eq!(derived.total_weights(), traced.total_weights());
+        }
+    }
+
+    #[test]
+    fn derived_cnn4_keeps_pooled_flags_and_fc_width() {
+        let net = NetworkDesc::cnn4_cifar();
+        assert!(net.layers[..3].iter().all(LayerShape::pooled));
+        assert_eq!(
+            net.layers[3],
+            LayerShape::Fc {
+                inf: 64 * 4 * 4,
+                outf: 10
+            }
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn simulate(accel: &AccelConfig, program: &Program) -> SimReport {
     let mut dyn_pj = vec![0.0f64; Category::ALL.len()];
     let mut external_pj = 0.0f64;
 
-    let cat_idx = |c: Category| Category::ALL.iter().position(|&x| x == c).unwrap();
+    let cat_idx = |c: Category| c.index();
     // Per-cycle dynamic energy (fJ) of each logic category while active.
     let cat_dyn: Vec<f64> = Category::ALL
         .iter()
@@ -106,6 +106,7 @@ pub fn simulate(accel: &AccelConfig, program: &Program) -> SimReport {
             Instr::Generate {
                 cycles: c,
                 active_macs,
+                ..
             } => {
                 // Queued work (shadow-buffered loads, time-multiplexed
                 // near-memory ops) hides behind compute; only the operand
@@ -133,7 +134,8 @@ pub fn simulate(accel: &AccelConfig, program: &Program) -> SimReport {
                         cat_dyn[cat_idx(cat)] * 1e-3 * c as f64 * scale * dyn_scale;
                 }
             }
-            Instr::NearMemAccumulate { elements } | Instr::NearMemBatchNorm { elements } => {
+            Instr::NearMemAccumulate { elements, .. }
+            | Instr::NearMemBatchNorm { elements, .. } => {
                 // 2-cycle read-add-write vector instruction (§III-C). The
                 // near-memory units are time multiplexed with compute, so
                 // their cycles hide behind subsequent generation passes.

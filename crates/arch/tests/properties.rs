@@ -4,7 +4,7 @@
 use geo_arch::dataflow::{count_accesses, ArraySpec, Dataflow};
 use geo_arch::mac_area::sc_mac_unit;
 use geo_arch::{perfsim, AccelConfig, LayerShape, NetworkDesc};
-use geo_core::Accumulation;
+use geo_sc::Accumulation;
 use geo_sc::KernelDims;
 use proptest::prelude::*;
 

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p geo-bench --bin fig6_breakdown [-- --detail]`
 
-use geo_arch::{perfsim, AccelConfig, Category, NetworkDesc};
+use geo_arch::{compiler, perfsim, AccelConfig, Category, NetworkDesc};
 
 fn main() {
     let detail = std::env::args().any(|a| a == "--detail");
@@ -17,7 +17,12 @@ fn main() {
         AccelConfig::ulp_gen(),
         AccelConfig::ulp_gen_exec(),
     ];
-    let reports: Vec<_> = configs.iter().map(|c| perfsim::run(c, &net)).collect();
+    // One compiled ISA program per design point; perfsim prices the same
+    // instruction stream a ProgramExecutor would run functionally.
+    let reports: Vec<_> = configs
+        .iter()
+        .map(|c| perfsim::simulate(c, &compiler::compile(&net, c)))
+        .collect();
     let base = &reports[0];
 
     println!("Figure 6 — area / energy / latency, normalized to Base-128,128 (SVHN CNN-4)");
@@ -96,8 +101,8 @@ fn main() {
             "  pipeline-stage area overhead: {:+.2}%  (enables 0.9 V → 0.81 V DVFS)",
             100.0 * (full.total_area_mm2() / no_pipe.total_area_mm2() - 1.0)
         );
-        let r_full = perfsim::run(full, &net);
-        let r_nopipe = perfsim::run(&no_pipe, &net);
+        let r_full = perfsim::simulate(full, &compiler::compile(&net, full));
+        let r_nopipe = perfsim::simulate(&no_pipe, &compiler::compile(&net, &no_pipe));
         println!(
             "  DVFS energy saving at iso-latency: {:.1}%",
             100.0 * (1.0 - r_full.energy_j / r_nopipe.energy_j)

@@ -1,0 +1,53 @@
+//! CI smoke check for the unified pipeline: compile the LeNet-5 thumbnail
+//! to one ISA program, then (a) run it functionally through
+//! [`ProgramExecutor`] and assert the logits are bit-identical to the
+//! direct [`ScEngine`] path, and (b) price the very same program with
+//! `perfsim`. Accuracy and cycles from one program stream, or a non-zero
+//! exit.
+//!
+//! Run: `cargo run --release -p geo-bench --bin program_smoke`
+
+use geo_arch::{compiler, perfsim, AccelConfig, NetworkDesc};
+use geo_core::{GeoConfig, ProgramExecutor, ScEngine};
+use geo_nn::{models, Tensor};
+
+fn main() {
+    let model = models::lenet5(1, 8, 10, 0);
+    let net = NetworkDesc::from_model("lenet5-thumb", &model, (1, 8, 8));
+    let accel = AccelConfig::ulp_geo(32, 64);
+    let program = compiler::compile(&net, &accel);
+    println!(
+        "compiled '{}': {} instrs, {} layers, {} B footprint",
+        program.name,
+        program.instrs.len(),
+        program.layer_count(),
+        geo_arch::encoding::footprint_bytes(&program),
+    );
+
+    let x = Tensor::full(&[2, 1, 8, 8], 0.4);
+
+    let mut m1 = model.clone();
+    let mut exec = ProgramExecutor::new(GeoConfig::geo(32, 64), &net, program.clone())
+        .expect("program validates against its own network");
+    let via_program = exec.forward(&mut m1, &x, false).expect("program forward");
+
+    let mut m2 = model.clone();
+    let mut engine = ScEngine::new(GeoConfig::geo(32, 64)).expect("valid config");
+    let direct = engine.forward(&mut m2, &x, false).expect("direct forward");
+
+    if via_program.data() != direct.data() {
+        eprintln!("FAIL: program-driven logits diverge from direct engine path");
+        std::process::exit(1);
+    }
+    println!(
+        "functional: program path bit-identical to direct path ({} logits)",
+        via_program.data().len()
+    );
+
+    let report = perfsim::simulate(&accel, &program);
+    println!(
+        "performance: same program prices at {} cycles, {:.3e} J/frame",
+        report.cycles, report.energy_j
+    );
+    println!("OK");
+}

@@ -8,7 +8,8 @@
 //!
 //! Run: `cargo run --release -p geo-bench --bin table1_accuracy [-- --quick --ablations]`
 
-use geo_bench::runs::{dataset, pct, train_and_eval, Scale};
+use geo_arch::AccelConfig;
+use geo_bench::runs::{dataset, pct, train_and_eval, train_and_eval_program, Scale};
 use geo_core::{Accumulation, GeoConfig};
 use geo_nn::datasets::{Dataset, DatasetSpec};
 use geo_nn::models;
@@ -37,35 +38,36 @@ fn eyeriss_accuracy(
     evaluate_quantized(&mut m, test_ds, QuantConfig::uniform(bits)).expect("evaluation succeeds")
 }
 
-fn row(name: &str, model: &Sequential, train_ds: &Dataset, test_ds: &Dataset, epochs: usize) {
+fn row(
+    name: &str,
+    model: &Sequential,
+    input: (usize, usize, usize),
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    epochs: usize,
+) {
     let e8 = eyeriss_accuracy(model, train_ds, test_ds, 8, epochs);
     let e4 = eyeriss_accuracy(model, train_ds, test_ds, 4, epochs);
     let a256 = train_and_eval(model, GeoConfig::acoustic(256), train_ds, test_ds, epochs).1;
     let a128 = train_and_eval(model, GeoConfig::acoustic(128), train_ds, test_ds, epochs).1;
-    let g64 = train_and_eval(
-        model,
-        GeoConfig::geo(64, 128).with_progressive(false),
-        train_ds,
-        test_ds,
-        epochs,
-    )
-    .1;
-    let g32 = train_and_eval(
-        model,
-        GeoConfig::geo(32, 64).with_progressive(false),
-        train_ds,
-        test_ds,
-        epochs,
-    )
-    .1;
-    let g16 = train_and_eval(
-        model,
-        GeoConfig::geo(16, 32).with_progressive(false),
-        train_ds,
-        test_ds,
-        epochs,
-    )
-    .1;
+    // GEO accuracy comes from program-driven inference: the same compiled
+    // ISA stream that perfsim prices in Tables II–III also produces these
+    // numbers (bit-identical to the direct engine path).
+    let geo = |sp: usize, s: usize| {
+        train_and_eval_program(
+            model,
+            GeoConfig::geo(sp, s).with_progressive(false),
+            &AccelConfig::ulp_geo(sp, s),
+            input,
+            train_ds,
+            test_ds,
+            epochs,
+        )
+        .1
+    };
+    let g64 = geo(64, 128);
+    let g32 = geo(32, 64);
+    let g16 = geo(16, 32);
     println!(
         "{:<22} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
         name,
@@ -162,6 +164,7 @@ fn main() {
     row(
         "CIFAR-like  CNN-4",
         &models::cnn4(3, 8, 10, 0),
+        (3, 8, 8),
         &cifar_train,
         &cifar_test,
         epochs,
@@ -169,6 +172,7 @@ fn main() {
     row(
         "CIFAR-like  VGG-16",
         &models::vgg16_small(3, 8, 10, 1),
+        (3, 8, 8),
         &cifar_train,
         &cifar_test,
         epochs,
@@ -178,6 +182,7 @@ fn main() {
     row(
         "SVHN-like   CNN-4",
         &models::cnn4(3, 8, 10, 0),
+        (3, 8, 8),
         &svhn_train,
         &svhn_test,
         epochs,
@@ -185,6 +190,7 @@ fn main() {
     row(
         "SVHN-like   VGG-16",
         &models::vgg16_small(3, 8, 10, 1),
+        (3, 8, 8),
         &svhn_train,
         &svhn_test,
         epochs,
@@ -194,6 +200,7 @@ fn main() {
     row(
         "MNIST-like  LeNet-5",
         &models::lenet5(1, 8, 10, 2),
+        (1, 8, 8),
         &mnist_train,
         &mnist_test,
         epochs,

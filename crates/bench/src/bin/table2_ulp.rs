@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p geo-bench --bin table2_ulp`
 
 use geo_arch::baselines::{conv_ram, mdl_cnn, EyerissConfig};
-use geo_arch::{perfsim, AccelConfig, NetworkDesc};
+use geo_arch::{compiler, perfsim, AccelConfig, NetworkDesc};
 
 struct Column {
     name: String,
@@ -20,8 +20,13 @@ struct Column {
 }
 
 fn geo_column(accel: &AccelConfig) -> Column {
-    let cifar = perfsim::run(accel, &NetworkDesc::cnn4_cifar());
-    let lenet = perfsim::run(accel, &NetworkDesc::lenet5_mnist());
+    // Cycles and energy are priced from explicitly compiled ISA programs —
+    // the same program stream a ProgramExecutor would run functionally
+    // (Table I accuracy comes through that path).
+    let cifar_prog = compiler::compile(&NetworkDesc::cnn4_cifar(), accel);
+    let lenet_prog = compiler::compile(&NetworkDesc::lenet5_mnist(), accel);
+    let cifar = perfsim::simulate(accel, &cifar_prog);
+    let lenet = perfsim::simulate(accel, &lenet_prog);
     let gops = accel.peak_gops();
     Column {
         name: accel.name.clone(),

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p geo-bench --bin table3_lp`
 
 use geo_arch::baselines::{scope, sm_sc, EyerissConfig, ReportedPoint};
-use geo_arch::{perfsim, AccelConfig, NetworkDesc};
+use geo_arch::{compiler, perfsim, AccelConfig, NetworkDesc};
 
 fn si(x: f64) -> String {
     if x >= 1e6 {
@@ -30,8 +30,10 @@ struct Row {
 }
 
 fn geo_row(accel: &AccelConfig, peak_stream: usize) -> Row {
+    // Price the same compiled ISA program a ProgramExecutor would run.
     let net = NetworkDesc::vgg16_scaled_cifar();
-    let r = perfsim::run(accel, &net);
+    let program = compiler::compile(&net, accel);
+    let r = perfsim::simulate(accel, &program);
     let gops = accel.peak_gops_at(peak_stream);
     Row {
         name: accel.name.clone(),
@@ -114,9 +116,11 @@ fn main() {
 
     println!();
     let net = NetworkDesc::vgg16_scaled_cifar();
-    let geo = perfsim::run(&AccelConfig::lp_geo(64, 128), &net);
+    let geo_accel = AccelConfig::lp_geo(64, 128);
+    let geo = perfsim::simulate(&geo_accel, &compiler::compile(&net, &geo_accel));
     let eye = EyerissConfig::lp_8bit().simulate(&net);
-    let aco = perfsim::run(&AccelConfig::acoustic_lp(128), &net);
+    let aco_accel = AccelConfig::acoustic_lp(128);
+    let aco = perfsim::simulate(&aco_accel, &compiler::compile(&net, &aco_accel));
     println!(
         "GEO-LP-64,128 vs Eyeriss-8bit: {:.1}x throughput, {:.1}x energy (paper: 5.6x / 2.6x)",
         geo.fps / eye.fps,

@@ -1,7 +1,8 @@
 //! Shared experiment plumbing: dataset/model/training presets used by the
 //! per-figure binaries, with a `--quick` scale for smoke runs.
 
-use geo_core::{evaluate_sc, train_sc, GeoConfig, ScEngine};
+use geo_arch::{compiler, AccelConfig, NetworkDesc};
+use geo_core::{evaluate_sc, train_sc, GeoConfig, ProgramExecutor, ScEngine};
 use geo_nn::datasets::{generate, Dataset, DatasetSpec};
 use geo_nn::optim::Optimizer;
 use geo_nn::train::TrainConfig;
@@ -64,6 +65,47 @@ pub fn train_and_eval(
     };
     train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg).expect("training succeeds");
     let acc = evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds");
+    (model, acc)
+}
+
+/// As [`train_and_eval`], but the test accuracy comes from *program-driven*
+/// inference: the trained model is lowered to a [`NetworkDesc`], compiled
+/// for `accel`, and evaluated through a [`ProgramExecutor`] that adopts the
+/// training engine. The same compiled program stream that prices cycles and
+/// energy in `perfsim` therefore also produces the accuracy number —
+/// bit-identical to [`evaluate_sc`] on the direct engine path.
+///
+/// `input` is the per-sample `(C, H, W)` shape used to trace the model.
+///
+/// # Panics
+///
+/// Panics on engine/compiler/configuration errors (experiment binaries fail
+/// fast).
+pub fn train_and_eval_program(
+    model: &Sequential,
+    config: GeoConfig,
+    accel: &AccelConfig,
+    input: (usize, usize, usize),
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    epochs: usize,
+) -> (Sequential, f32) {
+    let mut model = model.clone();
+    let mut engine = ScEngine::new(config).expect("valid experiment config");
+    let mut opt = Optimizer::paper_default();
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        seed: 0,
+    };
+    train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg).expect("training succeeds");
+    let net = NetworkDesc::from_model(&accel.name, &model, input);
+    let program = compiler::compile(&net, accel);
+    let mut exec = ProgramExecutor::with_engine(engine, &net, program)
+        .expect("compiled program matches the traced network");
+    let acc = exec
+        .evaluate(&mut model, test_ds)
+        .expect("evaluation succeeds");
     (model, acc)
 }
 

@@ -1,0 +1,27 @@
+//! The bench plumbing's program-driven evaluation must report exactly the
+//! accuracy the direct engine path reports — training included, since the
+//! executor adopts the training engine's state.
+
+use geo_arch::AccelConfig;
+use geo_bench::runs::{train_and_eval, train_and_eval_program};
+use geo_core::GeoConfig;
+use geo_nn::datasets::{generate, DatasetSpec};
+use geo_nn::models;
+
+#[test]
+fn program_path_accuracy_matches_direct_path() {
+    let (train_ds, test_ds) = generate(&DatasetSpec::svhn_like(11).with_samples(32, 16));
+    let model = models::cnn4(3, 8, 10, 0);
+    let cfg = GeoConfig::geo(32, 64).with_progressive(false);
+    let (_, direct) = train_and_eval(&model, cfg, &train_ds, &test_ds, 2);
+    let (_, via_program) = train_and_eval_program(
+        &model,
+        cfg,
+        &AccelConfig::ulp_geo(32, 64),
+        (3, 8, 8),
+        &train_ds,
+        &test_ds,
+        2,
+    );
+    assert_eq!(direct.to_bits(), via_program.to_bits());
+}

@@ -4,45 +4,10 @@ use crate::error::GeoError;
 use geo_sc::{RngKind, SharingLevel, MAX_WIDTH, MIN_WIDTH};
 use serde::{Deserialize, Serialize};
 
-/// Where the SC→fixed-point boundary sits in the accumulation tree
-/// (paper §III-B, Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Accumulation {
-    /// Fully stochastic: OR over the whole `(Cin, H, W)` kernel
-    /// (ACOUSTIC-style).
-    Or,
-    /// Partial binary along W: OR over `(Cin, H)`, parallel counter over W
-    /// (GEO's default — near-PBHW accuracy at a fraction of the adders).
-    Pbw,
-    /// Partial binary along H and W: OR over `Cin`, counter over `(H, W)`.
-    Pbhw,
-    /// Fully fixed-point: every product converted and added exactly.
-    Fxp,
-    /// One layer of approximate parallel counting, then exact counting.
-    Apc,
-}
-
-impl Accumulation {
-    /// All modes, cheapest-hardware first.
-    pub const ALL: [Accumulation; 5] = [
-        Accumulation::Or,
-        Accumulation::Pbw,
-        Accumulation::Pbhw,
-        Accumulation::Fxp,
-        Accumulation::Apc,
-    ];
-
-    /// Short label used in experiment tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Accumulation::Or => "SC",
-            Accumulation::Pbw => "PBW",
-            Accumulation::Pbhw => "PBHW",
-            Accumulation::Fxp => "FXP",
-            Accumulation::Apc => "APC",
-        }
-    }
-}
+// The accumulation split is substrate-level vocabulary shared with
+// `geo-arch`; it lives in `geo-sc` and is re-exported here so
+// `geo_core::Accumulation` keeps working.
+pub use geo_sc::Accumulation;
 
 /// Full configuration of the GEO stochastic inference engine.
 ///
@@ -242,12 +207,5 @@ mod tests {
         assert_eq!(c.sharing, SharingLevel::None);
         assert_eq!(c.rng, RngKind::Trng);
         assert!(!c.progressive);
-    }
-
-    #[test]
-    fn labels_are_short() {
-        for a in Accumulation::ALL {
-            assert!(!a.label().is_empty() && a.label().len() <= 4);
-        }
     }
 }

@@ -522,6 +522,26 @@ impl ScEngine {
         input: &Tensor,
         training: bool,
     ) -> Result<Tensor, GeoError> {
+        self.forward_with_lens(model, input, training, |_, len| Ok(len))
+    }
+
+    /// The forward loop, parameterized over the per-layer stream-length
+    /// source: `len_for(param_layer, planned_len)` returns the length each
+    /// parametrized layer runs at. [`ScEngine::forward`] passes the stream
+    /// plan through unchanged; [`crate::exec::ProgramExecutor`] supplies
+    /// lengths decoded from a compiled ISA program (cross-checked against
+    /// the plan), so both paths share one datapath and stay bit-identical
+    /// by construction.
+    pub(crate) fn forward_with_lens<F>(
+        &mut self,
+        model: &mut Sequential,
+        input: &Tensor,
+        training: bool,
+        mut len_for: F,
+    ) -> Result<Tensor, GeoError>
+    where
+        F: FnMut(u32, usize) -> Result<usize, GeoError>,
+    {
         self.cache.begin_pass();
         if self.fault_model().is_some() {
             self.resilience.passes += 1;
@@ -533,7 +553,7 @@ impl ScEngine {
         for (i, layer) in model.layers_mut().iter_mut().enumerate() {
             match layer {
                 Layer::Conv2d(conv) => {
-                    let len = planned_len(&plan, i)?;
+                    let len = len_for(param_layer, planned_len(&plan, i)?)?;
                     if training {
                         let _ = conv.forward(&x)?; // cache input for backward
                     }
@@ -543,7 +563,7 @@ impl ScEngine {
                     param_layer += 1;
                 }
                 Layer::Linear(lin) => {
-                    let len = planned_len(&plan, i)?;
+                    let len = len_for(param_layer, planned_len(&plan, i)?)?;
                     if training {
                         let _ = lin.forward(&x)?;
                     }

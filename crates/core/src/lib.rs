@@ -36,11 +36,13 @@ pub mod analyze;
 mod config;
 mod engine;
 mod error;
+mod exec;
 mod tables;
 mod training;
 
 pub use config::{Accumulation, GeoConfig};
 pub use engine::{ResilienceReport, ScEngine, FC_BINARY_WIDTH};
 pub use error::GeoError;
+pub use exec::ProgramExecutor;
 pub use tables::{ProgressiveTable, TableCache};
 pub use training::{evaluate_sc, train_sc, ScHistory};

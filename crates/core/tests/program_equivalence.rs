@@ -1,0 +1,170 @@
+//! The unified pipeline contract: running a network through a compiled
+//! ISA [`Program`] via [`ProgramExecutor`] must be *bit-identical* to
+//! driving [`ScEngine::forward`] directly — not merely close. The
+//! executor only supplies per-layer stream lengths decoded from the
+//! program's `GEN` instructions, and those lengths must equal the
+//! engine's own plan, so both paths dispatch into the very same
+//! resolve/compute datapath. These tests pin that contract on the
+//! LeNet-5 and CNN-4 thumbnails across every accumulation mode, both
+//! generation modes, every sharing level, and multiple thread counts.
+//!
+//! Engines and executors are built *inside* the thread-pool scope so
+//! TRNG table construction (re-seeded per forward pass) sees identical
+//! pass counters on both sides of each comparison.
+
+use geo_arch::AccelConfig;
+use geo_core::{Accumulation, GeoConfig, ProgramExecutor, ScEngine};
+use geo_nn::{models, Sequential, Tensor};
+use geo_sc::SharingLevel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+
+/// The two networks the acceptance criteria name, at thumbnail scale so
+/// the full mode × sharing × thread sweep stays fast.
+#[derive(Debug, Clone, Copy)]
+enum Net {
+    Lenet5,
+    Cnn4,
+}
+
+const NETS: [Net; 2] = [Net::Lenet5, Net::Cnn4];
+
+impl Net {
+    fn model(self, seed: u64) -> Sequential {
+        match self {
+            Net::Lenet5 => models::lenet5(1, 8, 10, seed),
+            Net::Cnn4 => models::cnn4(3, 8, 10, seed),
+        }
+    }
+
+    fn input_shape(self) -> (usize, usize, usize) {
+        match self {
+            Net::Lenet5 => (1, 8, 8),
+            Net::Cnn4 => (3, 8, 8),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Net::Lenet5 => "lenet5-thumb",
+            Net::Cnn4 => "cnn4-thumb",
+        }
+    }
+
+    /// Batch of 2 with the first element pinned to exact full scale so
+    /// the all-ones stream path stays under test.
+    fn input(self, seed: u64) -> Tensor {
+        let (c, h, w) = self.input_shape();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Tensor::kaiming(&[2, c, h, w], c * h * w, &mut rng).map(|v| v.abs().min(1.0));
+        x.data_mut()[0] = 1.0;
+        x
+    }
+}
+
+/// Forward through the compiled program under a pool of `threads`
+/// workers, returning raw output bit patterns.
+fn program_bits(threads: usize, cfg: GeoConfig, net: Net, seed: u64) -> Vec<u32> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction never fails");
+    pool.install(|| {
+        let mut model = net.model(seed);
+        let x = net.input(seed ^ 0x5eed);
+        let mut exec = ProgramExecutor::compile(
+            cfg,
+            &AccelConfig::ulp_geo(32, 64),
+            &model,
+            net.input_shape(),
+            net.name(),
+        )
+        .expect("compile");
+        let y = exec.forward(&mut model, &x, false).expect("forward");
+        y.data().iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+/// Forward through the engine directly under the same pool discipline.
+fn direct_bits(threads: usize, cfg: GeoConfig, net: Net, seed: u64) -> Vec<u32> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction never fails");
+    pool.install(|| {
+        let mut model = net.model(seed);
+        let x = net.input(seed ^ 0x5eed);
+        let mut engine = ScEngine::new(cfg).expect("valid config");
+        let y = engine.forward(&mut model, &x, false).expect("forward");
+        y.data().iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Program-driven and direct forwards agree to the bit on both
+    /// networks for every accumulation mode × generation mode × sharing
+    /// level × thread count.
+    #[test]
+    fn program_forward_is_bit_identical_to_direct(
+        seed in 0u64..500,
+        net_idx in 0usize..2,
+        mode_idx in 0usize..5,
+        sharing_idx in 0usize..3,
+        progressive in any::<bool>(),
+        threads in 1usize..9,
+    ) {
+        let net = NETS[net_idx];
+        let cfg = GeoConfig::geo(32, 64)
+            .with_accumulation(Accumulation::ALL[mode_idx])
+            .with_sharing(SharingLevel::ALL[sharing_idx])
+            .with_progressive(progressive);
+        let via_program = program_bits(threads, cfg, net, seed);
+        let direct = direct_bits(threads, cfg, net, seed);
+        prop_assert_eq!(
+            via_program,
+            direct,
+            "{:?} diverged at {} threads", net, threads
+        );
+    }
+}
+
+/// Exhaustive sweep: all five accumulation modes under both generation
+/// modes match the direct engine on both networks at 1 and 4 workers.
+#[test]
+fn every_accumulation_mode_matches_direct_engine() {
+    for net in NETS {
+        for mode in Accumulation::ALL {
+            for progressive in [false, true] {
+                let cfg = GeoConfig::geo(32, 64)
+                    .with_accumulation(mode)
+                    .with_progressive(progressive);
+                for threads in [1, 4] {
+                    assert_eq!(
+                        program_bits(threads, cfg, net, 42),
+                        direct_bits(threads, cfg, net, 42),
+                        "{net:?} {mode:?} progressive={progressive} diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The program path at many threads equals the direct path at one
+/// thread: program control composes with the parallel-equivalence
+/// guarantee instead of weakening it.
+#[test]
+fn program_parallel_matches_direct_serial() {
+    for net in NETS {
+        let cfg = GeoConfig::geo(32, 64).with_accumulation(Accumulation::Pbhw);
+        assert_eq!(
+            program_bits(8, cfg, net, 7),
+            direct_bits(1, cfg, net, 7),
+            "{net:?} program@8 threads diverged from direct@1"
+        );
+    }
+}

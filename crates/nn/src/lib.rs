@@ -49,4 +49,5 @@ pub mod train;
 pub use error::NnError;
 pub use layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
 pub use model::Sequential;
+pub use models::{ModelSpec, SpecLayer};
 pub use tensor::{Param, Tensor};

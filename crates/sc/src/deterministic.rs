@@ -1,5 +1,5 @@
 //! Deterministic bit-stream processing (after Faraji et al., DATE 2019 —
-//! reference [4] of the paper).
+//! reference \[4\] of the paper).
 //!
 //! Instead of pseudo-random streams, operands are encoded as *unary*
 //! (thermometer) streams and decorrelated structurally: one operand's

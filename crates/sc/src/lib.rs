@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod accum;
 pub mod apc;
 pub mod bipolar;
 mod bitstream;
@@ -45,6 +46,7 @@ mod rng;
 pub mod sharing;
 mod sng;
 
+pub use accum::Accumulation;
 pub use bitstream::{Bitstream, Iter};
 pub use encode::{dequantize_unipolar, quantize_unipolar, SplitStream, SplitValue};
 pub use error::ScError;
