@@ -1,0 +1,255 @@
+//! Forward-pass perf trajectory: compacted kernels vs. the retained
+//! pre-compaction reference path, across every accumulation mode and both
+//! generation modes, on LeNet-5 and CNN-4 thumbnails.
+//!
+//! Each cell times `ScEngine::forward_reference` (the verbatim
+//! pre-compaction kernels kept in `geo_core::engine::reference`) against
+//! `ScEngine::forward` (compacted lanes + interior/border split +
+//! streaming APC), asserts the two outputs bit-identical, and records
+//! both wall-clock numbers. The result is written to `BENCH_forward.json`
+//! at the repository root in the `geo-perf-trajectory-v1` schema
+//! (`geo_bench::trajectory`), then re-read and validated so schema drift
+//! fails the run rather than producing an artifact later PRs cannot diff.
+//!
+//! Hermetic: std `Instant` timing only. Thread count is ambient
+//! (`RAYON_NUM_THREADS` honored); `GEO_SKIP_HEAVY_TESTS=1` or `--smoke`
+//! selects a minimal workload that still covers every cell.
+//!
+//! Run: `cargo run --release -p geo-bench --bin bench_forward [-- --smoke|--quick]`
+
+use geo_bench::trajectory::{Cell, Report, SCHEMA};
+use geo_core::{GeoConfig, ScEngine};
+use geo_nn::{models, Sequential, Tensor};
+use geo_sc::Accumulation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Workload sizing: `(batch, image size, timed reps)`.
+#[derive(Debug, Clone, Copy)]
+struct Sizing {
+    batch: usize,
+    size: usize,
+    reps: usize,
+    scale: &'static str,
+}
+
+fn sizing_from_args() -> Sizing {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("GEO_SKIP_HEAVY_TESTS").is_ok_and(|v| !v.is_empty() && v != "0");
+    let quick = std::env::args().any(|a| a == "--quick");
+    if smoke {
+        Sizing {
+            batch: 1,
+            size: 8,
+            reps: 1,
+            scale: "smoke",
+        }
+    } else if quick {
+        Sizing {
+            batch: 2,
+            size: 8,
+            reps: 2,
+            scale: "quick",
+        }
+    } else {
+        Sizing {
+            batch: 12,
+            size: 12,
+            reps: 10,
+            scale: "full",
+        }
+    }
+}
+
+/// One benchmarked path: a warm engine plus its own model clone. Both
+/// paths advance their RNG pass counters in lockstep, so outputs of the
+/// same rep stay comparable bit-for-bit.
+struct Path {
+    engine: ScEngine,
+    model: Sequential,
+    reference: bool,
+}
+
+impl Path {
+    fn new(model: &Sequential, config: GeoConfig, reference: bool) -> Path {
+        Path {
+            engine: ScEngine::new(config).expect("valid experiment config"),
+            model: model.clone(),
+            reference,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Vec<f32> {
+        let out = if self.reference {
+            self.engine.forward_reference(&mut self.model, x, false)
+        } else {
+            self.engine.forward(&mut self.model, x, false)
+        };
+        out.expect("forward succeeds").data().to_vec()
+    }
+}
+
+/// Interleaved best-of-`reps` steady-state timing of both paths, in
+/// milliseconds, asserting bit-identical outputs on every rep. Engines
+/// stay warm across reps (stream tables cached), so the numbers measure
+/// forward throughput — the quantity a training loop pays — rather than
+/// one-off table construction.
+fn time_cell(
+    before: &mut Path,
+    after: &mut Path,
+    x: &Tensor,
+    reps: usize,
+    context: &str,
+) -> (f64, f64) {
+    let mut best_before = f64::INFINITY;
+    let mut best_after = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out_before = before.forward(x);
+        best_before = best_before.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let out_after = after.forward(x);
+        best_after = best_after.min(t0.elapsed().as_secs_f64());
+        assert_identical(&out_before, &out_after, context);
+    }
+    (best_before * 1e3, best_after * 1e3)
+}
+
+fn assert_identical(a: &[f32], b: &[f32], context: &str) {
+    let same = a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(
+        same,
+        "{context}: compacted output diverged from the reference kernels"
+    );
+}
+
+fn repo_root_artifact() -> PathBuf {
+    // crates/bench/../../ = repository root, independent of the cwd the
+    // binary is launched from.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_forward.json")
+}
+
+fn main() -> ExitCode {
+    let sizing = sizing_from_args();
+    let threads = rayon::current_num_threads();
+    let base = GeoConfig::geo(32, 64);
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let x = Tensor::kaiming(
+        &[sizing.batch, 1, sizing.size, sizing.size],
+        sizing.size,
+        &mut rng,
+    )
+    .map(|v| v.abs().min(1.0));
+
+    let workloads: [(&str, Sequential); 2] = [
+        ("lenet5", models::lenet5(1, sizing.size, 10, 7)),
+        ("cnn4", models::cnn4(1, sizing.size, 10, 11)),
+    ];
+
+    println!(
+        "bench_forward: scale={} batch={} size={} reps={} threads={threads} streams={}/{}",
+        sizing.scale,
+        sizing.batch,
+        sizing.size,
+        sizing.reps,
+        base.stream_len_pooled,
+        base.stream_len
+    );
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>12} {:>9}",
+        "model", "mode", "generation", "before", "after", "speedup"
+    );
+
+    let mut cells = Vec::new();
+    let mut expected = Vec::new();
+    for (name, model) in &workloads {
+        for mode in Accumulation::ALL {
+            for progressive in [false, true] {
+                let config = base.with_accumulation(mode).with_progressive(progressive);
+                let context = format!("{name} {mode:?} progressive={progressive}");
+                let mut before = Path::new(model, config, true);
+                let mut after = Path::new(model, config, false);
+                // Warm-up both paths (table construction, page faults) and
+                // pin bit-identity before any timing is trusted.
+                let before_out = before.forward(&x);
+                let after_out = after.forward(&x);
+                assert_identical(&before_out, &after_out, &context);
+                let (ms_before, ms_after) =
+                    time_cell(&mut before, &mut after, &x, sizing.reps, &context);
+                let speedup = ms_before / ms_after;
+                let generation = if progressive { "progressive" } else { "normal" };
+                println!(
+                    "{name:>8} {:>6} {generation:>12} {ms_before:>10.2}ms {ms_after:>10.2}ms {speedup:>8.2}x",
+                    format!("{mode:?}"),
+                );
+                cells.push(Cell {
+                    model: (*name).to_string(),
+                    accumulation: format!("{mode:?}"),
+                    progressive,
+                    threads,
+                    ms_before,
+                    ms_after,
+                    speedup,
+                    identical: true,
+                });
+            }
+        }
+    }
+    for (name, _) in &workloads {
+        for mode in Accumulation::ALL {
+            for progressive in [false, true] {
+                expected.push((*name, format!("{mode:?}"), progressive));
+            }
+        }
+    }
+
+    let report = Report {
+        bench: "bench_forward".to_string(),
+        threads,
+        scale: sizing.scale.to_string(),
+        cells,
+    };
+    let path = repo_root_artifact();
+    if let Err(e) = report.write(&path) {
+        eprintln!("bench_forward: failed to write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Self-validation: re-read what was written and require full coverage,
+    // so the CI smoke step catches schema drift at the source.
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_forward: failed to re-read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match Report::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_forward: emitted JSON does not parse as {SCHEMA}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expected_refs: Vec<(&str, &str, bool)> = expected
+        .iter()
+        .map(|(m, a, p)| (*m, a.as_str(), *p))
+        .collect();
+    if let Err(e) = parsed.validate_cells(&expected_refs) {
+        eprintln!("bench_forward: artifact failed cell validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "wrote {} ({} cells, schema {SCHEMA}) — artifact validated",
+        path.display(),
+        parsed.cells.len()
+    );
+    println!("BIT_IDENTICAL_ACROSS_ALL_CELLS");
+    ExitCode::SUCCESS
+}

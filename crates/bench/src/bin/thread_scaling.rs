@@ -7,9 +7,15 @@
 //! self-contained; `RAYON_NUM_THREADS` still governs runs outside the
 //! sweep (see DESIGN.md §"Resolve/compute pipeline").
 //!
+//! Besides the human-readable table, the sweep lands in
+//! `results/thread_scaling.json` in the same `geo-perf-trajectory-v1`
+//! schema as `BENCH_forward.json`: one cell per thread count, with
+//! `ms_before` the serial wall clock and `ms_after` that count's.
+//!
 //! Run: `cargo run --release -p geo-bench --bin thread_scaling [-- --quick]`
 
 use geo_bench::runs::Scale;
+use geo_bench::trajectory::{Cell, Report};
 use geo_core::{GeoConfig, ScEngine};
 use geo_nn::{models, Sequential, Tensor};
 use rand::rngs::StdRng;
@@ -52,6 +58,7 @@ fn main() {
         "threads", "time", "speedup", "identical"
     );
 
+    let mut cells = Vec::new();
     let mut serial: Option<(Vec<f32>, f64)> = None;
     for threads in THREADS {
         let pool = ThreadPoolBuilder::new()
@@ -89,6 +96,35 @@ fn main() {
             "{threads:>8} {:>10.1}ms {speedup:>8.2}x {identical:>10}",
             best * 1e3
         );
+        let serial_ms = serial
+            .as_ref()
+            .map(|(_, t1)| t1 * 1e3)
+            .unwrap_or(best * 1e3);
+        cells.push(Cell {
+            model: "lenet5".to_string(),
+            accumulation: format!("{:?}", config.accumulation),
+            progressive: config.progressive,
+            threads,
+            ms_before: serial_ms,
+            ms_after: best * 1e3,
+            speedup,
+            identical,
+        });
     }
     println!("BIT_IDENTICAL_ACROSS_ALL_THREAD_COUNTS");
+
+    let report = Report {
+        bench: "thread_scaling".to_string(),
+        threads: rayon::current_num_threads(),
+        scale: match scale {
+            Scale::Quick => "quick".to_string(),
+            Scale::Full => "full".to_string(),
+        },
+        cells,
+    };
+    std::fs::create_dir_all("results").expect("create results/");
+    report
+        .write("results/thread_scaling.json")
+        .expect("write results/thread_scaling.json");
+    println!("Sweep written to results/thread_scaling.json");
 }

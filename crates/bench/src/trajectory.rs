@@ -1,0 +1,584 @@
+//! Machine-readable perf-trajectory artifacts.
+//!
+//! Every perf-sensitive PR needs a baseline it can be judged against, so
+//! benchmark binaries emit JSON artifacts in one shared schema:
+//! `BENCH_forward.json` at the repository root (the canonical forward
+//! throughput trajectory, written by `bench_forward`) and
+//! `results/thread_scaling.json` (written by `thread_scaling`). The
+//! schema is deliberately tiny — an envelope plus a flat list of cells,
+//! each with a *before* and *after* time — so any session or CI step can
+//! diff two artifacts without bespoke tooling.
+//!
+//! The workspace is hermetic (no `serde_json`), so this module carries
+//! its own writer and a minimal recursive-descent JSON reader covering
+//! exactly the subset the writer emits. The reader exists so CI can
+//! prove the artifact round-trips and covers every expected cell —
+//! schema drift fails the `bench_forward --smoke` step rather than
+//! silently producing an artifact later PRs cannot consume.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Schema tag stamped into (and required of) every trajectory artifact.
+pub const SCHEMA: &str = "geo-perf-trajectory-v1";
+
+/// One measured configuration: a `(model, accumulation, progressive,
+/// threads)` point with its before/after wall-clock times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Workload name (`lenet5`, `cnn4`).
+    pub model: String,
+    /// Accumulation mode name (`Or`, `Pbw`, `Pbhw`, `Fxp`, `Apc`).
+    pub accumulation: String,
+    /// Progressive (true) vs normal (false) stream generation.
+    pub progressive: bool,
+    /// Worker threads the cell ran under.
+    pub threads: usize,
+    /// Baseline wall-clock per forward pass, milliseconds.
+    pub ms_before: f64,
+    /// Measured wall-clock per forward pass, milliseconds.
+    pub ms_after: f64,
+    /// `ms_before / ms_after`.
+    pub speedup: f64,
+    /// Whether both paths produced bit-identical outputs.
+    pub identical: bool,
+}
+
+/// A trajectory artifact: envelope metadata plus measured cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Emitting benchmark (`bench_forward`, `thread_scaling`).
+    pub bench: String,
+    /// Ambient worker-thread count the run observed.
+    pub threads: usize,
+    /// Run scale (`smoke`, `quick`, `full`).
+    pub scale: String,
+    /// Measured cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Report {
+    /// Serializes the report in the stable field order the schema
+    /// defines.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(s, "  \"bench\": {},", quote(&self.bench));
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"scale\": {},", quote(&self.scale));
+        let _ = writeln!(s, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let sep = if i + 1 == self.cells.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"model\": {}, \"accumulation\": {}, \"progressive\": {}, \
+                 \"threads\": {}, \"ms_before\": {}, \"ms_after\": {}, \
+                 \"speedup\": {}, \"identical\": {}}}{sep}",
+                quote(&c.model),
+                quote(&c.accumulation),
+                c.progressive,
+                c.threads,
+                num(c.ms_before),
+                num(c.ms_after),
+                num(c.speedup),
+                c.identical,
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Parses an artifact, rejecting unknown schema tags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let value = Parser::new(text).parse_document()?;
+        let top = value.as_object("top level")?;
+        let schema = get(top, "schema")?.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+        }
+        let cells = get(top, "cells")?
+            .as_array("cells")?
+            .iter()
+            .map(|v| {
+                let c = v.as_object("cell")?;
+                Ok(Cell {
+                    model: get(c, "model")?.as_str("model")?.to_string(),
+                    accumulation: get(c, "accumulation")?.as_str("accumulation")?.to_string(),
+                    progressive: get(c, "progressive")?.as_bool("progressive")?,
+                    threads: get(c, "threads")?.as_usize("threads")?,
+                    ms_before: get(c, "ms_before")?.as_f64("ms_before")?,
+                    ms_after: get(c, "ms_after")?.as_f64("ms_after")?,
+                    speedup: get(c, "speedup")?.as_f64("speedup")?,
+                    identical: get(c, "identical")?.as_bool("identical")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Report {
+            bench: get(top, "bench")?.as_str("bench")?.to_string(),
+            threads: get(top, "threads")?.as_usize("threads")?,
+            scale: get(top, "scale")?.as_str("scale")?.to_string(),
+            cells,
+        })
+    }
+
+    /// Validates that the artifact contains exactly one cell for every
+    /// expected `(model, accumulation, progressive)` combination, all
+    /// with positive finite timings and bit-identical outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing/duplicated cell or
+    /// malformed measurement.
+    pub fn validate_cells(&self, expected: &[(&str, &str, bool)]) -> Result<(), String> {
+        for &(model, accumulation, progressive) in expected {
+            let matches = self
+                .cells
+                .iter()
+                .filter(|c| {
+                    c.model == model
+                        && c.accumulation == accumulation
+                        && c.progressive == progressive
+                })
+                .count();
+            if matches != 1 {
+                return Err(format!(
+                    "expected exactly one ({model}, {accumulation}, progressive={progressive}) \
+                     cell, found {matches}"
+                ));
+            }
+        }
+        let finite_positive = |x: f64| x.is_finite() && x > 0.0;
+        for c in &self.cells {
+            let sound = finite_positive(c.ms_before)
+                && finite_positive(c.ms_after)
+                && c.speedup.is_finite();
+            if !sound {
+                return Err(format!(
+                    "non-finite or non-positive timing in cell ({}, {}, progressive={})",
+                    c.model, c.accumulation, c.progressive
+                ));
+            }
+            if !c.identical {
+                return Err(format!(
+                    "cell ({}, {}, progressive={}) reports non-identical outputs",
+                    c.model, c.accumulation, c.progressive
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Quotes a string for JSON. The schema's strings are identifier-like;
+/// the two JSON-mandatory escapes are still handled.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a time/ratio with enough digits to round-trip meaningfully.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        // JSON has no Infinity/NaN; represent as null and fail validation.
+        "null".to_string()
+    }
+}
+
+/// Parsed JSON value (the subset the writer emits).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
+        match self {
+            Value::Obj(fields) => Ok(fields),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(format!("{what}: expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("{what}: expected string, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("{what}: expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Value::Num(x) => Ok(*x),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize, String> {
+        let x = self.as_f64(what)?;
+        if x.fract() == 0.0 && x >= 0.0 && x <= usize::MAX as f64 {
+            Ok(x as usize)
+        } else {
+            Err(format!("{what}: {x} is not a non-negative integer"))
+        }
+    }
+}
+
+/// Looks up a required object field.
+fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Minimal recursive-descent JSON parser over the writer's subset:
+/// objects, arrays, strings (`\"`/`\\`/`\uXXXX` escapes), numbers,
+/// booleans, and null.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'n' => self.parse_keyword("null", Value::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at offset {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf8 in number".to_string())?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("malformed number {text:?} at offset {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?
+            {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied().ok_or("bad escape")? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("unpaired surrogate in \\u escape")?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                    self.pos += 1;
+                }
+                byte => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf8 in string".to_string())?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                    let _ = byte;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            bench: "bench_forward".into(),
+            threads: 1,
+            scale: "smoke".into(),
+            cells: vec![
+                Cell {
+                    model: "lenet5".into(),
+                    accumulation: "Apc".into(),
+                    progressive: true,
+                    threads: 1,
+                    ms_before: 12.5,
+                    ms_after: 4.25,
+                    speedup: 12.5 / 4.25,
+                    identical: true,
+                },
+                Cell {
+                    model: "cnn4".into(),
+                    accumulation: "Or".into(),
+                    progressive: false,
+                    threads: 1,
+                    ms_before: 3.0,
+                    ms_after: 2.0,
+                    speedup: 1.5,
+                    identical: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = sample();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.bench, report.bench);
+        assert_eq!(parsed.threads, report.threads);
+        assert_eq!(parsed.scale, report.scale);
+        assert_eq!(parsed.cells.len(), report.cells.len());
+        for (a, b) in parsed.cells.iter().zip(&report.cells) {
+            assert_eq!(a.model, b.model);
+            assert_eq!(a.accumulation, b.accumulation);
+            assert_eq!(a.progressive, b.progressive);
+            assert!((a.ms_before - b.ms_before).abs() < 1e-9);
+            assert!((a.ms_after - b.ms_after).abs() < 1e-9);
+            assert_eq!(a.identical, b.identical);
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = sample().to_json().replace(SCHEMA, "some-other-schema");
+        let err = Report::from_json(&json).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn missing_cell_field_is_rejected() {
+        let json = sample().to_json().replace("\"speedup\"", "\"sidewaysup\"");
+        let err = Report::from_json(&json).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+    }
+
+    #[test]
+    fn truncated_document_is_rejected() {
+        let json = sample().to_json();
+        assert!(Report::from_json(&json[..json.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn validate_cells_requires_exact_coverage() {
+        let report = sample();
+        report
+            .validate_cells(&[("lenet5", "Apc", true), ("cnn4", "Or", false)])
+            .unwrap();
+        let err = report
+            .validate_cells(&[("lenet5", "Fxp", true)])
+            .unwrap_err();
+        assert!(err.contains("Fxp"), "{err}");
+    }
+
+    #[test]
+    fn validate_cells_rejects_bad_timings_and_divergence() {
+        let mut report = sample();
+        report.cells[0].ms_after = 0.0;
+        assert!(report.validate_cells(&[]).is_err());
+        let mut report = sample();
+        report.cells[1].identical = false;
+        assert!(report.validate_cells(&[]).is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null_and_fail_validation() {
+        let mut report = sample();
+        report.cells[0].speedup = f64::INFINITY;
+        let parsed = Report::from_json(&report.to_json());
+        // `null` where a number is required is a parse-level type error.
+        assert!(parsed.is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = Parser::new(r#"{"kA": "a\"b\\c", "x": [1.5e2, -3, true, null]}"#)
+            .parse_document()
+            .unwrap();
+        let obj = v.as_object("top").unwrap();
+        assert_eq!(get(obj, "kA").unwrap().as_str("kA").unwrap(), "a\"b\\c");
+        let arr = get(obj, "x").unwrap().as_array("x").unwrap();
+        assert_eq!(arr[0].as_f64("0").unwrap(), 150.0);
+        assert_eq!(arr[1].as_f64("1").unwrap(), -3.0);
+    }
+}

@@ -22,13 +22,31 @@
 //!    into a [`ResolvedConv`]/[`ResolvedLinear`]. Table construction is
 //!    the injection point for the fault model, so running it serially in
 //!    a fixed order keeps fault draws and counters deterministic and
-//!    call-order independent.
+//!    call-order independent. Resolve also performs every computation
+//!    that is invariant across output positions: zero-weight lanes are
+//!    compacted away into per-output-channel [`CompactKernel`] lists,
+//!    operand levels are range-validated (making compute-phase table
+//!    lookups infallible), and the interior output-column span is
+//!    derived so the inner loop can drop its padding tests.
 //! 2. **Compute** (pure, `&self`): output positions `(b, co, oy, ox)` are
 //!    computed over disjoint output slices, in parallel across `rayon`
 //!    workers. Each position's accumulators are position-local and the
 //!    resolved tables are immutable, so the result is **bit-identical to
 //!    the serial engine at every thread count** — the correctness
 //!    contract `crates/core/tests/parallel_equivalence.rs` enforces.
+//!
+//! # Sparsity-compacted kernels (DESIGN.md §11)
+//!
+//! The compute phase walks dense arrays built at resolve time instead of
+//! re-deriving per-lane facts per pixel: compacted nonzero-lane lists
+//! with their stream words contiguous in memory, a once-per-row `iy`
+//! resolution, an interior/border split of each output row, and a
+//! streaming one-level APC accumulator that replaces per-MAC heap
+//! allocations. The pre-compaction kernels are retained verbatim (the
+//! [`reference`] module, reachable via [`ScEngine::forward_reference`])
+//! as the bit-identity oracle for
+//! `crates/core/tests/compaction_equivalence.rs` and as the "before"
+//! side of the `bench_forward` perf trajectory.
 //!
 //! Thread count follows `RAYON_NUM_THREADS` (or an installed
 //! `rayon::ThreadPool`), defaulting to the machine's parallelism.
@@ -85,6 +103,31 @@ impl LaneTable {
             }
         }
     }
+
+    /// Packed stream words for a *resolve-validated* operand level — the
+    /// hot-loop form of [`Self::stream`], with the range check and
+    /// `Result` plumbing hoisted out: the resolve phase validates the
+    /// layer's maximum activation level once ([`validate_act_levels`]),
+    /// so per-pixel lookups index straight into the table.
+    #[inline]
+    fn words(&self, level: u32) -> &[u64] {
+        match self {
+            LaneTable::Normal(t) => t.words(level),
+            LaneTable::Progressive(t) => t.words(level as u8),
+        }
+    }
+}
+
+/// Validates once, at resolve time, that every quantized activation level
+/// is inside the lane tables' range, licensing the infallible
+/// [`LaneTable::words`] lookups the compute phase performs. All of a
+/// layer's activation tables share one width/length, so checking the
+/// maximum level against the first table covers them all.
+fn validate_act_levels(tables: &[LaneTable], levels: &[u32]) -> Result<(), GeoError> {
+    if let (Some(table), Some(&max)) = (tables.first(), levels.iter().max()) {
+        table.stream(max)?;
+    }
+    Ok(())
 }
 
 /// Per-layer and total fault-injection counts observed by an engine built
@@ -157,6 +200,137 @@ impl WeightRef {
     }
 }
 
+/// One nonzero weight lane in a [`CompactKernel`] row: the kernel
+/// coordinates it reads, the accumulator group it feeds, and where its
+/// stream words live in the shared contiguous buffer.
+#[derive(Debug, Clone, Copy)]
+struct CompactLane {
+    /// Activation-table index (conv: `(ci·k + ky)·k + kx`; linear: the
+    /// feature index).
+    lane: u32,
+    /// Input channel (conv only; zero for linear).
+    ci: u32,
+    /// Kernel row offset (conv only; zero for linear).
+    ky: u32,
+    /// Kernel column offset (conv only; zero for linear).
+    kx: u32,
+    /// Accumulator group this lane feeds.
+    group: u32,
+    /// Offset of this lane's weight words in [`CompactKernel::words_buf`]:
+    /// the positive half at `word_off`, the negative at `word_off + words`.
+    word_off: usize,
+    /// Whether the positive split half is nonzero.
+    has_pos: bool,
+    /// Whether the negative split half is nonzero.
+    has_neg: bool,
+}
+
+/// Sparsity-compacted weight lanes for a whole layer: per output
+/// channel/neuron, a contiguous run of its *nonzero* lanes plus one flat
+/// buffer holding every lane's stream words back to back. The per-pixel
+/// hot loop walks these dense arrays instead of re-testing
+/// `WeightRef::is_zero` on every lane of every output position, and the
+/// adjacent word layout keeps the accumulation loop cache-resident.
+///
+/// Lane order within a row matches the resolve order (`ci`, `ky`, `kx`
+/// ascending), so the sequence of accumulate calls — and therefore APC
+/// compressor pairing — is exactly the pre-compaction sequence.
+#[derive(Debug)]
+struct CompactKernel {
+    lanes: Vec<CompactLane>,
+    /// Row `r`'s lanes are `lanes[offsets[r]..offsets[r + 1]]`.
+    offsets: Vec<usize>,
+    /// `2·words` u64 per compacted lane: positive words then negative
+    /// words, zero-filled for an absent split half (never read — the
+    /// `has_pos`/`has_neg` flags gate access, preserving APC push order).
+    words_buf: Vec<u64>,
+    /// Words per stream (`len.div_ceil(64)`).
+    words: usize,
+}
+
+impl CompactKernel {
+    /// Compacts `wrefs` (laid out `rows × lanes_per_row`, resolve order)
+    /// into per-row nonzero lane lists. `meta(lane)` supplies the
+    /// `(ci, ky, kx)` coordinates of a lane index.
+    fn build<F>(
+        wrefs: &[WeightRef],
+        rows: usize,
+        lanes_per_row: usize,
+        words: usize,
+        meta: F,
+    ) -> CompactKernel
+    where
+        F: Fn(usize) -> (u32, u32, u32),
+    {
+        let mut lanes = Vec::new();
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut words_buf = Vec::new();
+        offsets.push(0);
+        for r in 0..rows {
+            for l in 0..lanes_per_row {
+                let wref = &wrefs[r * lanes_per_row + l];
+                if wref.is_zero() {
+                    continue;
+                }
+                let word_off = words_buf.len();
+                for half in [&wref.pos_words, &wref.neg_words] {
+                    if half.is_empty() {
+                        words_buf.resize(words_buf.len() + words, 0);
+                    } else {
+                        words_buf.extend_from_slice(half);
+                    }
+                }
+                let (ci, ky, kx) = meta(l);
+                lanes.push(CompactLane {
+                    lane: l as u32,
+                    ci,
+                    ky,
+                    kx,
+                    group: wref.group as u32,
+                    word_off,
+                    has_pos: wref.pos > 0,
+                    has_neg: wref.neg > 0,
+                });
+            }
+            offsets.push(lanes.len());
+        }
+        CompactKernel {
+            lanes,
+            offsets,
+            words_buf,
+            words,
+        }
+    }
+
+    /// The compacted lanes of output row/channel `r`.
+    #[inline]
+    fn row(&self, r: usize) -> &[CompactLane] {
+        &self.lanes[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Positive-half stream words of a lane.
+    #[inline]
+    fn pos_words(&self, l: &CompactLane) -> &[u64] {
+        &self.words_buf[l.word_off..l.word_off + self.words]
+    }
+
+    /// Negative-half stream words of a lane.
+    #[inline]
+    fn neg_words(&self, l: &CompactLane) -> &[u64] {
+        &self.words_buf[l.word_off + self.words..l.word_off + 2 * self.words]
+    }
+
+    /// Largest nonzero-lane count of any row — the layer's effective max
+    /// fan-in, which sizes per-worker row scratch exactly once.
+    fn max_row_lanes(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Everything the pure compute phase needs for one convolution layer,
 /// produced serially by [`ScEngine::resolve_conv`]. Shared as `&self`
 /// across worker threads (see the compile-time assertions below).
@@ -177,8 +351,17 @@ struct ResolvedConv {
     ow: usize,
     volume: usize,
     act_tables: Vec<LaneTable>,
+    /// Uncompacted lanes, kept for the pre-compaction reference kernels
+    /// (the equivalence oracle and the `bench_forward` baseline).
     wrefs: Vec<WeightRef>,
     act_levels: Vec<u32>,
+    /// Per-output-channel compacted nonzero lanes (the hot-path layout).
+    compact: CompactKernel,
+    /// First output column whose every `kx` tap is inside the image.
+    x_lo: usize,
+    /// One past the last interior output column (`x_lo..x_hi` runs the
+    /// padding-check-free inner loop).
+    x_hi: usize,
 }
 
 /// Everything the pure compute phase needs for one fully-connected layer,
@@ -192,8 +375,11 @@ struct ResolvedLinear {
     features: usize,
     outf: usize,
     act_tables: Vec<LaneTable>,
+    /// Uncompacted lanes, kept for the pre-compaction reference kernels.
     wrefs: Vec<WeightRef>,
     act_levels: Vec<u32>,
+    /// Per-output-neuron compacted nonzero lanes (the hot-path layout).
+    compact: CompactKernel,
 }
 
 // The compute phase hands these to scoped worker threads by shared
@@ -204,55 +390,242 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<LaneTable>();
     assert_send_sync::<WeightRef>();
+    assert_send_sync::<CompactLane>();
+    assert_send_sync::<CompactKernel>();
     assert_send_sync::<ResolvedConv>();
     assert_send_sync::<ResolvedLinear>();
 };
 
-/// Per-worker accumulator state, allocated once per worker
-/// (`for_each_init`) and reset per output position — the parallel engine
-/// allocates no more scratch than the serial engine did.
-struct Scratch {
+/// Streaming one-level approximate-parallel-counter state.
+///
+/// [`geo_sc::apc::apc_count`] with one compressor level pairs the product
+/// streams in arrival order — `(s0, s1), (s2, s3), …` — and counts
+/// `2·ones(a ∧ b) + ones(a ∨ b)` per pair plus the unpaired tail exactly.
+/// That fold is computable online: hold at most one pending product in a
+/// fixed `words`-sized buffer and collapse each arriving partner into the
+/// running count. Bit-identical to materializing every product (the
+/// pre-compaction path allocated a `Vec<u64>` *and* a [`Bitstream`] per
+/// MAC per pixel just to feed `apc_count`), with zero heap traffic in the
+/// hot loop.
+struct ApcAcc {
+    /// The unpaired product, valid when `filled` (sized once; asserted
+    /// non-reallocating in debug builds via [`Scratch::debug_check`]).
+    pending: Vec<u64>,
+    filled: bool,
+    count: i64,
+}
+
+impl ApcAcc {
+    fn new(words: usize) -> Self {
+        ApcAcc {
+            pending: vec![0u64; words],
+            filled: false,
+            count: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        // `pending` is overwritten before it is next read; only the pair
+        // state and count need clearing.
+        self.filled = false;
+        self.count = 0;
+    }
+
+    /// Folds in the product `act ∧ weight` as the next APC input stream.
+    #[inline]
+    fn push(&mut self, act: &[u64], weight: &[u64]) {
+        if self.filled {
+            let mut c = 0i64;
+            for ((&p, &a), &w) in self.pending.iter().zip(act).zip(weight) {
+                let prod = a & w;
+                c += 2 * i64::from((p & prod).count_ones()) + i64::from((p | prod).count_ones());
+            }
+            self.count += c;
+            self.filled = false;
+        } else {
+            for ((p, &a), &w) in self.pending.iter_mut().zip(act).zip(weight) {
+                *p = a & w;
+            }
+            self.filled = true;
+        }
+    }
+
+    /// The count `apc_count(products, 1)` would have produced.
+    fn total(&self) -> i64 {
+        let tail: i64 = if self.filled {
+            self.pending.iter().map(|w| i64::from(w.count_ones())).sum()
+        } else {
+            0
+        };
+        self.count + tail
+    }
+}
+
+/// One compacted lane resolved against a fixed output row: `iy` is the
+/// same for every pixel of the row, so the y-bounds test and the input
+/// row base address are computed once per row, not once per pixel.
+#[derive(Debug, Clone, Copy)]
+struct RowLane {
+    /// `act_levels` index of this lane's input at `ix = 0`.
+    row_base: usize,
+    kx: usize,
+    lane: u32,
+    group: u32,
+    word_off: usize,
+    has_pos: bool,
+    has_neg: bool,
+}
+
+/// Per-output-position accumulator state for the compacted kernels. All
+/// buffers are sized once, at construction, from resolve-time layer
+/// constants — the hot loop performs no heap allocation in any mode.
+struct AccumState {
+    mode: Accumulation,
+    words: usize,
     acc_pos: Vec<u64>,
     acc_neg: Vec<u64>,
     fxp_pos: i64,
     fxp_neg: i64,
-    apc_pos: Vec<Bitstream>,
-    apc_neg: Vec<Bitstream>,
+    apc_pos: ApcAcc,
+    apc_neg: ApcAcc,
 }
 
-impl Scratch {
-    fn new(groups: usize, words: usize) -> Self {
-        Scratch {
+impl AccumState {
+    fn new(mode: Accumulation, groups: usize, words: usize) -> Self {
+        AccumState {
+            mode,
+            words,
             acc_pos: vec![0u64; groups * words],
             acc_neg: vec![0u64; groups * words],
             fxp_pos: 0,
             fxp_neg: 0,
-            apc_pos: Vec::new(),
-            apc_neg: Vec::new(),
+            apc_pos: ApcAcc::new(words),
+            apc_neg: ApcAcc::new(words),
         }
     }
 
+    #[inline]
     fn reset(&mut self) {
         self.acc_pos.fill(0);
         self.acc_neg.fill(0);
         self.fxp_pos = 0;
         self.fxp_neg = 0;
-        self.apc_pos.clear();
-        self.apc_neg.clear();
+        self.apc_pos.reset();
+        self.apc_neg.reset();
+    }
+
+    /// Folds one multiply-accumulate into the mode-specific state. The
+    /// single-word case (stream lengths up to 64 cycles — every paper
+    /// configuration's hidden layers) is special-cased so the compiler
+    /// drops the inner loops.
+    #[inline]
+    fn fold(
+        &mut self,
+        act: &[u64],
+        pos: &[u64],
+        neg: &[u64],
+        group: usize,
+        has_pos: bool,
+        has_neg: bool,
+    ) {
+        match self.mode {
+            Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+                if self.words == 1 {
+                    if has_pos {
+                        self.acc_pos[group] |= act[0] & pos[0];
+                    }
+                    if has_neg {
+                        self.acc_neg[group] |= act[0] & neg[0];
+                    }
+                    return;
+                }
+                let words = self.words;
+                if has_pos {
+                    let dst = &mut self.acc_pos[group * words..(group + 1) * words];
+                    for ((d, &a), &w) in dst.iter_mut().zip(act).zip(pos) {
+                        *d |= a & w;
+                    }
+                }
+                if has_neg {
+                    let dst = &mut self.acc_neg[group * words..(group + 1) * words];
+                    for ((d, &a), &w) in dst.iter_mut().zip(act).zip(neg) {
+                        *d |= a & w;
+                    }
+                }
+            }
+            Accumulation::Fxp => {
+                if has_pos {
+                    self.fxp_pos += act
+                        .iter()
+                        .zip(pos)
+                        .map(|(&a, &w)| i64::from((a & w).count_ones()))
+                        .sum::<i64>();
+                }
+                if has_neg {
+                    self.fxp_neg += act
+                        .iter()
+                        .zip(neg)
+                        .map(|(&a, &w)| i64::from((a & w).count_ones()))
+                        .sum::<i64>();
+                }
+            }
+            Accumulation::Apc => {
+                if has_pos {
+                    self.apc_pos.push(act, pos);
+                }
+                if has_neg {
+                    self.apc_neg.push(act, neg);
+                }
+            }
+        }
     }
 
     /// Converts the accumulated state into the output value.
-    fn finish(&self, mode: Accumulation, len: usize) -> Result<f32, GeoError> {
-        let signed = finish_count(
-            mode,
-            &self.acc_pos,
-            &self.acc_neg,
-            self.fxp_pos,
-            self.fxp_neg,
-            &self.apc_pos,
-            &self.apc_neg,
-        )?;
-        Ok(signed as f32 / len as f32)
+    #[inline]
+    fn finish(&self, len: usize) -> f32 {
+        let signed: i64 = match self.mode {
+            Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+                let pos: i64 = self.acc_pos.iter().map(|w| i64::from(w.count_ones())).sum();
+                let neg: i64 = self.acc_neg.iter().map(|w| i64::from(w.count_ones())).sum();
+                pos - neg
+            }
+            Accumulation::Fxp => self.fxp_pos - self.fxp_neg,
+            Accumulation::Apc => self.apc_pos.total() - self.apc_neg.total(),
+        };
+        signed as f32 / len as f32
+    }
+}
+
+/// Per-worker scratch for the compacted kernels, allocated once per
+/// worker (`for_each_init`) and sized from resolve-time constants.
+struct Scratch {
+    /// Reusable per-row lane list, capacity fixed at the layer's max
+    /// fan-in so row resolution never reallocates.
+    row_lanes: Vec<RowLane>,
+    row_capacity: usize,
+    acc: AccumState,
+}
+
+impl Scratch {
+    fn new(mode: Accumulation, groups: usize, words: usize, max_row_lanes: usize) -> Self {
+        Scratch {
+            row_lanes: Vec::with_capacity(max_row_lanes),
+            row_capacity: max_row_lanes,
+            acc: AccumState::new(mode, groups, words),
+        }
+    }
+
+    /// Debug-build invariant: no scratch buffer reallocated after
+    /// construction — the sizing contract of the compacted kernels.
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert!(
+            self.row_lanes.capacity() >= self.row_capacity
+                && self.row_lanes.len() <= self.row_capacity,
+            "row-lane scratch outgrew its resolve-time max fan-in sizing"
+        );
+        debug_assert_eq!(self.acc.apc_pos.pending.len(), self.acc.words);
+        debug_assert_eq!(self.acc.apc_neg.pending.len(), self.acc.words);
     }
 }
 
@@ -272,129 +645,185 @@ impl ResolvedConv {
     /// Phase 2: computes the whole output tensor, parallelizing over
     /// output rows `(b, co, oy)`. Bit-identical at every thread count:
     /// each row is written by exactly one worker from shared immutable
-    /// state.
-    fn compute(&self) -> Result<Tensor, GeoError> {
+    /// state. Infallible — every lookup the compacted kernels perform
+    /// was validated during resolve.
+    fn compute(&self) -> Tensor {
         let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
-        let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
         out.data_mut()
             .par_chunks_mut(self.ow.max(1))
             .enumerate()
             .for_each_init(
-                || Scratch::new(self.groups, self.words),
-                |scratch, (row, chunk)| {
-                    if let Err(err) = self.compute_row(row, chunk, scratch) {
-                        record_error(&first_err, err);
-                    }
+                || {
+                    Scratch::new(
+                        self.mode,
+                        self.groups,
+                        self.words,
+                        self.compact.max_row_lanes(),
+                    )
                 },
+                |scratch, (row, chunk)| self.compute_row(row, chunk, scratch),
             );
-        if let Some(err) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
-            return Err(err);
-        }
-        Ok(out)
+        out
     }
 
     /// Computes one output row: `b`, `co`, `oy` fixed, all `ox`.
-    fn compute_row(
-        &self,
-        row: usize,
-        chunk: &mut [f32],
-        scratch: &mut Scratch,
-    ) -> Result<(), GeoError> {
+    ///
+    /// The row's compacted lanes are resolved once (`iy` bounds test +
+    /// input row base address), then the pixel loop runs in three spans:
+    /// left border, interior (`x_lo..x_hi`, no padding checks), right
+    /// border.
+    fn compute_row(&self, row: usize, chunk: &mut [f32], scratch: &mut Scratch) {
         let oy = row % self.oh;
         let bc = row / self.oh;
         let co = bc % self.cout;
         let b = bc / self.cout;
-        let idx_in = |c: usize, y: usize, x: usize| ((b * self.cin + c) * self.h + y) * self.w + x;
-        for (ox, out_v) in chunk.iter_mut().enumerate() {
-            scratch.reset();
-            let mut lane = 0usize;
-            for ci in 0..self.cin {
-                for ky in 0..self.k {
-                    for kx in 0..self.k {
-                        let cur = lane;
-                        lane += 1;
-                        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
-                        let ix = (ox * self.stride + kx) as isize - self.pad as isize;
-                        if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize {
-                            continue;
-                        }
-                        let alevel = self.act_levels[idx_in(ci, iy as usize, ix as usize)];
-                        if alevel == 0 {
-                            continue;
-                        }
-                        let wref = &self.wrefs[co * self.volume + cur];
-                        if wref.is_zero() {
-                            continue;
-                        }
-                        let astream = self.act_tables[cur].stream(alevel)?;
-                        accumulate(
-                            self.mode,
-                            astream.as_words(),
-                            wref,
-                            self.words,
-                            self.len,
-                            scratch,
-                        );
-                    }
-                }
+        scratch.row_lanes.clear();
+        for l in self.compact.row(co) {
+            let iy = (oy * self.stride + l.ky as usize) as isize - self.pad as isize;
+            if iy < 0 || iy >= self.h as isize {
+                continue;
             }
-            *out_v = scratch.finish(self.mode, self.len)?;
+            scratch.row_lanes.push(RowLane {
+                row_base: ((b * self.cin + l.ci as usize) * self.h + iy as usize) * self.w,
+                kx: l.kx as usize,
+                lane: l.lane,
+                group: l.group,
+                word_off: l.word_off,
+                has_pos: l.has_pos,
+                has_neg: l.has_neg,
+            });
         }
-        Ok(())
-    }
-}
-
-impl ResolvedLinear {
-    /// Phase 2: computes the whole output tensor, parallelizing over
-    /// output neurons `(b, o)`.
-    fn compute(&self) -> Result<Tensor, GeoError> {
-        let mut out = Tensor::zeros(&[self.n, self.outf]);
-        let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
-        out.data_mut().par_chunks_mut(1).enumerate().for_each_init(
-            || Scratch::new(self.groups, self.words),
-            |scratch, (row, chunk)| {
-                if let Err(err) = self.compute_neuron(row, chunk, scratch) {
-                    record_error(&first_err, err);
-                }
-            },
-        );
-        if let Some(err) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
-            return Err(err);
+        scratch.debug_check();
+        let Scratch { row_lanes, acc, .. } = scratch;
+        let (x_lo, x_hi) = (self.x_lo.min(chunk.len()), self.x_hi.min(chunk.len()));
+        for (ox, out_v) in chunk.iter_mut().enumerate().take(x_lo) {
+            *out_v = self.border_pixel(ox, row_lanes, acc);
         }
-        Ok(out)
+        for (ox, out_v) in chunk.iter_mut().enumerate().take(x_hi).skip(x_lo) {
+            *out_v = self.interior_pixel(ox, row_lanes, acc);
+        }
+        for (ox, out_v) in chunk.iter_mut().enumerate().skip(x_hi) {
+            *out_v = self.border_pixel(ox, row_lanes, acc);
+        }
     }
 
-    /// Computes one output neuron: `row = b * outf + o`.
-    fn compute_neuron(
-        &self,
-        row: usize,
-        chunk: &mut [f32],
-        scratch: &mut Scratch,
-    ) -> Result<(), GeoError> {
-        let o = row % self.outf;
-        let b = row / self.outf;
-        scratch.reset();
-        for i in 0..self.features {
-            let alevel = self.act_levels[b * self.features + i];
+    /// One interior output pixel: every `kx` tap is in-bounds by the
+    /// definition of `x_lo..x_hi`, so the inner loop carries no padding
+    /// test at all.
+    #[inline]
+    fn interior_pixel(&self, ox: usize, row_lanes: &[RowLane], acc: &mut AccumState) -> f32 {
+        acc.reset();
+        let base_x = ox * self.stride - self.pad;
+        for l in row_lanes {
+            let alevel = self.act_levels[l.row_base + base_x + l.kx];
             if alevel == 0 {
                 continue;
             }
-            let wref = &self.wrefs[o * self.features + i];
-            if wref.is_zero() {
-                continue;
-            }
-            let astream = self.act_tables[i].stream(alevel)?;
-            accumulate(
-                self.mode,
-                astream.as_words(),
-                wref,
-                self.words,
-                self.len,
-                scratch,
+            let act = self.act_tables[l.lane as usize].words(alevel);
+            acc.fold(
+                act,
+                &self.compact.words_buf[l.word_off..l.word_off + self.words],
+                &self.compact.words_buf[l.word_off + self.words..l.word_off + 2 * self.words],
+                l.group as usize,
+                l.has_pos,
+                l.has_neg,
             );
         }
-        chunk[0] = scratch.finish(self.mode, self.len)?;
-        Ok(())
+        acc.finish(self.len)
+    }
+
+    /// One border output pixel: `ix` is range-checked per lane.
+    fn border_pixel(&self, ox: usize, row_lanes: &[RowLane], acc: &mut AccumState) -> f32 {
+        acc.reset();
+        let x0 = (ox * self.stride) as isize - self.pad as isize;
+        for l in row_lanes {
+            let ix = x0 + l.kx as isize;
+            if ix < 0 || ix >= self.w as isize {
+                continue;
+            }
+            let alevel = self.act_levels[l.row_base + ix as usize];
+            if alevel == 0 {
+                continue;
+            }
+            let act = self.act_tables[l.lane as usize].words(alevel);
+            acc.fold(
+                act,
+                &self.compact.words_buf[l.word_off..l.word_off + self.words],
+                &self.compact.words_buf[l.word_off + self.words..l.word_off + 2 * self.words],
+                l.group as usize,
+                l.has_pos,
+                l.has_neg,
+            );
+        }
+        acc.finish(self.len)
+    }
+}
+
+/// The interior output-column span `x_lo..x_hi` for a convolution row:
+/// exactly the columns `ox` where every kernel tap `kx ∈ 0..k` reads
+/// inside the image (`0 ≤ ox·stride + kx − pad < w`). Empty (possibly
+/// with `x_lo = x_hi = 0`) when no column qualifies — e.g. `pad ≥ k`
+/// layers whose every pixel touches padding, or kernels wider than the
+/// padded image.
+fn interior_span(w: usize, k: usize, stride: usize, pad: usize, ow: usize) -> (usize, usize) {
+    let x_lo = pad.div_ceil(stride).min(ow);
+    let x_hi = if w + pad >= k {
+        ((w + pad - k) / stride + 1).min(ow)
+    } else {
+        0
+    };
+    (x_lo, x_hi.max(x_lo))
+}
+
+impl ResolvedLinear {
+    /// Phase 2: computes the whole output tensor. Output neurons
+    /// `(b, o)` are split into one contiguous run per worker (rather
+    /// than scheduling each neuron as its own chunk), so per-chunk
+    /// dispatch overhead is paid once per worker. Chunk geometry cannot
+    /// affect the numerics — each neuron is a pure function of its row
+    /// index — so this stays bit-identical at every thread count.
+    fn compute(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.n, self.outf]);
+        let total = self.n * self.outf;
+        let chunk_rows = total.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        out.data_mut()
+            .par_chunks_mut(chunk_rows)
+            .enumerate()
+            .for_each_init(
+                || Scratch::new(self.mode, self.groups, self.words, 0),
+                |scratch, (ci, chunk)| {
+                    let start = ci * chunk_rows;
+                    for (j, out_v) in chunk.iter_mut().enumerate() {
+                        *out_v = self.compute_neuron(start + j, &mut scratch.acc);
+                    }
+                    scratch.debug_check();
+                },
+            );
+        out
+    }
+
+    /// Computes one output neuron: `row = b * outf + o`.
+    fn compute_neuron(&self, row: usize, acc: &mut AccumState) -> f32 {
+        let o = row % self.outf;
+        let b = row / self.outf;
+        acc.reset();
+        let base = b * self.features;
+        for l in self.compact.row(o) {
+            let alevel = self.act_levels[base + l.lane as usize];
+            if alevel == 0 {
+                continue;
+            }
+            let act = self.act_tables[l.lane as usize].words(alevel);
+            acc.fold(
+                act,
+                self.compact.pos_words(l),
+                self.compact.neg_words(l),
+                l.group as usize,
+                l.has_pos,
+                l.has_neg,
+            );
+        }
+        acc.finish(self.len)
     }
 }
 
@@ -418,6 +847,9 @@ pub struct ScEngine {
     config: GeoConfig,
     cache: TableCache,
     resilience: ResilienceReport,
+    /// When set, compute phases run the pre-compaction reference kernels
+    /// instead of the compacted ones (see [`ScEngine::forward_reference`]).
+    reference_kernels: bool,
 }
 
 impl ScEngine {
@@ -452,6 +884,7 @@ impl ScEngine {
             config,
             cache,
             resilience: ResilienceReport::default(),
+            reference_kernels: false,
         })
     }
 
@@ -523,6 +956,33 @@ impl ScEngine {
         training: bool,
     ) -> Result<Tensor, GeoError> {
         self.forward_with_lens(model, input, training, |_, len| Ok(len))
+    }
+
+    /// Runs the network through the *pre-compaction reference kernels*:
+    /// the per-pixel loops that test padding bounds and `WeightRef`
+    /// zeroness on every lane and materialize APC products as heap
+    /// bitstreams.
+    ///
+    /// The reference path is retained for two jobs: it is the oracle the
+    /// compacted kernels are proven bit-identical against
+    /// (`crates/core/tests/compaction_equivalence.rs`), and it is the
+    /// "before" side of the `bench_forward` perf trajectory. Outputs are
+    /// bit-for-bit equal to [`ScEngine::forward`] at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors and shape mismatches, exactly as
+    /// [`ScEngine::forward`] does.
+    pub fn forward_reference(
+        &mut self,
+        model: &mut Sequential,
+        input: &Tensor,
+        training: bool,
+    ) -> Result<Tensor, GeoError> {
+        self.reference_kernels = true;
+        let out = self.forward_with_lens(model, input, training, |_, len| Ok(len));
+        self.reference_kernels = false;
+        out
     }
 
     /// The forward loop, parameterized over the per-layer stream-length
@@ -712,7 +1172,12 @@ impl ScEngine {
         len: usize,
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
-        self.resolve_conv(conv, input, len, param_layer)?.compute()
+        let resolved = self.resolve_conv(conv, input, len, param_layer)?;
+        if self.reference_kernels {
+            resolved.compute_reference()
+        } else {
+            Ok(resolved.compute())
+        }
     }
 
     /// Phase 1 for a convolution: builds/fetches every lane table through
@@ -778,12 +1243,14 @@ impl ScEngine {
             }
         }
 
-        // Activation levels for the whole input tensor.
+        // Activation levels for the whole input tensor, validated once so
+        // the compute phase's table lookups are infallible.
         let act_levels: Vec<u32> = input
             .data()
             .iter()
             .map(|&x| self.act_level(x, width))
             .collect();
+        validate_act_levels(&act_tables, &act_levels)?;
 
         let groups = match mode {
             Accumulation::Or => 1,
@@ -791,10 +1258,17 @@ impl ScEngine {
             Accumulation::Pbhw => k * k,
             Accumulation::Fxp | Accumulation::Apc => 1, // handled separately
         };
+        let words = len.div_ceil(64);
+        let compact = CompactKernel::build(&wrefs, cout, volume, words, |lane| {
+            let ci = lane / (k * k);
+            let rem = lane % (k * k);
+            ((ci as u32), ((rem / k) as u32), ((rem % k) as u32))
+        });
+        let (x_lo, x_hi) = interior_span(w, k, stride, pad, ow);
         Ok(ResolvedConv {
             mode,
             len,
-            words: len.div_ceil(64),
+            words,
             groups,
             n,
             cin,
@@ -810,6 +1284,9 @@ impl ScEngine {
             act_tables,
             wrefs,
             act_levels,
+            compact,
+            x_lo,
+            x_hi,
         })
     }
 
@@ -823,7 +1300,12 @@ impl ScEngine {
         len: usize,
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
-        self.resolve_linear(lin, input, len, param_layer)?.compute()
+        let resolved = self.resolve_linear(lin, input, len, param_layer)?;
+        if self.reference_kernels {
+            resolved.compute_reference()
+        } else {
+            Ok(resolved.compute())
+        }
     }
 
     /// Phase 1 for a fully-connected layer (see [`Self::resolve_conv`]).
@@ -879,16 +1361,19 @@ impl ScEngine {
             .flat_map(|b| (0..features).map(move |i| (b, i)))
             .map(|(b, i)| self.act_level(input.at2(b, i), width))
             .collect();
+        validate_act_levels(&act_tables, &act_levels)?;
 
         let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw | Accumulation::Pbhw => wdim,
             Accumulation::Fxp | Accumulation::Apc => 1,
         };
+        let words = len.div_ceil(64);
+        let compact = CompactKernel::build(&wrefs, outf, features, words, |_| (0, 0, 0));
         Ok(ResolvedLinear {
             mode,
             len,
-            words: len.div_ceil(64),
+            words,
             groups,
             n,
             features,
@@ -896,6 +1381,7 @@ impl ScEngine {
             act_tables,
             wrefs,
             act_levels,
+            compact,
         })
     }
 }
@@ -910,98 +1396,259 @@ fn planned_len(plan: &[Option<usize>], i: usize) -> Result<usize, GeoError> {
     })
 }
 
-/// Folds one multiply-accumulate into the mode-specific accumulator state.
+/// The pre-compaction compute kernels, preserved verbatim.
 ///
-/// Infallible: the weight stream words were copied into `wref` during the
-/// resolve phase, so the hot loop performs no table lookups for weights.
-/// The single-word case (stream lengths up to 64 cycles — every paper
-/// configuration's hidden layers) is special-cased so the compiler drops
-/// the inner loops.
-fn accumulate(
-    mode: Accumulation,
-    act_words: &[u64],
-    wref: &WeightRef,
-    words: usize,
-    len: usize,
-    scratch: &mut Scratch,
-) {
-    let g = wref.group;
-    match mode {
-        Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
-            if words == 1 {
+/// Two consumers keep this module alive: the compaction equivalence
+/// proptests use it as the bit-identity oracle for the compacted kernels,
+/// and `bench_forward` times it as the "before" side of the repo's perf
+/// trajectory (`BENCH_forward.json`). It deliberately keeps every cost the
+/// compacted path removed — per-pixel padding and zero-weight tests, the
+/// fallible table lookup, per-chunk FC scheduling, and the per-MAC heap
+/// allocations feeding [`geo_sc::apc::apc_count`].
+mod reference {
+    use super::*;
+
+    /// Per-worker accumulator state of the pre-compaction engine; the APC
+    /// buffers grow with each product stream, exactly as they used to.
+    pub(super) struct RefScratch {
+        acc_pos: Vec<u64>,
+        acc_neg: Vec<u64>,
+        fxp_pos: i64,
+        fxp_neg: i64,
+        apc_pos: Vec<Bitstream>,
+        apc_neg: Vec<Bitstream>,
+    }
+
+    impl RefScratch {
+        fn new(groups: usize, words: usize) -> Self {
+            RefScratch {
+                acc_pos: vec![0u64; groups * words],
+                acc_neg: vec![0u64; groups * words],
+                fxp_pos: 0,
+                fxp_neg: 0,
+                apc_pos: Vec::new(),
+                apc_neg: Vec::new(),
+            }
+        }
+
+        fn reset(&mut self) {
+            self.acc_pos.fill(0);
+            self.acc_neg.fill(0);
+            self.fxp_pos = 0;
+            self.fxp_neg = 0;
+            self.apc_pos.clear();
+            self.apc_neg.clear();
+        }
+
+        /// Converts the accumulated state into the output value.
+        fn finish(&self, mode: Accumulation, len: usize) -> Result<f32, GeoError> {
+            let signed = match mode {
+                Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+                    let pos: i64 = self.acc_pos.iter().map(|w| w.count_ones() as i64).sum();
+                    let neg: i64 = self.acc_neg.iter().map(|w| w.count_ones() as i64).sum();
+                    pos - neg
+                }
+                Accumulation::Fxp => self.fxp_pos - self.fxp_neg,
+                Accumulation::Apc => {
+                    // One approximate compressor layer, then exact counting
+                    // — the single-level limit the paper describes for APCs.
+                    let pos = geo_sc::apc::apc_count(&self.apc_pos, 1)? as i64;
+                    let neg = geo_sc::apc::apc_count(&self.apc_neg, 1)? as i64;
+                    pos - neg
+                }
+            };
+            Ok(signed as f32 / len as f32)
+        }
+    }
+
+    /// Folds one multiply-accumulate into the mode-specific accumulator
+    /// state (pre-compaction form, including the per-MAC APC allocations).
+    fn accumulate(
+        mode: Accumulation,
+        act_words: &[u64],
+        wref: &WeightRef,
+        words: usize,
+        len: usize,
+        scratch: &mut RefScratch,
+    ) {
+        let g = wref.group;
+        match mode {
+            Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
+                if words == 1 {
+                    if wref.pos > 0 {
+                        scratch.acc_pos[g] |= act_words[0] & wref.pos_words[0];
+                    }
+                    if wref.neg > 0 {
+                        scratch.acc_neg[g] |= act_words[0] & wref.neg_words[0];
+                    }
+                    return;
+                }
                 if wref.pos > 0 {
-                    scratch.acc_pos[g] |= act_words[0] & wref.pos_words[0];
+                    for (j, &a) in act_words.iter().enumerate().take(words) {
+                        scratch.acc_pos[g * words + j] |= a & wref.pos_words[j];
+                    }
                 }
                 if wref.neg > 0 {
-                    scratch.acc_neg[g] |= act_words[0] & wref.neg_words[0];
-                }
-                return;
-            }
-            if wref.pos > 0 {
-                for (j, &a) in act_words.iter().enumerate().take(words) {
-                    scratch.acc_pos[g * words + j] |= a & wref.pos_words[j];
+                    for (j, &a) in act_words.iter().enumerate().take(words) {
+                        scratch.acc_neg[g * words + j] |= a & wref.neg_words[j];
+                    }
                 }
             }
-            if wref.neg > 0 {
-                for (j, &a) in act_words.iter().enumerate().take(words) {
-                    scratch.acc_neg[g * words + j] |= a & wref.neg_words[j];
+            Accumulation::Fxp => {
+                if wref.pos > 0 {
+                    scratch.fxp_pos += (0..words)
+                        .map(|j| (act_words[j] & wref.pos_words[j]).count_ones() as i64)
+                        .sum::<i64>();
+                }
+                if wref.neg > 0 {
+                    scratch.fxp_neg += (0..words)
+                        .map(|j| (act_words[j] & wref.neg_words[j]).count_ones() as i64)
+                        .sum::<i64>();
                 }
             }
-        }
-        Accumulation::Fxp => {
-            if wref.pos > 0 {
-                scratch.fxp_pos += (0..words)
-                    .map(|j| (act_words[j] & wref.pos_words[j]).count_ones() as i64)
-                    .sum::<i64>();
-            }
-            if wref.neg > 0 {
-                scratch.fxp_neg += (0..words)
-                    .map(|j| (act_words[j] & wref.neg_words[j]).count_ones() as i64)
-                    .sum::<i64>();
-            }
-        }
-        Accumulation::Apc => {
-            if wref.pos > 0 {
-                let product: Vec<u64> = (0..words)
-                    .map(|j| act_words[j] & wref.pos_words[j])
-                    .collect();
-                scratch.apc_pos.push(Bitstream::from_words(product, len));
-            }
-            if wref.neg > 0 {
-                let product: Vec<u64> = (0..words)
-                    .map(|j| act_words[j] & wref.neg_words[j])
-                    .collect();
-                scratch.apc_neg.push(Bitstream::from_words(product, len));
+            Accumulation::Apc => {
+                if wref.pos > 0 {
+                    let product: Vec<u64> = (0..words)
+                        .map(|j| act_words[j] & wref.pos_words[j])
+                        .collect();
+                    scratch.apc_pos.push(Bitstream::from_words(product, len));
+                }
+                if wref.neg > 0 {
+                    let product: Vec<u64> = (0..words)
+                        .map(|j| act_words[j] & wref.neg_words[j])
+                        .collect();
+                    scratch.apc_neg.push(Bitstream::from_words(product, len));
+                }
             }
         }
     }
-}
 
-/// Converts the accumulator state into the signed output count.
-fn finish_count(
-    mode: Accumulation,
-    acc_pos: &[u64],
-    acc_neg: &[u64],
-    fxp_pos: i64,
-    fxp_neg: i64,
-    apc_pos: &[Bitstream],
-    apc_neg: &[Bitstream],
-) -> Result<i64, GeoError> {
-    Ok(match mode {
-        Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
-            let pos: i64 = acc_pos.iter().map(|w| w.count_ones() as i64).sum();
-            let neg: i64 = acc_neg.iter().map(|w| w.count_ones() as i64).sum();
-            pos - neg
+    impl ResolvedConv {
+        /// Pre-compaction phase 2: the per-pixel `cin·k·k` loop with
+        /// padding, zero-activation, and zero-weight tests inline.
+        pub(super) fn compute_reference(&self) -> Result<Tensor, GeoError> {
+            let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
+            let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
+            out.data_mut()
+                .par_chunks_mut(self.ow.max(1))
+                .enumerate()
+                .for_each_init(
+                    || RefScratch::new(self.groups, self.words),
+                    |scratch, (row, chunk)| {
+                        if let Err(err) = self.compute_row_reference(row, chunk, scratch) {
+                            record_error(&first_err, err);
+                        }
+                    },
+                );
+            if let Some(err) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                return Err(err);
+            }
+            Ok(out)
         }
-        Accumulation::Fxp => fxp_pos - fxp_neg,
-        Accumulation::Apc => {
-            // One approximate compressor layer, then exact counting — the
-            // single-level limit the paper describes for APCs.
-            let pos = geo_sc::apc::apc_count(apc_pos, 1)? as i64;
-            let neg = geo_sc::apc::apc_count(apc_neg, 1)? as i64;
-            pos - neg
+
+        fn compute_row_reference(
+            &self,
+            row: usize,
+            chunk: &mut [f32],
+            scratch: &mut RefScratch,
+        ) -> Result<(), GeoError> {
+            let oy = row % self.oh;
+            let bc = row / self.oh;
+            let co = bc % self.cout;
+            let b = bc / self.cout;
+            let idx_in =
+                |c: usize, y: usize, x: usize| ((b * self.cin + c) * self.h + y) * self.w + x;
+            for (ox, out_v) in chunk.iter_mut().enumerate() {
+                scratch.reset();
+                let mut lane = 0usize;
+                for ci in 0..self.cin {
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            let cur = lane;
+                            lane += 1;
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize {
+                                continue;
+                            }
+                            let alevel = self.act_levels[idx_in(ci, iy as usize, ix as usize)];
+                            if alevel == 0 {
+                                continue;
+                            }
+                            let wref = &self.wrefs[co * self.volume + cur];
+                            if wref.is_zero() {
+                                continue;
+                            }
+                            let astream = self.act_tables[cur].stream(alevel)?;
+                            accumulate(
+                                self.mode,
+                                astream.as_words(),
+                                wref,
+                                self.words,
+                                self.len,
+                                scratch,
+                            );
+                        }
+                    }
+                }
+                *out_v = scratch.finish(self.mode, self.len)?;
+            }
+            Ok(())
         }
-    })
+    }
+
+    impl ResolvedLinear {
+        /// Pre-compaction phase 2: each output neuron scheduled as its
+        /// own single-element chunk (`par_chunks_mut(1)`).
+        pub(super) fn compute_reference(&self) -> Result<Tensor, GeoError> {
+            let mut out = Tensor::zeros(&[self.n, self.outf]);
+            let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
+            out.data_mut().par_chunks_mut(1).enumerate().for_each_init(
+                || RefScratch::new(self.groups, self.words),
+                |scratch, (row, chunk)| {
+                    if let Err(err) = self.compute_neuron_reference(row, chunk, scratch) {
+                        record_error(&first_err, err);
+                    }
+                },
+            );
+            if let Some(err) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                return Err(err);
+            }
+            Ok(out)
+        }
+
+        fn compute_neuron_reference(
+            &self,
+            row: usize,
+            chunk: &mut [f32],
+            scratch: &mut RefScratch,
+        ) -> Result<(), GeoError> {
+            let o = row % self.outf;
+            let b = row / self.outf;
+            scratch.reset();
+            for i in 0..self.features {
+                let alevel = self.act_levels[b * self.features + i];
+                if alevel == 0 {
+                    continue;
+                }
+                let wref = &self.wrefs[o * self.features + i];
+                if wref.is_zero() {
+                    continue;
+                }
+                let astream = self.act_tables[i].stream(alevel)?;
+                accumulate(
+                    self.mode,
+                    astream.as_words(),
+                    wref,
+                    self.words,
+                    self.len,
+                    scratch,
+                );
+            }
+            chunk[0] = scratch.finish(self.mode, self.len)?;
+            Ok(())
+        }
+    }
 }
 
 /// Inference-time batch normalization: the folded per-channel affine
@@ -1243,6 +1890,123 @@ mod tests {
         model.backward(&grad).unwrap();
         let grads_nonzero = model.params_mut().iter().any(|p| p.grad.max_abs() > 0.0);
         assert!(grads_nonzero);
+    }
+
+    #[test]
+    fn interior_span_matches_bruteforce() {
+        // `interior_span` must mark exactly the output columns whose every
+        // kernel tap reads inside the image, for any geometry — including
+        // pad >= k, stride > 1, and kernels wider than the padded image.
+        for w in 1..=8usize {
+            for k in 1..=4usize {
+                for stride in 1..=3usize {
+                    for pad in 0..=5usize {
+                        if w + 2 * pad < k {
+                            continue; // no valid output columns at all
+                        }
+                        let ow = (w + 2 * pad - k) / stride + 1;
+                        let (x_lo, x_hi) = interior_span(w, k, stride, pad, ow);
+                        assert!(x_lo <= x_hi && x_hi <= ow, "span order w={w} k={k}");
+                        for ox in 0..ow {
+                            let interior = (0..k).all(|kx| {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                ix >= 0 && ix < w as isize
+                            });
+                            assert_eq!(
+                                interior,
+                                (x_lo..x_hi).contains(&ox),
+                                "w={w} k={k} stride={stride} pad={pad} ox={ox}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_apc_matches_apc_count() {
+        // The streaming one-level APC fold must reproduce
+        // `apc_count(products, 1)` exactly, for even and odd stream
+        // counts and multi-word streams.
+        for len in [64usize, 96, 256] {
+            let words = len.div_ceil(64);
+            for count in 0..9usize {
+                let streams: Vec<Bitstream> = (0..count)
+                    .map(|i| Bitstream::from_fn(len, move |c| (c * 7 + i * 13) % 5 < 2))
+                    .collect();
+                let expected = geo_sc::apc::apc_count(&streams, 1).unwrap() as i64;
+                let mut acc = ApcAcc::new(words);
+                let ones = Bitstream::ones(len);
+                for s in &streams {
+                    acc.push(ones.as_words(), s.as_words());
+                }
+                assert_eq!(acc.total(), expected, "len={len} count={count}");
+                // Reset reuses the buffer with no reallocation.
+                let ptr = acc.pending.as_ptr();
+                acc.reset();
+                assert_eq!(acc.total(), 0);
+                assert_eq!(acc.pending.as_ptr(), ptr);
+            }
+        }
+    }
+
+    #[test]
+    fn compacted_forward_matches_reference_for_every_mode() {
+        // Smoke-level pin of the compaction contract (the proptests in
+        // tests/compaction_equivalence.rs sweep the full space).
+        let mut model = models::lenet5(1, 8, 10, 3);
+        let x = Tensor::full(&[2, 1, 8, 8], 0.37);
+        for mode in Accumulation::ALL {
+            for progressive in [false, true] {
+                let cfg = GeoConfig::geo(32, 32)
+                    .with_accumulation(mode)
+                    .with_progressive(progressive);
+                let a = engine(cfg).forward(&mut model, &x, false).unwrap();
+                let b = engine(cfg)
+                    .forward_reference(&mut model, &x, false)
+                    .unwrap();
+                assert_eq!(
+                    a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{mode:?} progressive={progressive}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_kernel_drops_only_zero_lanes() {
+        // Every nonzero WeightRef appears in the compacted list, in
+        // resolve order, and every zero lane is gone.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let conv = geo_nn::Conv2d::new(2, 3, 3, 1, 1, false, &mut rng);
+        let x = Tensor::full(&[1, 2, 5, 5], 0.5);
+        let mut eng = engine(GeoConfig::geo(32, 32));
+        let resolved = eng.resolve_conv(&conv, &x, 32, 0).unwrap();
+        let nonzero: usize = resolved.wrefs.iter().filter(|w| !w.is_zero()).count();
+        assert_eq!(resolved.compact.lanes.len(), nonzero);
+        assert_eq!(resolved.compact.offsets.len(), conv.cout() + 1);
+        for co in 0..conv.cout() {
+            let lanes = resolved.compact.row(co);
+            // Lane indices strictly ascend within a row (resolve order).
+            for pair in lanes.windows(2) {
+                assert!(pair[0].lane < pair[1].lane);
+            }
+            for l in lanes {
+                let wref = &resolved.wrefs[co * resolved.volume + l.lane as usize];
+                assert!(!wref.is_zero());
+                assert_eq!(l.has_pos, wref.pos > 0);
+                assert_eq!(l.has_neg, wref.neg > 0);
+                if l.has_pos {
+                    assert_eq!(resolved.compact.pos_words(l), &wref.pos_words[..]);
+                }
+                if l.has_neg {
+                    assert_eq!(resolved.compact.neg_words(l), &wref.neg_words[..]);
+                }
+            }
+        }
     }
 
     #[test]

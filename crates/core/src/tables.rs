@@ -82,6 +82,14 @@ impl ProgressiveTable {
         &self.streams[value as usize]
     }
 
+    /// The packed 64-bit words of the stream for `value` — the direct
+    /// form hot accumulation loops consume, skipping the [`Bitstream`]
+    /// wrapper.
+    #[inline]
+    pub fn words(&self, value: u8) -> &[u64] {
+        self.streams[value as usize].as_words()
+    }
+
     /// Stream for a real value `x ∈ [0, 1]` (quantized to 8 bits,
     /// saturating at 255 — progressive buffers hold 8-bit operands).
     pub fn stream_for(&self, x: f32) -> &Bitstream {

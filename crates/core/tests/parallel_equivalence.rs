@@ -20,16 +20,20 @@ use rayon::ThreadPoolBuilder;
 
 const RNGS: [RngKind; 3] = [RngKind::Lfsr, RngKind::Trng, RngKind::Sobol];
 
-/// Conv → ReLU → pool → FC: exercises both SC layer kinds plus the
-/// pure-binary layers in one forward pass.
+/// Conv → ReLU → conv (pad ≥ k) → pool → FC: exercises both SC layer
+/// kinds plus the pure-binary layers in one forward pass. The second
+/// conv pads by a full kernel width, so its border rows/columns read
+/// padding only — the geometry where the interior/border row split
+/// degenerates to all-border.
 fn mixed_model(seed: u64) -> Sequential {
     let mut rng = StdRng::seed_from_u64(seed);
     Sequential::new(vec![
         Layer::Conv2d(Conv2d::new(2, 3, 3, 1, 1, false, &mut rng)),
         Layer::Relu(Relu::new()),
+        Layer::Conv2d(Conv2d::new(3, 2, 3, 1, 3, false, &mut rng)),
         Layer::AvgPool2d(AvgPool2d::new()),
         Layer::Flatten(Flatten::new()),
-        Layer::Linear(Linear::new(12, 5, &mut rng)),
+        Layer::Linear(Linear::new(32, 5, &mut rng)),
     ])
 }
 

@@ -129,6 +129,18 @@ impl StreamTable {
         &self.streams[level as usize]
     }
 
+    /// The packed 64-bit words of the stream for quantized `level` —
+    /// the direct form hot accumulation loops consume, skipping the
+    /// [`Bitstream`] wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 2^width`.
+    #[inline]
+    pub fn words(&self, level: u32) -> &[u64] {
+        self.streams[level as usize].as_words()
+    }
+
     /// The stream for a real value `x ∈ [0, 1]`.
     pub fn stream_for(&self, x: f32) -> &Bitstream {
         self.stream(quantize_unipolar(x, self.width))

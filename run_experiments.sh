@@ -18,4 +18,5 @@ run table1     $B table1_accuracy -- --ablations > $R/table1.txt
 run ablations  $B ablation_sweeps                > $R/ablation_sweeps.txt
 run faults     $B fault_sweep                    > $R/fault_sweep.txt
 run scaling    $B thread_scaling                 > $R/thread_scaling.txt
+run perf       $B bench_forward                  > $R/bench_forward.txt
 echo ALL_EXPERIMENTS_DONE
