@@ -65,6 +65,47 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Errors produced when encoding an instruction stream.
+///
+/// Every operand is range-checked against its packed field width before
+/// the word is emitted. Without the check, an out-of-range value would
+/// silently wrap under the field mask and decode back to a *different,
+/// valid-looking* instruction — the worst kind of corruption, invisible
+/// until a tile covers the wrong output channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// An operand does not fit the bit-field the encoding assigns it.
+    FieldRange {
+        /// Instruction mnemonic (`GEN`, `LDW`, …).
+        instr: &'static str,
+        /// Operand name as it appears in [`Instr`]/[`Tile`].
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// Largest encodable value for the field.
+        max: u64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::FieldRange {
+                instr,
+                field,
+                value,
+                max,
+            } => write!(
+                f,
+                "{instr}.{field} = {value} does not fit its encoded field (max {max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 const OP_LDW_EXT: u8 = 0x01;
 const OP_LDW: u8 = 0x02;
 const OP_LDA: u8 = 0x03;
@@ -79,6 +120,28 @@ const OP_TILE1: u8 = 0x0A;
 /// Near-memory immediates pack as 48-bit element counts + 8-bit layer.
 const NM_ELEM_MASK: u64 = 0xFFFF_FFFF_FFFF;
 
+/// Largest value of a full 56-bit immediate (byte counts).
+const IMM_MAX: u64 = (1 << 56) - 1;
+
+/// Checks that `value` fits the `field`'s encoded width.
+fn check(
+    instr: &'static str,
+    field: &'static str,
+    value: u64,
+    max: u64,
+) -> Result<u64, EncodeError> {
+    if value <= max {
+        Ok(value)
+    } else {
+        Err(EncodeError::FieldRange {
+            instr,
+            field,
+            value,
+            max,
+        })
+    }
+}
+
 fn put(buf: &mut Vec<u8>, opcode: u8, imm: u64) {
     buf.push(opcode);
     buf.extend_from_slice(&imm.to_le_bytes()[..7]);
@@ -92,18 +155,19 @@ fn imm(bytes: &[u8]) -> u64 {
 
 /// `TILE0`: layer (8) | SNG group (8) | cout_begin (12) | cout_end (12) |
 /// col_pass (8) | col_passes (8) — 56 bits.
-fn tile0_imm(t: &Tile) -> u64 {
-    u64::from(t.layer & 0xFF)
-        | (u64::from(t.sng_group & 0xFF) << 8)
-        | (u64::from(t.cout_begin & 0xFFF) << 16)
-        | (u64::from(t.cout_end & 0xFFF) << 28)
-        | (u64::from(t.col_pass & 0xFF) << 40)
-        | (u64::from(t.col_passes & 0xFF) << 48)
+fn tile0_imm(t: &Tile) -> Result<u64, EncodeError> {
+    Ok(check("GEN", "layer", t.layer.into(), 0xFF)?
+        | (check("GEN", "sng_group", t.sng_group.into(), 0xFF)? << 8)
+        | (check("GEN", "cout_begin", t.cout_begin.into(), 0xFFF)? << 16)
+        | (check("GEN", "cout_end", t.cout_end.into(), 0xFFF)? << 28)
+        | (check("GEN", "col_pass", t.col_pass.into(), 0xFF)? << 40)
+        | (check("GEN", "col_passes", t.col_passes.into(), 0xFF)? << 48))
 }
 
 /// `TILE1`: pos_begin (28) | pos_end (28) — 56 bits.
-fn tile1_imm(t: &Tile) -> u64 {
-    u64::from(t.pos_begin & 0xFFF_FFFF) | (u64::from(t.pos_end & 0xFFF_FFFF) << 28)
+fn tile1_imm(t: &Tile) -> Result<u64, EncodeError> {
+    Ok(check("GEN", "pos_begin", t.pos_begin.into(), 0xFFF_FFFF)?
+        | (check("GEN", "pos_end", t.pos_end.into(), 0xFFF_FFFF)? << 28))
 }
 
 fn tile_from_imms(t0: u64, t1: u64) -> Tile {
@@ -125,47 +189,68 @@ fn tile_from_imms(t0: u64, t1: u64) -> Tile {
 /// `Generate`'s stream fields pack as 28-bit cycles + 28-bit active-MAC
 /// count (both far beyond any realizable pass); its tile rides in the two
 /// extension words.
-pub fn encode_instr(instr: &Instr, buf: &mut Vec<u8>) {
+///
+/// # Errors
+///
+/// Returns [`EncodeError::FieldRange`] if any operand exceeds its packed
+/// field width; nothing is written to `buf` in that case.
+pub fn encode_instr(instr: &Instr, buf: &mut Vec<u8>) -> Result<(), EncodeError> {
     match *instr {
-        Instr::LoadWeightsExternal { bytes } => put(buf, OP_LDW_EXT, bytes),
-        Instr::LoadWeights { bytes } => put(buf, OP_LDW, bytes),
-        Instr::LoadActivations { bytes } => put(buf, OP_LDA, bytes),
+        Instr::LoadWeightsExternal { bytes } => {
+            put(buf, OP_LDW_EXT, check("LDW.EXT", "bytes", bytes, IMM_MAX)?);
+        }
+        Instr::LoadWeights { bytes } => put(buf, OP_LDW, check("LDW", "bytes", bytes, IMM_MAX)?),
+        Instr::LoadActivations { bytes } => {
+            put(buf, OP_LDA, check("LDA", "bytes", bytes, IMM_MAX)?);
+        }
         Instr::Generate {
             cycles,
             active_macs,
             ref tile,
         } => {
-            put(
-                buf,
-                OP_GEN,
-                (cycles & 0xFFF_FFFF) | ((active_macs & 0xFFF_FFFF) << 28),
-            );
-            put(buf, OP_TILE0, tile0_imm(tile));
-            put(buf, OP_TILE1, tile1_imm(tile));
+            let base = check("GEN", "cycles", cycles, 0xFFF_FFFF)?
+                | (check("GEN", "active_macs", active_macs, 0xFFF_FFFF)? << 28);
+            // Validate both tile words before emitting anything, so a
+            // range error cannot leave a partial GEN in the buffer.
+            let t0 = tile0_imm(tile)?;
+            let t1 = tile1_imm(tile)?;
+            put(buf, OP_GEN, base);
+            put(buf, OP_TILE0, t0);
+            put(buf, OP_TILE1, t1);
         }
         Instr::NearMemAccumulate { elements, layer } => put(
             buf,
             OP_NMACC,
-            (elements & NM_ELEM_MASK) | (u64::from(layer & 0xFF) << 48),
+            check("NM.ACC", "elements", elements, NM_ELEM_MASK)?
+                | (check("NM.ACC", "layer", layer.into(), 0xFF)? << 48),
         ),
         Instr::NearMemBatchNorm { elements, layer } => put(
             buf,
             OP_NMBN,
-            (elements & NM_ELEM_MASK) | (u64::from(layer & 0xFF) << 48),
+            check("NM.BN", "elements", elements, NM_ELEM_MASK)?
+                | (check("NM.BN", "layer", layer.into(), 0xFF)? << 48),
         ),
-        Instr::WriteActivations { bytes } => put(buf, OP_STA, bytes),
+        Instr::WriteActivations { bytes } => {
+            put(buf, OP_STA, check("STA", "bytes", bytes, IMM_MAX)?)
+        }
         Instr::Sync => put(buf, OP_SYNC, 0),
     }
+    Ok(())
 }
 
 /// Encodes a whole program; its length is the instruction-memory footprint
 /// in bytes.
-pub fn encode(program: &Program) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`EncodeError::FieldRange`] for the first operand that does
+/// not fit its packed field.
+pub fn encode(program: &Program) -> Result<Vec<u8>, EncodeError> {
     let mut buf = Vec::with_capacity(program.instrs.len() * INSTR_BYTES);
     for i in &program.instrs {
-        encode_instr(i, &mut buf);
+        encode_instr(i, &mut buf)?;
     }
-    buf
+    Ok(buf)
 }
 
 /// Decodes an instruction stream produced by [`encode`].
@@ -273,7 +358,7 @@ mod tests {
     fn every_instruction_round_trips() {
         let mut buf = Vec::new();
         for i in &sample_instrs() {
-            encode_instr(i, &mut buf);
+            encode_instr(i, &mut buf).unwrap();
         }
         let decoded = decode(&buf).unwrap();
         assert_eq!(decoded, sample_instrs());
@@ -283,10 +368,58 @@ mod tests {
     fn compiled_programs_round_trip() {
         let net = NetworkDesc::cnn4_cifar();
         let program = compile(&net, &AccelConfig::ulp_geo(32, 64));
-        let bytes = encode(&program);
+        let bytes = encode(&program).unwrap();
         assert_eq!(bytes.len(), footprint_bytes(&program));
         let decoded = decode(&bytes).unwrap();
         assert_eq!(decoded, program.instrs);
+    }
+
+    #[test]
+    fn out_of_range_fields_fail_typed_instead_of_wrapping() {
+        // cout_end has a 12-bit field; 0x1040 used to wrap to 0x040 and
+        // decode as a plausible but wrong tile.
+        let mut tile = sample_tile();
+        tile.cout_end = 0x1040;
+        let mut buf = Vec::new();
+        let err = encode_instr(
+            &Instr::Generate {
+                cycles: 256,
+                active_macs: 25_600,
+                tile,
+            },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::FieldRange {
+                instr: "GEN",
+                field: "cout_end",
+                value: 0x1040,
+                max: 0xFFF,
+            }
+        );
+        // Nothing was emitted: no partial GEN word in the buffer.
+        assert!(buf.is_empty());
+        assert!(err.to_string().contains("cout_end"));
+
+        // Near-memory element counts are 48-bit.
+        let err = encode_instr(
+            &Instr::NearMemAccumulate {
+                elements: NM_ELEM_MASK + 1,
+                layer: 0,
+            },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EncodeError::FieldRange {
+                instr: "NM.ACC",
+                field: "elements",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -321,7 +454,7 @@ mod tests {
                 col_passes: 255,
             },
         };
-        encode_instr(&i, &mut buf);
+        encode_instr(&i, &mut buf).unwrap();
         assert_eq!(buf.len(), GEN_WORDS * INSTR_BYTES);
         assert_eq!(decode(&buf).unwrap()[0], i);
     }
@@ -333,7 +466,7 @@ mod tests {
             elements: NM_ELEM_MASK,
             layer: 200,
         };
-        encode_instr(&i, &mut buf);
+        encode_instr(&i, &mut buf).unwrap();
         assert_eq!(decode(&buf).unwrap()[0], i);
     }
 

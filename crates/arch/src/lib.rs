@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod accel;
 pub mod baselines;
@@ -41,6 +42,8 @@ pub mod perfsim;
 pub mod progressive_timing;
 pub mod report;
 pub mod tech;
+
+pub use geo_sc::telemetry;
 
 pub use accel::{AccelConfig, Category, Optimizations};
 pub use isa::{Instr, Program, Tile};

@@ -195,6 +195,64 @@ pub fn run(accel: &AccelConfig, net: &crate::network::NetworkDesc) -> SimReport 
     simulate(accel, &program)
 }
 
+/// Bytes a compiled program moves for one layer, split by memory path.
+///
+/// The weight, activation-load, and writeback paths all go through the
+/// double-buffered (ping-pong) on-chip banks that let transfers overlap
+/// compute (Fig. 4); [`LayerTraffic::pingpong_bytes`] is their sum.
+/// External (HBM2) transfers are kept separate — they feed the ping-pong
+/// weight banks but are billed to the external interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerTraffic {
+    /// Bytes loaded from external memory (LP variants; 0 on-chip).
+    pub external_bytes: u64,
+    /// Bytes loaded from weight memory into the weight SNG buffers.
+    pub weight_bytes: u64,
+    /// Bytes loaded from activation memory into the activation SNG
+    /// buffers.
+    pub activation_load_bytes: u64,
+    /// Bytes written back to the activation banks.
+    pub writeback_bytes: u64,
+    /// Elements touched by near-memory accumulate/batch-norm ops.
+    pub near_mem_elements: u64,
+}
+
+impl LayerTraffic {
+    /// Total bytes moved through the ping-pong (double-buffered) on-chip
+    /// banks: weight loads + activation loads + writebacks.
+    #[must_use]
+    pub fn pingpong_bytes(&self) -> u64 {
+        self.weight_bytes + self.activation_load_bytes + self.writeback_bytes
+    }
+}
+
+/// Per-layer memory traffic of a compiled program, in layer order.
+///
+/// Always available (no `telemetry` feature needed): the byte counts are
+/// static properties of the program, not runtime counters. The program
+/// executor in `geo-core` merges these into its telemetry report as
+/// `pingpong_bytes`.
+#[must_use]
+pub fn memory_traffic(program: &Program) -> Vec<LayerTraffic> {
+    (0..program.layer_count())
+        .map(|li| {
+            let mut t = LayerTraffic::default();
+            for instr in program.layer_instrs(li).unwrap_or(&[]) {
+                match *instr {
+                    Instr::LoadWeightsExternal { bytes } => t.external_bytes += bytes,
+                    Instr::LoadWeights { bytes } => t.weight_bytes += bytes,
+                    Instr::LoadActivations { bytes } => t.activation_load_bytes += bytes,
+                    Instr::WriteActivations { bytes } => t.writeback_bytes += bytes,
+                    Instr::NearMemAccumulate { elements, .. }
+                    | Instr::NearMemBatchNorm { elements, .. } => t.near_mem_elements += elements,
+                    Instr::Generate { .. } | Instr::Sync => {}
+                }
+            }
+            t
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +339,28 @@ mod tests {
         let reconstructed = (sum + r.leakage_pj + r.external_pj) * 1e-12;
         assert!((reconstructed - r.energy_j).abs() / r.energy_j < 1e-9);
         assert_eq!(r.breakdown_pj.len(), 8);
+    }
+
+    #[test]
+    fn memory_traffic_matches_program_totals() {
+        let net = NetworkDesc::cnn4_cifar();
+        let accel = AccelConfig::ulp_geo(32, 64);
+        let program = crate::compiler::compile(&net, &accel);
+        let per_layer = memory_traffic(&program);
+        assert_eq!(per_layer.len(), program.layer_count());
+        let (ext, wgt, act, wb) = program.traffic();
+        assert_eq!(per_layer.iter().map(|t| t.external_bytes).sum::<u64>(), ext);
+        assert_eq!(per_layer.iter().map(|t| t.weight_bytes).sum::<u64>(), wgt);
+        assert_eq!(
+            per_layer
+                .iter()
+                .map(|t| t.activation_load_bytes)
+                .sum::<u64>(),
+            act
+        );
+        assert_eq!(per_layer.iter().map(|t| t.writeback_bytes).sum::<u64>(), wb);
+        assert!(per_layer.iter().any(|t| t.pingpong_bytes() > 0));
+        assert!(per_layer.iter().any(|t| t.near_mem_elements > 0));
     }
 
     #[test]

@@ -2,11 +2,56 @@
 //! models must behave monotonically however the design point is twisted.
 
 use geo_arch::dataflow::{count_accesses, ArraySpec, Dataflow};
+use geo_arch::encoding::{decode, encode_instr, EncodeError};
+use geo_arch::isa::{Instr, Tile};
 use geo_arch::mac_area::sc_mac_unit;
 use geo_arch::{perfsim, AccelConfig, LayerShape, NetworkDesc};
 use geo_sc::Accumulation;
 use geo_sc::KernelDims;
 use proptest::prelude::*;
+
+/// Tiles whose fields straddle their encoded widths: roughly half the
+/// cases overflow at least one bit-field, so both the accept and the
+/// reject path of the encoder are exercised.
+fn tile_strategy() -> impl Strategy<Value = Tile> {
+    (
+        (0u32..0x200, 0u32..0x200, 0u32..0x2000, 0u32..0x2000),
+        (
+            0u32..0x2000_0000,
+            0u32..0x2000_0000,
+            0u32..0x200,
+            0u32..0x200,
+        ),
+    )
+        .prop_map(
+            |(
+                (layer, sng_group, cout_begin, cout_end),
+                (pos_begin, pos_end, col_pass, col_passes),
+            )| {
+                Tile {
+                    layer,
+                    sng_group,
+                    cout_begin,
+                    cout_end,
+                    pos_begin,
+                    pos_end,
+                    col_pass,
+                    col_passes,
+                }
+            },
+        )
+}
+
+fn tile_fits(t: &Tile) -> bool {
+    t.layer <= 0xFF
+        && t.sng_group <= 0xFF
+        && t.cout_begin <= 0xFFF
+        && t.cout_end <= 0xFFF
+        && t.pos_begin <= 0xFFF_FFFF
+        && t.pos_end <= 0xFFF_FFFF
+        && t.col_pass <= 0xFF
+        && t.col_passes <= 0xFF
+}
 
 fn conv_strategy() -> impl Strategy<Value = LayerShape> {
     (
@@ -97,5 +142,35 @@ proptest! {
         prop_assert!(program.generate_count() >= 1);
         let (_, wgt, act, wb) = program.traffic();
         prop_assert!(wgt > 0 && act > 0 && wb > 0);
+    }
+
+    /// Tile encoding either round-trips exactly or fails with a typed
+    /// range error — it never wraps an out-of-range field into a
+    /// different, valid-looking tile.
+    #[test]
+    fn tile_encoding_round_trips_or_rejects(
+        tile in tile_strategy(),
+        cycles in 0u64..0x2000_0000,
+        active_macs in 0u64..0x2000_0000,
+    ) {
+        let instr = Instr::Generate { cycles, active_macs, tile };
+        let fits = tile_fits(&tile) && cycles <= 0xFFF_FFFF && active_macs <= 0xFFF_FFFF;
+        let mut buf = Vec::new();
+        match encode_instr(&instr, &mut buf) {
+            Ok(()) => {
+                prop_assert!(fits, "encoder accepted an out-of-range field: {instr:?}");
+                let decoded = decode(&buf).unwrap();
+                prop_assert_eq!(decoded.as_slice(), std::slice::from_ref(&instr));
+            }
+            Err(e) => {
+                prop_assert!(!fits, "encoder rejected an in-range instruction: {instr:?}");
+                let EncodeError::FieldRange { value, max, .. } = e else {
+                    panic!("unexpected error variant: {e:?}");
+                };
+                prop_assert!(value > max);
+                // A failed encode leaves no partial words behind.
+                prop_assert!(buf.is_empty());
+            }
+        }
     }
 }

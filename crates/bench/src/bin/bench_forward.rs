@@ -15,10 +15,19 @@
 //! (`RAYON_NUM_THREADS` honored); `GEO_SKIP_HEAVY_TESTS=1` or `--smoke`
 //! selects a minimal workload that still covers every cell.
 //!
+//! Built with the `telemetry` feature, the run additionally captures
+//! one program-driven pass per (workload × accumulation mode), prints a
+//! per-run attribution table, and writes
+//! `results/telemetry_<scale>.json` (`geo_bench::telemetry`,
+//! DESIGN.md §12). Passing `--telemetry` to a feature-less build is an
+//! error instead of a silently missing artifact.
+//!
 //! Run: `cargo run --release -p geo-bench --bin bench_forward [-- --smoke|--quick]`
 
+use geo_arch::AccelConfig;
+use geo_bench::telemetry::Artifact;
 use geo_bench::trajectory::{Cell, Report, SCHEMA};
-use geo_core::{GeoConfig, ScEngine};
+use geo_core::{GeoConfig, ProgramExecutor, ScEngine};
 use geo_nn::{models, Sequential, Tensor};
 use geo_sc::Accumulation;
 use rand::rngs::StdRng;
@@ -132,6 +141,110 @@ fn repo_root_artifact() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_forward.json")
+}
+
+fn telemetry_artifact(scale: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join(format!("telemetry_{scale}.json"))
+}
+
+/// Captures one telemetry run per `(workload, accumulation)` pair: a
+/// single program-driven forward pass through [`ProgramExecutor`], whose
+/// report merges the engine's live counters with the compiled program's
+/// static ping-pong traffic. Emits `results/telemetry_<scale>.json`,
+/// re-reads it, and validates run coverage — mirroring the timing
+/// artifact's self-validation.
+///
+/// Counter fields in the artifact are exact integer sums, bit-identical
+/// at every `RAYON_NUM_THREADS`; only the `*_ms` wall-clock fields vary.
+fn emit_telemetry(
+    workloads: &[(&str, Sequential); 2],
+    base: GeoConfig,
+    x: &Tensor,
+    sizing: Sizing,
+    threads: usize,
+) -> Result<(), String> {
+    let mut runs = Vec::new();
+    let mut expected = Vec::new();
+    for (name, model) in workloads {
+        for mode in Accumulation::ALL {
+            let source = format!("{name}/{mode:?}");
+            let config = base.with_accumulation(mode);
+            let mut model = model.clone();
+            let mut exec = ProgramExecutor::compile(
+                config,
+                &AccelConfig::ulp_geo(32, 64),
+                &model,
+                (1, sizing.size, sizing.size),
+                name,
+            )
+            .map_err(|e| format!("{source}: compile failed: {e}"))?;
+            exec.forward(&mut model, x, false)
+                .map_err(|e| format!("{source}: forward failed: {e}"))?;
+            let mut report = exec.telemetry_report();
+            report.source.clone_from(&source);
+            runs.push(report);
+            expected.push(source);
+        }
+    }
+
+    println!(
+        "\ntelemetry attribution (per run totals, {} passes each):",
+        runs.first().map_or(0, |r| r.passes)
+    );
+    println!(
+        "{:>12} {:>10} {:>8} {:>8} {:>6} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "run",
+        "macs",
+        "lanes",
+        "skipped",
+        "hits",
+        "miss",
+        "pingpong_B",
+        "res_ms",
+        "cvt_ms",
+        "cmp_ms",
+        "nm_ms"
+    );
+    for run in &runs {
+        let t = run.total();
+        println!(
+            "{:>12} {:>10} {:>8} {:>8} {:>6} {:>6} {:>12} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            run.source,
+            t.macs,
+            t.compacted_lanes,
+            t.skipped_zero_lanes,
+            t.table_hits,
+            t.table_misses,
+            t.pingpong_bytes,
+            t.phase_ns[0] as f64 / 1e6,
+            t.phase_ns[1] as f64 / 1e6,
+            t.phase_ns[2] as f64 / 1e6,
+            t.phase_ns[3] as f64 / 1e6,
+        );
+    }
+
+    let artifact = Artifact::new(sizing.scale, threads, runs);
+    let path = telemetry_artifact(sizing.scale);
+    artifact
+        .write(&path)
+        .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("failed to re-read {}: {e}", path.display()))?;
+    let parsed = Artifact::from_json(&text)
+        .map_err(|e| format!("emitted telemetry JSON does not parse: {e}"))?;
+    let expected_refs: Vec<&str> = expected.iter().map(String::as_str).collect();
+    parsed
+        .validate(&expected_refs)
+        .map_err(|e| format!("telemetry artifact failed validation: {e}"))?;
+    println!(
+        "wrote {} ({} runs, schema {SCHEMA}) — artifact validated",
+        path.display(),
+        parsed.runs.len()
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -250,6 +363,24 @@ fn main() -> ExitCode {
         path.display(),
         parsed.cells.len()
     );
+
+    // Telemetry artifact: requires the counters to be live, i.e. the
+    // `telemetry` cargo feature. `--telemetry` on a feature-less build is
+    // an error rather than a silently empty artifact.
+    let telemetry_requested = std::env::args().any(|a| a == "--telemetry");
+    if geo_core::telemetry::enabled() {
+        if let Err(e) = emit_telemetry(&workloads, base, &x, sizing, threads) {
+            eprintln!("bench_forward: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if telemetry_requested {
+        eprintln!(
+            "bench_forward: --telemetry requires a build with the telemetry feature \
+             (cargo run --release -p geo-bench --features telemetry --bin bench_forward)"
+        );
+        return ExitCode::FAILURE;
+    }
+
     println!("BIT_IDENTICAL_ACROSS_ALL_CELLS");
     ExitCode::SUCCESS
 }

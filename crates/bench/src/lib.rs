@@ -6,5 +6,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod json;
 pub mod runs;
+pub mod telemetry;
 pub mod trajectory;

@@ -9,13 +9,14 @@
 //! each with a *before* and *after* time — so any session or CI step can
 //! diff two artifacts without bespoke tooling.
 //!
-//! The workspace is hermetic (no `serde_json`), so this module carries
-//! its own writer and a minimal recursive-descent JSON reader covering
-//! exactly the subset the writer emits. The reader exists so CI can
-//! prove the artifact round-trips and covers every expected cell —
-//! schema drift fails the `bench_forward --smoke` step rather than
-//! silently producing an artifact later PRs cannot consume.
+//! Serialization goes through the shared hermetic JSON support in
+//! [`crate::json`] (writer helpers plus a strict recursive-descent
+//! reader). The reader exists so CI can prove the artifact round-trips
+//! and covers every expected cell — schema drift fails the
+//! `bench_forward --smoke` step rather than silently producing an
+//! artifact later PRs cannot consume.
 
+use crate::json::{get, num, quote, Parser};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -186,287 +187,6 @@ impl Report {
     }
 }
 
-/// Quotes a string for JSON. The schema's strings are identifier-like;
-/// the two JSON-mandatory escapes are still handled.
-fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats a time/ratio with enough digits to round-trip meaningfully.
-fn num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.6}")
-    } else {
-        // JSON has no Infinity/NaN; represent as null and fail validation.
-        "null".to_string()
-    }
-}
-
-/// Parsed JSON value (the subset the writer emits).
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn as_object(&self, what: &str) -> Result<&[(String, Value)], String> {
-        match self {
-            Value::Obj(fields) => Ok(fields),
-            other => Err(format!("{what}: expected object, got {other:?}")),
-        }
-    }
-
-    fn as_array(&self, what: &str) -> Result<&[Value], String> {
-        match self {
-            Value::Arr(items) => Ok(items),
-            other => Err(format!("{what}: expected array, got {other:?}")),
-        }
-    }
-
-    fn as_str(&self, what: &str) -> Result<&str, String> {
-        match self {
-            Value::Str(s) => Ok(s),
-            other => Err(format!("{what}: expected string, got {other:?}")),
-        }
-    }
-
-    fn as_bool(&self, what: &str) -> Result<bool, String> {
-        match self {
-            Value::Bool(b) => Ok(*b),
-            other => Err(format!("{what}: expected bool, got {other:?}")),
-        }
-    }
-
-    fn as_f64(&self, what: &str) -> Result<f64, String> {
-        match self {
-            Value::Num(x) => Ok(*x),
-            other => Err(format!("{what}: expected number, got {other:?}")),
-        }
-    }
-
-    fn as_usize(&self, what: &str) -> Result<usize, String> {
-        let x = self.as_f64(what)?;
-        if x.fract() == 0.0 && x >= 0.0 && x <= usize::MAX as f64 {
-            Ok(x as usize)
-        } else {
-            Err(format!("{what}: {x} is not a non-negative integer"))
-        }
-    }
-}
-
-/// Looks up a required object field.
-fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
-    fields
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing field {key:?}"))
-}
-
-/// Minimal recursive-descent JSON parser over the writer's subset:
-/// objects, arrays, strings (`\"`/`\\`/`\uXXXX` escapes), numbers,
-/// booleans, and null.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<Value, String> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", self.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at offset {}", b as char, self.pos))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Value::Str(self.parse_string()?)),
-            b't' => self.parse_keyword("true", Value::Bool(true)),
-            b'f' => self.parse_keyword("false", Value::Bool(false)),
-            b'n' => self.parse_keyword("null", Value::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("expected {word:?} at offset {}", self.pos))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid utf8 in number".to_string())?;
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| format!("malformed number {text:?} at offset {start}"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self
-                .bytes
-                .get(self.pos)
-                .copied()
-                .ok_or("unterminated string")?
-            {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos).copied().ok_or("bad escape")? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("bad \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            out.push(
-                                char::from_u32(code).ok_or("unpaired surrogate in \\u escape")?,
-                            );
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("unsupported escape \\{}", other as char)),
-                    }
-                    self.pos += 1;
-                }
-                byte => {
-                    // Multi-byte UTF-8 sequences pass through unchanged.
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf8 in string".to_string())?;
-                    let ch = s.chars().next().ok_or("unterminated string")?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                    let _ = byte;
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,17 +288,5 @@ mod tests {
         let parsed = Report::from_json(&report.to_json());
         // `null` where a number is required is a parse-level type error.
         assert!(parsed.is_err());
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_unicode() {
-        let v = Parser::new(r#"{"kA": "a\"b\\c", "x": [1.5e2, -3, true, null]}"#)
-            .parse_document()
-            .unwrap();
-        let obj = v.as_object("top").unwrap();
-        assert_eq!(get(obj, "kA").unwrap().as_str("kA").unwrap(), "a\"b\\c");
-        let arr = get(obj, "x").unwrap().as_array("x").unwrap();
-        assert_eq!(arr[0].as_f64("0").unwrap(), 150.0);
-        assert_eq!(arr[1].as_f64("1").unwrap(), -3.0);
     }
 }

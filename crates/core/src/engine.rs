@@ -54,6 +54,7 @@
 use crate::config::{Accumulation, GeoConfig};
 use crate::error::GeoError;
 use crate::tables::{ProgressiveTable, TableCache};
+use crate::telemetry::{self, EngineTelemetry, LayerCounters, Phase, Stopwatch, TelemetryReport};
 use geo_nn::{Conv2d, Layer, Linear, Sequential, Tensor};
 use geo_sc::fault::{FaultCounters, FaultInjector, FaultModel};
 use geo_sc::{quantize_unipolar, Bitstream, KernelDims, SeedPlan, StreamTable};
@@ -488,6 +489,11 @@ struct AccumState {
     fxp_neg: i64,
     apc_pos: ApcAcc,
     apc_neg: ApcAcc,
+    /// MACs folded since the last telemetry flush. Local (non-atomic) so
+    /// the hot loop pays one integer increment; flushed to the layer's
+    /// shared counter once per output row, and *not* cleared by the
+    /// per-pixel [`AccumState::reset`].
+    macs: u64,
 }
 
 impl AccumState {
@@ -501,6 +507,7 @@ impl AccumState {
             fxp_neg: 0,
             apc_pos: ApcAcc::new(words),
             apc_neg: ApcAcc::new(words),
+            macs: 0,
         }
     }
 
@@ -528,6 +535,9 @@ impl AccumState {
         has_pos: bool,
         has_neg: bool,
     ) {
+        if telemetry::enabled() {
+            self.macs += 1;
+        }
         match self.mode {
             Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
                 if self.words == 1 {
@@ -647,7 +657,7 @@ impl ResolvedConv {
     /// each row is written by exactly one worker from shared immutable
     /// state. Infallible — every lookup the compacted kernels perform
     /// was validated during resolve.
-    fn compute(&self) -> Tensor {
+    fn compute(&self, tel: &LayerCounters) -> Tensor {
         let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
         out.data_mut()
             .par_chunks_mut(self.ow.max(1))
@@ -661,7 +671,7 @@ impl ResolvedConv {
                         self.compact.max_row_lanes(),
                     )
                 },
-                |scratch, (row, chunk)| self.compute_row(row, chunk, scratch),
+                |scratch, (row, chunk)| self.compute_row(row, chunk, scratch, tel),
             );
         out
     }
@@ -672,7 +682,13 @@ impl ResolvedConv {
     /// input row base address), then the pixel loop runs in three spans:
     /// left border, interior (`x_lo..x_hi`, no padding checks), right
     /// border.
-    fn compute_row(&self, row: usize, chunk: &mut [f32], scratch: &mut Scratch) {
+    fn compute_row(
+        &self,
+        row: usize,
+        chunk: &mut [f32],
+        scratch: &mut Scratch,
+        tel: &LayerCounters,
+    ) {
         let oy = row % self.oh;
         let bc = row / self.oh;
         let co = bc % self.cout;
@@ -704,6 +720,10 @@ impl ResolvedConv {
         }
         for (ox, out_v) in chunk.iter_mut().enumerate().skip(x_hi) {
             *out_v = self.border_pixel(ox, row_lanes, acc);
+        }
+        if telemetry::enabled() {
+            tel.macs.add(acc.macs);
+            acc.macs = 0;
         }
     }
 
@@ -782,7 +802,7 @@ impl ResolvedLinear {
     /// dispatch overhead is paid once per worker. Chunk geometry cannot
     /// affect the numerics — each neuron is a pure function of its row
     /// index — so this stays bit-identical at every thread count.
-    fn compute(&self) -> Tensor {
+    fn compute(&self, tel: &LayerCounters) -> Tensor {
         let mut out = Tensor::zeros(&[self.n, self.outf]);
         let total = self.n * self.outf;
         let chunk_rows = total.div_ceil(rayon::current_num_threads().max(1)).max(1);
@@ -795,6 +815,10 @@ impl ResolvedLinear {
                     let start = ci * chunk_rows;
                     for (j, out_v) in chunk.iter_mut().enumerate() {
                         *out_v = self.compute_neuron(start + j, &mut scratch.acc);
+                    }
+                    if telemetry::enabled() {
+                        tel.macs.add(scratch.acc.macs);
+                        scratch.acc.macs = 0;
                     }
                     scratch.debug_check();
                 },
@@ -847,6 +871,7 @@ pub struct ScEngine {
     config: GeoConfig,
     cache: TableCache,
     resilience: ResilienceReport,
+    telemetry: EngineTelemetry,
     /// When set, compute phases run the pre-compaction reference kernels
     /// instead of the compacted ones (see [`ScEngine::forward_reference`]).
     reference_kernels: bool,
@@ -884,6 +909,7 @@ impl ScEngine {
             config,
             cache,
             resilience: ResilienceReport::default(),
+            telemetry: EngineTelemetry::default(),
             reference_kernels: false,
         })
     }
@@ -908,6 +934,23 @@ impl ScEngine {
     /// Clears the accumulated resilience report.
     pub fn reset_resilience_report(&mut self) {
         self.resilience = ResilienceReport::default();
+    }
+
+    /// Snapshot of the per-layer telemetry counters and phase times
+    /// accumulated since creation (or the last
+    /// [`ScEngine::reset_telemetry`]).
+    ///
+    /// All-zero unless the crate is built with the `telemetry` feature
+    /// (see [`crate::telemetry::enabled`]). Counters cover both the
+    /// compacted and reference compute paths, which execute the identical
+    /// MAC set by construction.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.telemetry.report("sc-engine")
+    }
+
+    /// Clears the accumulated telemetry counters and phase times.
+    pub fn reset_telemetry(&mut self) {
+        self.telemetry.reset();
     }
 
     /// Stream length assigned to each parametrized (conv/linear) layer:
@@ -1003,6 +1046,7 @@ impl ScEngine {
         F: FnMut(u32, usize) -> Result<usize, GeoError>,
     {
         self.cache.begin_pass();
+        self.telemetry.passes.incr();
         if self.fault_model().is_some() {
             self.resilience.passes += 1;
         }
@@ -1036,7 +1080,16 @@ impl ScEngine {
                     if training {
                         x = bn.forward(&x)?;
                     } else {
+                        // Near-memory work (quantized BN, pooling on
+                        // converted counts) is attributed to the
+                        // parametrized layer whose outputs it transforms.
+                        let sw = Stopwatch::start();
                         x = quantized_batchnorm(bn, &x, self.config.bn_bits)?;
+                        if telemetry::enabled() {
+                            self.telemetry
+                                .layer(param_layer.saturating_sub(1) as usize)
+                                .add_phase_ns(Phase::NearMem, sw.elapsed_ns());
+                        }
                     }
                 }
                 Layer::Relu(r) => {
@@ -1046,7 +1099,13 @@ impl ScEngine {
                     x = r.forward(&x).map(|v| v.min(1.0));
                 }
                 other => {
+                    let sw = Stopwatch::start();
                     x = other.forward(&x)?;
+                    if telemetry::enabled() {
+                        self.telemetry
+                            .layer(param_layer.saturating_sub(1) as usize)
+                            .add_phase_ns(Phase::NearMem, sw.elapsed_ns());
+                    }
                 }
             }
         }
@@ -1106,6 +1165,12 @@ impl ScEngine {
             return;
         }
         let delta = self.cache.fault_counters().delta_since(&before);
+        if telemetry::enabled() {
+            self.telemetry
+                .layer(param_layer as usize)
+                .fault_events
+                .add(delta.total());
+        }
         self.resilience.record(param_layer, delta);
     }
 
@@ -1173,11 +1238,17 @@ impl ScEngine {
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
         let resolved = self.resolve_conv(conv, input, len, param_layer)?;
-        if self.reference_kernels {
-            resolved.compute_reference()
+        let tel = self.telemetry.layer(param_layer as usize);
+        let sw = Stopwatch::start();
+        let out = if self.reference_kernels {
+            resolved.compute_reference(tel)
         } else {
-            Ok(resolved.compute())
+            Ok(resolved.compute(tel))
+        };
+        if telemetry::enabled() {
+            tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
         }
+        out
     }
 
     /// Phase 1 for a convolution: builds/fetches every lane table through
@@ -1197,6 +1268,8 @@ impl ScEngine {
                 actual: s.to_vec(),
             }));
         }
+        let sw_resolve = Stopwatch::start();
+        let (hits0, misses0) = self.cache.lookup_counts();
         let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
         let (cout, k) = (conv.cout(), conv.kernel());
         let (stride, pad) = (conv.stride(), conv.padding());
@@ -1242,16 +1315,30 @@ impl ScEngine {
                 }
             }
         }
+        if telemetry::enabled() {
+            let (hits, misses) = self.cache.lookup_counts();
+            let tel = self.telemetry.layer(param_layer as usize);
+            tel.add_phase_ns(Phase::Resolve, sw_resolve.elapsed_ns());
+            tel.table_hits.add(hits - hits0);
+            tel.table_misses.add(misses - misses0);
+        }
 
         // Activation levels for the whole input tensor, validated once so
         // the compute phase's table lookups are infallible.
+        let sw_convert = Stopwatch::start();
         let act_levels: Vec<u32> = input
             .data()
             .iter()
             .map(|&x| self.act_level(x, width))
             .collect();
         validate_act_levels(&act_tables, &act_levels)?;
+        if telemetry::enabled() {
+            self.telemetry
+                .layer(param_layer as usize)
+                .add_phase_ns(Phase::Convert, sw_convert.elapsed_ns());
+        }
 
+        let sw_compact = Stopwatch::start();
         let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw => k,
@@ -1265,6 +1352,13 @@ impl ScEngine {
             ((ci as u32), ((rem / k) as u32), ((rem % k) as u32))
         });
         let (x_lo, x_hi) = interior_span(w, k, stride, pad, ow);
+        if telemetry::enabled() {
+            let tel = self.telemetry.layer(param_layer as usize);
+            tel.add_phase_ns(Phase::Resolve, sw_compact.elapsed_ns());
+            tel.compacted_lanes.add(compact.lanes.len() as u64);
+            tel.skipped_zero_lanes
+                .add((wrefs.len() - compact.lanes.len()) as u64);
+        }
         Ok(ResolvedConv {
             mode,
             len,
@@ -1301,11 +1395,17 @@ impl ScEngine {
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
         let resolved = self.resolve_linear(lin, input, len, param_layer)?;
-        if self.reference_kernels {
-            resolved.compute_reference()
+        let tel = self.telemetry.layer(param_layer as usize);
+        let sw = Stopwatch::start();
+        let out = if self.reference_kernels {
+            resolved.compute_reference(tel)
         } else {
-            Ok(resolved.compute())
+            Ok(resolved.compute(tel))
+        };
+        if telemetry::enabled() {
+            tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
         }
+        out
     }
 
     /// Phase 1 for a fully-connected layer (see [`Self::resolve_conv`]).
@@ -1323,6 +1423,8 @@ impl ScEngine {
                 actual: s.to_vec(),
             }));
         }
+        let sw_resolve = Stopwatch::start();
+        let (hits0, misses0) = self.cache.lookup_counts();
         let (n, features) = (s[0], s[1]);
         let outf = lin.output_features();
         let width = GeoConfig::width_for(len);
@@ -1356,13 +1458,27 @@ impl ScEngine {
                 wrefs.push(WeightRef::resolve(&table, levels, group)?);
             }
         }
+        if telemetry::enabled() {
+            let (hits, misses) = self.cache.lookup_counts();
+            let tel = self.telemetry.layer(param_layer as usize);
+            tel.add_phase_ns(Phase::Resolve, sw_resolve.elapsed_ns());
+            tel.table_hits.add(hits - hits0);
+            tel.table_misses.add(misses - misses0);
+        }
 
+        let sw_convert = Stopwatch::start();
         let act_levels: Vec<u32> = (0..n)
             .flat_map(|b| (0..features).map(move |i| (b, i)))
             .map(|(b, i)| self.act_level(input.at2(b, i), width))
             .collect();
         validate_act_levels(&act_tables, &act_levels)?;
+        if telemetry::enabled() {
+            self.telemetry
+                .layer(param_layer as usize)
+                .add_phase_ns(Phase::Convert, sw_convert.elapsed_ns());
+        }
 
+        let sw_compact = Stopwatch::start();
         let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw | Accumulation::Pbhw => wdim,
@@ -1370,6 +1486,13 @@ impl ScEngine {
         };
         let words = len.div_ceil(64);
         let compact = CompactKernel::build(&wrefs, outf, features, words, |_| (0, 0, 0));
+        if telemetry::enabled() {
+            let tel = self.telemetry.layer(param_layer as usize);
+            tel.add_phase_ns(Phase::Resolve, sw_compact.elapsed_ns());
+            tel.compacted_lanes.add(compact.lanes.len() as u64);
+            tel.skipped_zero_lanes
+                .add((wrefs.len() - compact.lanes.len()) as u64);
+        }
         Ok(ResolvedLinear {
             mode,
             len,
@@ -1417,6 +1540,12 @@ mod reference {
         fxp_neg: i64,
         apc_pos: Vec<Bitstream>,
         apc_neg: Vec<Bitstream>,
+        /// MACs accumulated since the last telemetry flush; *not* cleared
+        /// by the per-pixel [`RefScratch::reset`]. One accumulate call per
+        /// surviving lane, the same MAC definition the compacted path
+        /// counts — the two paths skip the identical lane set, so their
+        /// totals are provably equal.
+        macs: u64,
     }
 
     impl RefScratch {
@@ -1428,6 +1557,7 @@ mod reference {
                 fxp_neg: 0,
                 apc_pos: Vec::new(),
                 apc_neg: Vec::new(),
+                macs: 0,
             }
         }
 
@@ -1471,6 +1601,9 @@ mod reference {
         len: usize,
         scratch: &mut RefScratch,
     ) {
+        if telemetry::enabled() {
+            scratch.macs += 1;
+        }
         let g = wref.group;
         match mode {
             Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
@@ -1526,7 +1659,7 @@ mod reference {
     impl ResolvedConv {
         /// Pre-compaction phase 2: the per-pixel `cin·k·k` loop with
         /// padding, zero-activation, and zero-weight tests inline.
-        pub(super) fn compute_reference(&self) -> Result<Tensor, GeoError> {
+        pub(super) fn compute_reference(&self, tel: &LayerCounters) -> Result<Tensor, GeoError> {
             let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
             let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
             out.data_mut()
@@ -1537,6 +1670,10 @@ mod reference {
                     |scratch, (row, chunk)| {
                         if let Err(err) = self.compute_row_reference(row, chunk, scratch) {
                             record_error(&first_err, err);
+                        }
+                        if telemetry::enabled() {
+                            tel.macs.add(scratch.macs);
+                            scratch.macs = 0;
                         }
                     },
                 );
@@ -1600,7 +1737,7 @@ mod reference {
     impl ResolvedLinear {
         /// Pre-compaction phase 2: each output neuron scheduled as its
         /// own single-element chunk (`par_chunks_mut(1)`).
-        pub(super) fn compute_reference(&self) -> Result<Tensor, GeoError> {
+        pub(super) fn compute_reference(&self, tel: &LayerCounters) -> Result<Tensor, GeoError> {
             let mut out = Tensor::zeros(&[self.n, self.outf]);
             let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
             out.data_mut().par_chunks_mut(1).enumerate().for_each_init(
@@ -1608,6 +1745,10 @@ mod reference {
                 |scratch, (row, chunk)| {
                     if let Err(err) = self.compute_neuron_reference(row, chunk, scratch) {
                         record_error(&first_err, err);
+                    }
+                    if telemetry::enabled() {
+                        tel.macs.add(scratch.macs);
+                        scratch.macs = 0;
                     }
                 },
             );
@@ -2007,6 +2148,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn telemetry_counts_match_between_compacted_and_reference() {
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[1, 1, 8, 8], 0.5);
+        let mut compacted = engine(GeoConfig::geo(32, 32));
+        let mut reference = engine(GeoConfig::geo(32, 32));
+        compacted.forward(&mut model, &x, false).unwrap();
+        reference.forward_reference(&mut model, &x, false).unwrap();
+        let rc = compacted.telemetry_report();
+        let rr = reference.telemetry_report();
+        if crate::telemetry::enabled() {
+            assert_eq!(rc.passes, 1);
+            assert!(rc.total().macs > 0);
+            assert_eq!(rc.total().macs, rr.total().macs);
+            assert_eq!(rc.total().compacted_lanes, rr.total().compacted_lanes);
+            assert_eq!(
+                rc.layers.iter().map(|l| l.macs).collect::<Vec<_>>(),
+                rr.layers.iter().map(|l| l.macs).collect::<Vec<_>>()
+            );
+        } else {
+            assert_eq!(rc.total(), crate::telemetry::LayerTelemetry::default());
+        }
+        compacted.reset_telemetry();
+        assert!(compacted.telemetry_report().layers.is_empty());
     }
 
     #[test]

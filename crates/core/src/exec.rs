@@ -148,6 +148,33 @@ impl ProgramExecutor {
         &self.lens
     }
 
+    /// Telemetry snapshot of program-driven execution: the engine's
+    /// per-layer runtime counters (see [`ScEngine::telemetry_report`])
+    /// merged with the compiled program's per-layer ping-pong traffic
+    /// from [`geo_arch::perfsim::memory_traffic`]. Program layers and
+    /// the engine's parametrized layers are index-aligned (validated at
+    /// construction), so the merge is positional.
+    ///
+    /// The byte counts are static program properties scaled by the pass
+    /// count, so they are populated even without the `telemetry` feature
+    /// (where the runtime counters read zero and the traffic reflects a
+    /// single inference).
+    pub fn telemetry_report(&self) -> crate::telemetry::TelemetryReport {
+        let mut report = self.engine.telemetry_report();
+        report.source = format!("program:{}", self.program.name);
+        let traffic = geo_arch::perfsim::memory_traffic(&self.program);
+        if report.layers.len() < traffic.len() {
+            report
+                .layers
+                .resize(traffic.len(), crate::telemetry::LayerTelemetry::default());
+        }
+        let passes = report.passes.max(1);
+        for (layer, t) in report.layers.iter_mut().zip(&traffic) {
+            layer.pingpong_bytes = t.pingpong_bytes().saturating_mul(passes);
+        }
+        report
+    }
+
     /// Runs `model` under program control: each parametrized layer's
     /// stream length comes from the program's `GEN` cycles and is
     /// cross-checked against the engine's own stream plan, then the layer
@@ -461,6 +488,23 @@ mod tests {
             err.to_string().contains("do not match network"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn telemetry_report_merges_pingpong_traffic() {
+        let (mut model, mut exec) = thumb_exec();
+        exec.forward(&mut model, &Tensor::full(&[1, 1, 8, 8], 0.5), false)
+            .unwrap();
+        let report = exec.telemetry_report();
+        assert_eq!(report.source, "program:lenet5-thumb");
+        assert_eq!(report.layers.len(), exec.stream_lens().len());
+        assert!(report.layers.iter().any(|l| l.pingpong_bytes > 0));
+        if crate::telemetry::enabled() {
+            assert_eq!(report.passes, 1);
+            assert!(report.total().macs > 0);
+        } else {
+            assert_eq!(report.total().macs, 0);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod analyze;
 mod config;
@@ -38,6 +39,7 @@ mod engine;
 mod error;
 mod exec;
 mod tables;
+pub mod telemetry;
 mod training;
 
 pub use config::{Accumulation, GeoConfig};

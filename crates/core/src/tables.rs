@@ -19,6 +19,7 @@
 
 use crate::error::GeoError;
 use geo_sc::fault::{self, FaultCounters, FaultInjector};
+use geo_sc::telemetry::Counter;
 use geo_sc::{
     progressive, quantize_unipolar, Bitstream, ProgressiveSng, RngKind, RngSpec, StreamRng,
     StreamTable, StuckAtRng,
@@ -106,6 +107,8 @@ pub struct TableCache {
     progressive: HashMap<TableKey, Arc<ProgressiveTable>>,
     pass: u64,
     faults: Option<FaultInjector>,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl TableCache {
@@ -218,8 +221,10 @@ impl TableCache {
     ) -> Result<Arc<StreamTable>, GeoError> {
         let key = TableKey { kind, width, spec };
         if let Some(t) = self.regular.get(&key) {
+            self.hits.incr();
             return Ok(Arc::clone(t));
         }
+        self.misses.incr();
         let mut rng = self.build_faulty_rng(kind, width, spec)?;
         let mut table = StreamTable::new(len, rng.as_mut());
         if let Some(inj) = self.faults.as_mut() {
@@ -245,8 +250,10 @@ impl TableCache {
     ) -> Result<Arc<ProgressiveTable>, GeoError> {
         let key = TableKey { kind, width, spec };
         if let Some(t) = self.progressive.get(&key) {
+            self.hits.incr();
             return Ok(Arc::clone(t));
         }
+        self.misses.incr();
         let mut rng = self.build_faulty_rng(kind, width, spec)?;
         let mut table = ProgressiveTable::new(len, rng.as_mut());
         if let Some(inj) = self.faults.as_mut() {
@@ -258,6 +265,13 @@ impl TableCache {
         let table = Arc::new(table);
         self.progressive.insert(key, Arc::clone(&table));
         Ok(table)
+    }
+
+    /// Cumulative `(hits, misses)` of table lookups since creation —
+    /// telemetry counters, always `(0, 0)` with the `telemetry` feature
+    /// compiled out. A hit serves a cached table; a miss builds one.
+    pub fn lookup_counts(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
     }
 
     /// Number of cached tables (both kinds).
@@ -290,6 +304,20 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lookup_counts_track_hits_and_misses() {
+        let mut cache = TableCache::new();
+        let _ = cache.regular(RngKind::Lfsr, 6, 64, SPEC).unwrap();
+        let _ = cache.regular(RngKind::Lfsr, 6, 64, SPEC).unwrap();
+        let _ = cache.progressive(RngKind::Lfsr, 6, 64, SPEC).unwrap();
+        let counts = cache.lookup_counts();
+        if geo_sc::telemetry::enabled() {
+            assert_eq!(counts, (1, 2));
+        } else {
+            assert_eq!(counts, (0, 0));
+        }
     }
 
     #[test]

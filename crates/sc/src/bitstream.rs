@@ -366,7 +366,9 @@ macro_rules! binop {
             /// `*_assign` methods to handle mismatches gracefully.
             fn $method(self, rhs: &Bitstream) -> Bitstream {
                 let mut out = self.clone();
-                out.$assign(rhs).expect("bitstream length mismatch");
+                if out.$assign(rhs).is_err() {
+                    panic!("bitstream length mismatch: {} vs {}", self.len(), rhs.len());
+                }
                 out
             }
         }

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod accum;
 pub mod apc;
@@ -45,6 +46,7 @@ pub mod progressive;
 mod rng;
 pub mod sharing;
 mod sng;
+pub mod telemetry;
 
 pub use accum::Accumulation;
 pub use bitstream::{Bitstream, Iter};

@@ -18,5 +18,11 @@ run table1     $B table1_accuracy -- --ablations > $R/table1.txt
 run ablations  $B ablation_sweeps                > $R/ablation_sweeps.txt
 run faults     $B fault_sweep                    > $R/fault_sweep.txt
 run scaling    $B thread_scaling                 > $R/thread_scaling.txt
+# Telemetry needs the feature flag (live counters), so it gets its own
+# cargo invocation; the artifact lands in results/telemetry_full.json.
+# Runs before the plain perf pass so the canonical feature-off
+# BENCH_forward.json is the one that survives.
+run telemetry  cargo run --release -q -p geo-bench --features telemetry \
+               --bin bench_forward -- --telemetry > $R/bench_forward_telemetry.txt
 run perf       $B bench_forward                  > $R/bench_forward.txt
 echo ALL_EXPERIMENTS_DONE
