@@ -1,0 +1,564 @@
+//! Durable on-disk container for compiled GEO programs.
+//!
+//! A compiled [`Program`] is the single configuration a GEO deployment
+//! runs from (§III: program-driven control), so caching it across
+//! processes — compile once, serve many — demands a load boundary that is
+//! robust by construction. This module defines the versioned binary
+//! container around [`crate::encoding::encode`]'s instruction stream:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GEOA"
+//! 4       2     format version (LE u16)
+//! 6       8     NetworkDesc fingerprint (LE u64)
+//! 14      4     CRC-32 of bytes 0..14
+//! 18      …     section "name":   u32 LE len | program name (UTF-8) | CRC-32
+//! …       …     section "layers": u32 LE len | layer starts (u32 LE each) | CRC-32
+//! …       …     section "code":   u32 LE len | encoded instruction stream | CRC-32
+//! ```
+//!
+//! Every multi-byte integer is little-endian; every section checksum is
+//! CRC-32 (IEEE, reflected) over the section payload only. A loaded
+//! artifact re-serializes to exactly the bytes it was loaded from, and
+//! [`ProgramArtifact::from_bytes`] maps every malformed input to a typed
+//! [`ArtifactError`] — never a panic, never a silently different program.
+//! The fuzz harness and corrupt-artifact corpus in
+//! `crates/arch/tests/artifact_fuzz.rs` pin both properties.
+
+use crate::encoding::{self, DecodeError, EncodeError};
+use crate::isa::Program;
+use crate::network::NetworkDesc;
+use std::fmt;
+
+/// The container magic: `b"GEOA"` (GEO Artifact).
+pub const MAGIC: [u8; 4] = *b"GEOA";
+
+/// Current container format version. Bump on any layout change, including
+/// changes to the instruction encoding or the fingerprint computation.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Bytes of the fixed header covered by the header checksum
+/// (magic + version + fingerprint).
+const HEADER_BYTES: usize = 4 + 2 + 8;
+
+/// Errors produced when serializing or loading a program artifact.
+///
+/// Every malformed input maps to exactly one of these classes; the
+/// corrupt-artifact corpus test asserts the mapping corruption class by
+/// corruption class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The byte stream ends before a required field or section payload.
+    Truncated {
+        /// Absolute offset the read needed to reach.
+        expected: usize,
+        /// Actual length of the byte stream.
+        actual: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// The rejected bytes.
+        found: [u8; 4],
+    },
+    /// The container was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// The version this build reads and writes.
+        supported: u16,
+    },
+    /// A stored CRC-32 does not match the checksum of the bytes it covers.
+    ChecksumMismatch {
+        /// Which region failed (`header`, `name`, `layers`, `code`).
+        section: &'static str,
+        /// Checksum stored in the artifact.
+        stored: u32,
+        /// Checksum computed over the loaded bytes.
+        computed: u32,
+    },
+    /// Bytes remain after the last section — the stream is not exactly
+    /// one artifact.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// The code section fails strict instruction decoding.
+    Decode(DecodeError),
+    /// The program cannot be encoded (an operand exceeds its field).
+    Encode(EncodeError),
+    /// The container is structurally intact but semantically invalid:
+    /// non-UTF-8 name, malformed or unordered layer table, or a
+    /// fingerprint that does not match the network being loaded for.
+    Semantic {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Truncated { expected, actual } => write!(
+                f,
+                "artifact truncated: needed {expected} bytes, stream has {actual}"
+            ),
+            ArtifactError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            ArtifactError::VersionMismatch { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads {supported})"
+            ),
+            ArtifactError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{section} checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ArtifactError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last section")
+            }
+            ArtifactError::Decode(e) => write!(f, "code section: {e}"),
+            ArtifactError::Encode(e) => write!(f, "program not encodable: {e}"),
+            ArtifactError::Semantic { detail } => write!(f, "semantic mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Decode(e) => Some(e),
+            ArtifactError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for ArtifactError {
+    fn from(e: DecodeError) -> Self {
+        ArtifactError::Decode(e)
+    }
+}
+
+impl From<EncodeError> for ArtifactError {
+    fn from(e: EncodeError) -> Self {
+        ArtifactError::Encode(e)
+    }
+}
+
+/// CRC-32 lookup table (IEEE 802.3 polynomial, reflected), built at
+/// compile time so the crate stays dependency-free.
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE, reflected) of `bytes` — the checksum every artifact
+/// section carries.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A compiled program bound to the fingerprint of the network it was
+/// compiled for, ready to serialize into the durable container format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramArtifact {
+    version: u16,
+    fingerprint: u64,
+    program: Program,
+}
+
+impl ProgramArtifact {
+    /// Wraps `program` with `net`'s fingerprint at the current
+    /// [`FORMAT_VERSION`]. Serialization validity (operand ranges, layer
+    /// table ordering) is checked by [`ProgramArtifact::to_bytes`].
+    pub fn new(program: Program, net: &NetworkDesc) -> Self {
+        ProgramArtifact {
+            version: FORMAT_VERSION,
+            fingerprint: net.fingerprint(),
+            program,
+        }
+    }
+
+    /// Format version this artifact was loaded from or created at.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Fingerprint of the network the program was compiled for.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The contained program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Consumes the artifact, yielding the contained program.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// Checks the artifact was compiled for `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Semantic`] if the stored fingerprint does
+    /// not match `net`'s — the program addresses a structurally different
+    /// network and must not execute against this one.
+    pub fn verify_for(&self, net: &NetworkDesc) -> Result<(), ArtifactError> {
+        let expected = net.fingerprint();
+        if self.fingerprint != expected {
+            return Err(ArtifactError::Semantic {
+                detail: format!(
+                    "artifact fingerprint {:#018x} does not match network '{}' ({expected:#018x})",
+                    self.fingerprint, net.name
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the artifact into the container format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Encode`] if an instruction operand exceeds
+    /// its field, or [`ArtifactError::Semantic`] if the layer table is
+    /// unordered, out of bounds, or too large for the format.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ArtifactError> {
+        validate_layer_starts(&self.program.layer_starts, self.program.instrs.len())?;
+        let code = encoding::encode(&self.program)?;
+
+        let mut layers = Vec::with_capacity(self.program.layer_starts.len() * 4);
+        for &start in &self.program.layer_starts {
+            let start = u32::try_from(start).map_err(|_| ArtifactError::Semantic {
+                detail: format!("layer start {start} exceeds the format's u32 range"),
+            })?;
+            layers.extend_from_slice(&start.to_le_bytes());
+        }
+
+        let mut buf = Vec::with_capacity(HEADER_BYTES + 4 + code.len() + 64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        let header_crc = crc32(&buf);
+        buf.extend_from_slice(&header_crc.to_le_bytes());
+        push_section(&mut buf, self.program.name.as_bytes())?;
+        push_section(&mut buf, &layers)?;
+        push_section(&mut buf, &code)?;
+        Ok(buf)
+    }
+
+    /// Loads an artifact from `bytes`, validating container integrity
+    /// (magic, version, per-section checksums, exact length) and strictly
+    /// decoding the instruction stream.
+    ///
+    /// Never panics: arbitrary byte strings yield `Ok` or a typed
+    /// [`ArtifactError`]. An accepted artifact re-serializes to exactly
+    /// `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// One [`ArtifactError`] variant per corruption class; see the type's
+    /// documentation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(magic);
+            return Err(ArtifactError::BadMagic { found });
+        }
+        let v = r.take(2)?;
+        let version = u16::from_le_bytes([v[0], v[1]]);
+        if version != FORMAT_VERSION {
+            return Err(ArtifactError::VersionMismatch {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let fingerprint = r.u64()?;
+        let stored = r.u32()?;
+        let computed = crc32(&bytes[..HEADER_BYTES]);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch {
+                section: "header",
+                stored,
+                computed,
+            });
+        }
+
+        let name = r.section("name")?;
+        let layers = r.section("layers")?;
+        let code = r.section("code")?;
+        if r.pos != bytes.len() {
+            return Err(ArtifactError::TrailingBytes {
+                extra: bytes.len() - r.pos,
+            });
+        }
+
+        let name = String::from_utf8(name.to_vec()).map_err(|e| ArtifactError::Semantic {
+            detail: format!("program name is not UTF-8 ({e})"),
+        })?;
+        if layers.len() % 4 != 0 {
+            return Err(ArtifactError::Semantic {
+                detail: format!(
+                    "layer table of {} bytes is not a whole number of u32 entries",
+                    layers.len()
+                ),
+            });
+        }
+        let layer_starts: Vec<usize> = layers
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as usize)
+            .collect();
+        let instrs = encoding::decode(code)?;
+        validate_layer_starts(&layer_starts, instrs.len())?;
+        Ok(ProgramArtifact {
+            version,
+            fingerprint,
+            program: Program {
+                name,
+                instrs,
+                layer_starts,
+            },
+        })
+    }
+}
+
+/// Layer starts must be non-decreasing and within the instruction stream;
+/// anything else cannot have come from [`Program::begin_layer`] and would
+/// make [`Program::layer_instrs`] lie about layer boundaries.
+fn validate_layer_starts(starts: &[usize], instr_count: usize) -> Result<(), ArtifactError> {
+    for (i, pair) in starts.windows(2).enumerate() {
+        if pair[0] > pair[1] {
+            return Err(ArtifactError::Semantic {
+                detail: format!(
+                    "layer table not in order: start[{i}] = {} > start[{}] = {}",
+                    pair[0],
+                    i + 1,
+                    pair[1]
+                ),
+            });
+        }
+    }
+    if let Some(&last) = starts.last() {
+        if last > instr_count {
+            return Err(ArtifactError::Semantic {
+                detail: format!(
+                    "layer start {last} is beyond the {instr_count}-instruction stream"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Appends one length-prefixed, checksummed section.
+fn push_section(buf: &mut Vec<u8>, payload: &[u8]) -> Result<(), ArtifactError> {
+    let len = u32::try_from(payload.len()).map_err(|_| ArtifactError::Semantic {
+        detail: format!(
+            "section of {} bytes exceeds the format's u32 range",
+            payload.len()
+        ),
+    })?;
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    Ok(())
+}
+
+/// Bounds-checked cursor over the artifact bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self.pos.checked_add(n).ok_or(ArtifactError::Truncated {
+            expected: usize::MAX,
+            actual: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(ArtifactError::Truncated {
+                expected: end,
+                actual: self.bytes.len(),
+            });
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// Reads one length-prefixed section and verifies its checksum.
+    fn section(&mut self, name: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let len = self.u32()? as usize;
+        let payload = self.take(len)?;
+        let stored = self.u32()?;
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch {
+                section: name,
+                stored,
+                computed,
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelConfig;
+    use crate::compiler::compile;
+
+    fn lenet_artifact() -> (NetworkDesc, ProgramArtifact) {
+        let net = NetworkDesc::lenet5_mnist();
+        let program = compile(&net, &AccelConfig::ulp_geo(32, 64));
+        let artifact = ProgramArtifact::new(program, &net);
+        (net, artifact)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let (net, artifact) = lenet_artifact();
+        let bytes = artifact.to_bytes().unwrap();
+        let loaded = ProgramArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded, artifact);
+        assert_eq!(loaded.to_bytes().unwrap(), bytes);
+        loaded.verify_for(&net).unwrap();
+        assert_eq!(loaded.version(), FORMAT_VERSION);
+        assert_eq!(loaded.fingerprint(), net.fingerprint());
+    }
+
+    #[test]
+    fn verify_for_rejects_other_networks() {
+        let (_, artifact) = lenet_artifact();
+        let other = NetworkDesc::cnn4_cifar();
+        let err = artifact.verify_for(&other).unwrap_err();
+        assert!(matches!(err, ArtifactError::Semantic { .. }), "{err}");
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn rejects_unordered_or_out_of_bounds_layer_tables() {
+        let (net, artifact) = lenet_artifact();
+        let mut p = artifact.program().clone();
+        p.layer_starts.swap(0, 1);
+        // swap(0, 1) on [0, …] only reorders if start[1] > 0.
+        assert!(p.layer_starts[0] > p.layer_starts[1]);
+        let err = ProgramArtifact::new(p, &net).to_bytes().unwrap_err();
+        assert!(matches!(err, ArtifactError::Semantic { .. }), "{err}");
+
+        let mut p = artifact.program().clone();
+        p.layer_starts.push(p.instrs.len() + 1);
+        let err = ProgramArtifact::new(p, &net).to_bytes().unwrap_err();
+        assert!(matches!(err, ArtifactError::Semantic { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unencodable_programs_typed() {
+        let (net, artifact) = lenet_artifact();
+        let mut p = artifact.program().clone();
+        p.instrs
+            .push(crate::isa::Instr::LoadWeights { bytes: u64::MAX });
+        let err = ProgramArtifact::new(p, &net).to_bytes().unwrap_err();
+        assert!(matches!(err, ArtifactError::Encode(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        let net = NetworkDesc {
+            name: "empty".into(),
+            layers: vec![],
+        };
+        let artifact = ProgramArtifact::new(Program::new("empty"), &net);
+        let bytes = artifact.to_bytes().unwrap();
+        assert_eq!(ProgramArtifact::from_bytes(&bytes).unwrap(), artifact);
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let errs: Vec<ArtifactError> = vec![
+            ArtifactError::Truncated {
+                expected: 10,
+                actual: 4,
+            },
+            ArtifactError::BadMagic { found: *b"NOPE" },
+            ArtifactError::VersionMismatch {
+                found: 9,
+                supported: FORMAT_VERSION,
+            },
+            ArtifactError::ChecksumMismatch {
+                section: "code",
+                stored: 1,
+                computed: 2,
+            },
+            ArtifactError::TrailingBytes { extra: 3 },
+            DecodeError::TruncatedStream { len: 7 }.into(),
+            EncodeError::FieldRange {
+                instr: "LDW",
+                field: "bytes",
+                value: u64::MAX,
+                max: 1,
+            }
+            .into(),
+            ArtifactError::Semantic { detail: "x".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,656 @@
+//! Text assembler / disassembler for GEO programs.
+//!
+//! The compiler is no longer the only way to produce a [`Program`]: this
+//! module defines a line-oriented assembly syntax (modeled on the
+//! assembler / serialized-program split of stack-machine toolchains) so
+//! programs can be written by hand, diffed in review, and differentially
+//! tested against the compiler.
+//!
+//! ```text
+//! ; comment to end of line
+//! .program "LeNet-5 (MNIST)"      ; required, once, before any code
+//! .layer                          ; marks a layer start (begin_layer)
+//!   ldw.ext 123456                ; LoadWeightsExternal { bytes }
+//!   ldw 2400                      ; LoadWeights { bytes }
+//!   lda 75                        ; LoadActivations { bytes }
+//!   gen cycles=64 macs=25600 layer=0 sng=0 cout=0..32 pos=0..64 col=0/1
+//!   nm.acc elements=8192 layer=0  ; NearMemAccumulate
+//!   nm.bn elements=2048 layer=0   ; NearMemBatchNorm
+//!   sta 8192                      ; WriteActivations { bytes }
+//!   sync
+//! ```
+//!
+//! [`disassemble`] emits the canonical form (two-space indent, operands in
+//! the order above); [`assemble`] additionally accepts arbitrary
+//! whitespace, `;` comments, hex literals (`0x…`), and `gen`/`nm.*`
+//! key-value operands in any order. Canonical text is a fixpoint:
+//! `disassemble(assemble(text)) == text`, and for every program
+//! `assemble(disassemble(p)) == p` — the contract
+//! `crates/arch/tests/artifact_roundtrip.rs` pins across the compiled
+//! bench programs.
+
+use crate::isa::{Instr, Program, Tile};
+use std::fmt;
+
+/// An assembly error, located at a 1-based source line (0 for
+/// program-level errors such as a missing `.program` directive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line the error was detected on; 0 if program-level.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.kind)
+        } else {
+            write!(f, "line {}: {}", self.line, self.kind)
+        }
+    }
+}
+
+/// Classification of assembly / disassembly failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// No `.program "<name>"` directive before the first statement.
+    MissingProgram,
+    /// A second `.program` directive, or one after code has started.
+    MisplacedProgram,
+    /// A quoted string that is unterminated or malformed.
+    BadString(String),
+    /// A mnemonic or directive this ISA does not define.
+    UnknownMnemonic(String),
+    /// An operand that is missing for its instruction.
+    MissingOperand(&'static str),
+    /// An operand that failed to parse or is out of range for its type.
+    BadOperand {
+        /// Operand name.
+        operand: &'static str,
+        /// The offending text.
+        found: String,
+    },
+    /// A token beyond what the instruction accepts (or a duplicate
+    /// key-value operand).
+    ExtraOperand(String),
+    /// Disassembly-side: the in-memory program cannot be rendered (layer
+    /// table not in order, or a name with control characters).
+    Unrepresentable(String),
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::MissingProgram => {
+                write!(f, "missing `.program \"<name>\"` directive")
+            }
+            AsmErrorKind::MisplacedProgram => {
+                write!(f, "`.program` must appear exactly once, before any code")
+            }
+            AsmErrorKind::BadString(s) => write!(f, "malformed string literal: {s}"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::MissingOperand(op) => write!(f, "missing operand `{op}`"),
+            AsmErrorKind::BadOperand { operand, found } => {
+                write!(f, "bad value `{found}` for operand `{operand}`")
+            }
+            AsmErrorKind::ExtraOperand(t) => write!(f, "unexpected operand `{t}`"),
+            AsmErrorKind::Unrepresentable(why) => {
+                write!(f, "program not representable as assembly: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, kind: AsmErrorKind) -> AsmError {
+    AsmError { line, kind }
+}
+
+/// Renders `program` in canonical assembly text.
+///
+/// # Errors
+///
+/// Returns [`AsmErrorKind::Unrepresentable`] if the layer table is not
+/// non-decreasing and within bounds (text `.layer` markers are inherently
+/// ordered), or if the program name contains control characters.
+pub fn disassemble(program: &Program) -> Result<String, AsmError> {
+    if let Some(w) = program
+        .layer_starts
+        .windows(2)
+        .find(|w| w[0] > w[1])
+        .or_else(|| {
+            program
+                .layer_starts
+                .last()
+                .filter(|&&s| s > program.instrs.len())
+                .map(std::slice::from_ref)
+        })
+    {
+        return Err(err(
+            0,
+            AsmErrorKind::Unrepresentable(format!("layer table not in order: {w:?}")),
+        ));
+    }
+    let mut out = String::new();
+    out.push_str(".program ");
+    out.push_str(&quote(&program.name)?);
+    out.push('\n');
+    let mut si = 0;
+    for i in 0..=program.instrs.len() {
+        while si < program.layer_starts.len() && program.layer_starts[si] == i {
+            out.push_str(".layer\n");
+            si += 1;
+        }
+        if let Some(instr) = program.instrs.get(i) {
+            out.push_str("  ");
+            out.push_str(&render(instr));
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a located [`AsmError`] for unknown mnemonics, missing /
+/// duplicate / malformed operands, malformed strings, or a missing or
+/// misplaced `.program` directive.
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    let mut name: Option<String> = None;
+    let mut program = Program::new("");
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".program") {
+            if name.is_some() || !program.instrs.is_empty() || !program.layer_starts.is_empty() {
+                return Err(err(lineno, AsmErrorKind::MisplacedProgram));
+            }
+            name = Some(unquote(rest.trim(), lineno)?);
+        } else if line == ".layer" {
+            if name.is_none() {
+                return Err(err(lineno, AsmErrorKind::MissingProgram));
+            }
+            program.begin_layer();
+        } else {
+            if name.is_none() {
+                return Err(err(lineno, AsmErrorKind::MissingProgram));
+            }
+            program.push(parse_instr(line, lineno)?);
+        }
+    }
+    program.name = name.ok_or_else(|| err(0, AsmErrorKind::MissingProgram))?;
+    Ok(program)
+}
+
+/// Canonical one-line rendering of an instruction.
+fn render(instr: &Instr) -> String {
+    match *instr {
+        Instr::LoadWeightsExternal { bytes } => format!("ldw.ext {bytes}"),
+        Instr::LoadWeights { bytes } => format!("ldw {bytes}"),
+        Instr::LoadActivations { bytes } => format!("lda {bytes}"),
+        Instr::Generate {
+            cycles,
+            active_macs,
+            ref tile,
+        } => format!(
+            "gen cycles={cycles} macs={active_macs} layer={} sng={} cout={}..{} pos={}..{} col={}/{}",
+            tile.layer,
+            tile.sng_group,
+            tile.cout_begin,
+            tile.cout_end,
+            tile.pos_begin,
+            tile.pos_end,
+            tile.col_pass,
+            tile.col_passes,
+        ),
+        Instr::NearMemAccumulate { elements, layer } => {
+            format!("nm.acc elements={elements} layer={layer}")
+        }
+        Instr::NearMemBatchNorm { elements, layer } => {
+            format!("nm.bn elements={elements} layer={layer}")
+        }
+        Instr::WriteActivations { bytes } => format!("sta {bytes}"),
+        Instr::Sync => "sync".to_string(),
+    }
+}
+
+fn parse_instr(line: &str, lineno: usize) -> Result<Instr, AsmError> {
+    let mut tokens = line.split_whitespace();
+    let mnemonic = tokens.next().unwrap_or_default();
+    let rest: Vec<&str> = tokens.collect();
+    let one_positional = |variant: fn(u64) -> Instr| -> Result<Instr, AsmError> {
+        match rest.as_slice() {
+            [v] => Ok(variant(parse_u64("bytes", v, lineno)?)),
+            [] => Err(err(lineno, AsmErrorKind::MissingOperand("bytes"))),
+            [_, extra, ..] => Err(err(lineno, AsmErrorKind::ExtraOperand((*extra).into()))),
+        }
+    };
+    match mnemonic {
+        "ldw.ext" => one_positional(|bytes| Instr::LoadWeightsExternal { bytes }),
+        "ldw" => one_positional(|bytes| Instr::LoadWeights { bytes }),
+        "lda" => one_positional(|bytes| Instr::LoadActivations { bytes }),
+        "sta" => one_positional(|bytes| Instr::WriteActivations { bytes }),
+        "sync" => match rest.as_slice() {
+            [] => Ok(Instr::Sync),
+            [extra, ..] => Err(err(lineno, AsmErrorKind::ExtraOperand((*extra).into()))),
+        },
+        "nm.acc" | "nm.bn" => {
+            let mut ops = KeyValues::parse(&rest, &["elements", "layer"], lineno)?;
+            let elements = ops.take_u64("elements")?;
+            let layer = ops.take_u32("layer")?;
+            Ok(if mnemonic == "nm.acc" {
+                Instr::NearMemAccumulate { elements, layer }
+            } else {
+                Instr::NearMemBatchNorm { elements, layer }
+            })
+        }
+        "gen" => {
+            let mut ops = KeyValues::parse(
+                &rest,
+                &["cycles", "macs", "layer", "sng", "cout", "pos", "col"],
+                lineno,
+            )?;
+            let cycles = ops.take_u64("cycles")?;
+            let active_macs = ops.take_u64("macs")?;
+            let layer = ops.take_u32("layer")?;
+            let sng_group = ops.take_u32("sng")?;
+            let (cout_begin, cout_end) = ops.take_range("cout")?;
+            let (pos_begin, pos_end) = ops.take_range("pos")?;
+            let (col_pass, col_passes) = ops.take_pair("col", '/')?;
+            Ok(Instr::Generate {
+                cycles,
+                active_macs,
+                tile: Tile {
+                    layer,
+                    sng_group,
+                    cout_begin,
+                    cout_end,
+                    pos_begin,
+                    pos_end,
+                    col_pass,
+                    col_passes,
+                },
+            })
+        }
+        other => Err(err(lineno, AsmErrorKind::UnknownMnemonic(other.into()))),
+    }
+}
+
+/// `key=value` operand list: tokens are matched against a closed key set,
+/// duplicates rejected, and every key must be consumed exactly once.
+struct KeyValues<'a> {
+    /// `(key, value)` pairs, with values taken out as they are consumed.
+    pairs: Vec<(&'static str, Option<&'a str>)>,
+    lineno: usize,
+}
+
+impl<'a> KeyValues<'a> {
+    fn parse(tokens: &[&'a str], keys: &[&'static str], lineno: usize) -> Result<Self, AsmError> {
+        let mut pairs: Vec<(&'static str, Option<&'a str>)> =
+            keys.iter().map(|&k| (k, None)).collect();
+        for token in tokens {
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(err(lineno, AsmErrorKind::ExtraOperand((*token).into())));
+            };
+            let Some(slot) = pairs.iter_mut().find(|(k, _)| *k == key) else {
+                return Err(err(lineno, AsmErrorKind::ExtraOperand((*token).into())));
+            };
+            if slot.1.replace(value).is_some() {
+                return Err(err(lineno, AsmErrorKind::ExtraOperand((*token).into())));
+            }
+        }
+        Ok(KeyValues { pairs, lineno })
+    }
+
+    fn raw(&mut self, key: &'static str) -> Result<&'a str, AsmError> {
+        self.pairs
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| v.take())
+            .ok_or_else(|| err(self.lineno, AsmErrorKind::MissingOperand(key)))
+    }
+
+    fn take_u64(&mut self, key: &'static str) -> Result<u64, AsmError> {
+        let v = self.raw(key)?;
+        parse_u64(key, v, self.lineno)
+    }
+
+    fn take_u32(&mut self, key: &'static str) -> Result<u32, AsmError> {
+        let v = self.raw(key)?;
+        parse_u32(key, v, self.lineno)
+    }
+
+    /// `key=a..b` (half-open range operand).
+    fn take_range(&mut self, key: &'static str) -> Result<(u32, u32), AsmError> {
+        let v = self.raw(key)?;
+        let Some((a, b)) = v.split_once("..") else {
+            return Err(err(
+                self.lineno,
+                AsmErrorKind::BadOperand {
+                    operand: key,
+                    found: v.into(),
+                },
+            ));
+        };
+        Ok((
+            parse_u32(key, a, self.lineno)?,
+            parse_u32(key, b, self.lineno)?,
+        ))
+    }
+
+    /// `key=a<sep>b` (pass-of-passes operand).
+    fn take_pair(&mut self, key: &'static str, sep: char) -> Result<(u32, u32), AsmError> {
+        let v = self.raw(key)?;
+        let Some((a, b)) = v.split_once(sep) else {
+            return Err(err(
+                self.lineno,
+                AsmErrorKind::BadOperand {
+                    operand: key,
+                    found: v.into(),
+                },
+            ));
+        };
+        Ok((
+            parse_u32(key, a, self.lineno)?,
+            parse_u32(key, b, self.lineno)?,
+        ))
+    }
+}
+
+fn parse_u64(operand: &'static str, text: &str, lineno: usize) -> Result<u64, AsmError> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| {
+        err(
+            lineno,
+            AsmErrorKind::BadOperand {
+                operand,
+                found: text.into(),
+            },
+        )
+    })
+}
+
+fn parse_u32(operand: &'static str, text: &str, lineno: usize) -> Result<u32, AsmError> {
+    u32::try_from(parse_u64(operand, text, lineno)?).map_err(|_| {
+        err(
+            lineno,
+            AsmErrorKind::BadOperand {
+                operand,
+                found: text.into(),
+            },
+        )
+    })
+}
+
+/// Quotes a program name, escaping `\` and `"`.
+fn quote(name: &str) -> Result<String, AsmError> {
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        if c.is_control() {
+            return Err(err(
+                0,
+                AsmErrorKind::Unrepresentable(format!("name contains control character {:?}", c)),
+            ));
+        }
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    Ok(out)
+}
+
+/// Parses a quoted program name.
+fn unquote(text: &str, lineno: usize) -> Result<String, AsmError> {
+    let bad = |why: &str| err(lineno, AsmErrorKind::BadString(format!("{why}: {text}")));
+    let mut chars = text.chars();
+    if chars.next() != Some('"') {
+        return Err(bad("expected opening quote"));
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err(bad("unterminated")),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some(c @ ('"' | '\\')) => out.push(c),
+                _ => return Err(bad("invalid escape")),
+            },
+            Some(c) if c.is_control() => return Err(bad("control character in string")),
+            Some(c) => out.push(c),
+        }
+    }
+    if chars.next().is_some() {
+        return Err(bad("trailing characters after closing quote"));
+    }
+    Ok(out)
+}
+
+/// Strips a `;` comment, honoring quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ';' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelConfig;
+    use crate::compiler::compile;
+    use crate::network::NetworkDesc;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new("sample (v1) \"quoted\"");
+        p.begin_layer();
+        p.push(Instr::LoadWeightsExternal { bytes: 123_456 });
+        p.push(Instr::LoadWeights { bytes: 2400 });
+        p.push(Instr::LoadActivations { bytes: 75 });
+        p.push(Instr::Generate {
+            cycles: 256,
+            active_macs: 25_600,
+            tile: Tile {
+                layer: 3,
+                sng_group: 1,
+                cout_begin: 32,
+                cout_end: 64,
+                pos_begin: 256,
+                pos_end: 512,
+                col_pass: 1,
+                col_passes: 2,
+            },
+        });
+        p.push(Instr::NearMemAccumulate {
+            elements: 8192,
+            layer: 3,
+        });
+        p.begin_layer();
+        p.push(Instr::NearMemBatchNorm {
+            elements: 2048,
+            layer: 3,
+        });
+        p.push(Instr::WriteActivations { bytes: 8192 });
+        p.push(Instr::Sync);
+        p
+    }
+
+    #[test]
+    fn every_instruction_round_trips_through_text() {
+        let p = sample_program();
+        let text = disassemble(&p).unwrap();
+        let back = assemble(&text).unwrap();
+        assert_eq!(back, p);
+        // Canonical text is a fixpoint.
+        assert_eq!(disassemble(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn compiled_program_round_trips_through_text() {
+        let net = NetworkDesc::lenet5_mnist();
+        let p = compile(&net, &AccelConfig::ulp_geo(32, 64));
+        let text = disassemble(&p).unwrap();
+        assert_eq!(assemble(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn accepts_comments_whitespace_hex_and_any_operand_order() {
+        let text = r#"
+            ; a hand-written program
+            .program "hand ; written"   ; semicolon inside the quotes stays
+            .layer
+               ldw 0x960                ; hex literal
+               gen macs=25600 cycles=256 sng=1 layer=3 col=1/2 pos=256..512 cout=32..64
+               sync
+        "#;
+        let p = assemble(text).unwrap();
+        assert_eq!(p.name, "hand ; written");
+        assert_eq!(p.instrs.len(), 3);
+        assert_eq!(p.instrs[0], Instr::LoadWeights { bytes: 0x960 });
+        assert_eq!(p.layer_starts, vec![0]);
+        match p.instrs[1] {
+            Instr::Generate {
+                cycles, ref tile, ..
+            } => {
+                assert_eq!(cycles, 256);
+                assert_eq!((tile.cout_begin, tile.cout_end), (32, 64));
+                assert_eq!((tile.col_pass, tile.col_passes), (1, 2));
+            }
+            ref other => panic!("expected gen, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_and_empty_layers_round_trip() {
+        let mut p = Program::new("layers");
+        p.begin_layer();
+        p.begin_layer(); // empty first layer
+        p.push(Instr::Sync);
+        p.begin_layer(); // trailing empty layer
+        let text = disassemble(&p).unwrap();
+        assert_eq!(assemble(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn errors_are_located_and_typed() {
+        let cases: &[(&str, AsmErrorKind)] = &[
+            ("sync", AsmErrorKind::MissingProgram),
+            (".layer", AsmErrorKind::MissingProgram),
+            (
+                ".program \"a\"\n.program \"b\"",
+                AsmErrorKind::MisplacedProgram,
+            ),
+            (
+                ".program \"a\"\nfrobnicate 1",
+                AsmErrorKind::UnknownMnemonic("frobnicate".into()),
+            ),
+            (".program \"a\"\nldw", AsmErrorKind::MissingOperand("bytes")),
+            (
+                ".program \"a\"\nldw 12 13",
+                AsmErrorKind::ExtraOperand("13".into()),
+            ),
+            (
+                ".program \"a\"\nsync now",
+                AsmErrorKind::ExtraOperand("now".into()),
+            ),
+            (
+                ".program \"a\"\nldw twelve",
+                AsmErrorKind::BadOperand {
+                    operand: "bytes",
+                    found: "twelve".into(),
+                },
+            ),
+            (
+                ".program \"a\"\nnm.acc elements=1",
+                AsmErrorKind::MissingOperand("layer"),
+            ),
+            (
+                ".program \"a\"\nnm.acc elements=1 layer=1 layer=2",
+                AsmErrorKind::ExtraOperand("layer=2".into()),
+            ),
+            (
+                ".program \"a\"\ngen cycles=1 macs=1 layer=0 sng=0 cout=zero..1 pos=0..1 col=0/1",
+                AsmErrorKind::BadOperand {
+                    operand: "cout",
+                    found: "zero".into(),
+                },
+            ),
+            (
+                ".program \"a\"\ngen cycles=1 macs=1 layer=0 sng=0 cout=5 pos=0..1 col=0/1",
+                AsmErrorKind::BadOperand {
+                    operand: "cout",
+                    found: "5".into(),
+                },
+            ),
+            (
+                ".program \"a\"\nnm.acc elements=1 layer=4294967296",
+                AsmErrorKind::BadOperand {
+                    operand: "layer",
+                    found: "4294967296".into(),
+                },
+            ),
+            (
+                ".program unquoted",
+                AsmErrorKind::BadString("expected opening quote: unquoted".into()),
+            ),
+            (
+                ".program \"open",
+                AsmErrorKind::BadString("unterminated: \"open".into()),
+            ),
+        ];
+        for (text, kind) in cases {
+            let e = assemble(text).unwrap_err();
+            assert_eq!(&e.kind, kind, "for input {text:?}");
+            assert!(!e.to_string().is_empty());
+        }
+        // The missing-directive error for a file with no code at all is
+        // program-level (line 0).
+        assert_eq!(assemble("; nothing\n").unwrap_err().line, 0);
+        // Located errors carry the right line.
+        assert_eq!(assemble(".program \"a\"\n\nldw x").unwrap_err().line, 3);
+    }
+
+    #[test]
+    fn unrepresentable_programs_are_rejected() {
+        let mut p = Program::new("bad");
+        p.push(Instr::Sync);
+        p.layer_starts = vec![1, 0];
+        assert!(matches!(
+            disassemble(&p).unwrap_err().kind,
+            AsmErrorKind::Unrepresentable(_)
+        ));
+        p.layer_starts = vec![5];
+        assert!(matches!(
+            disassemble(&p).unwrap_err().kind,
+            AsmErrorKind::Unrepresentable(_)
+        ));
+        let p = Program::new("new\nline");
+        assert!(matches!(
+            disassemble(&p).unwrap_err().kind,
+            AsmErrorKind::Unrepresentable(_)
+        ));
+    }
+}

@@ -42,6 +42,24 @@ pub enum DecodeError {
         /// Word index.
         index: usize,
     },
+    /// A decoded operand violates a range invariant the encoder enforces:
+    /// reserved immediate bits set (`SYNC`), or a cross-field bound such
+    /// as `col_pass < col_passes`. Field masks make per-field widths
+    /// unforgeable, so this is the re-check that keeps a byte stream
+    /// *patched after encoding* from decoding into a plausible but
+    /// invalid instruction.
+    FieldRange {
+        /// Instruction mnemonic (`GEN`, `SYNC`, …).
+        instr: &'static str,
+        /// Operand name as it appears in [`Instr`]/[`Tile`].
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// Largest valid value for the field at this position.
+        max: u64,
+        /// Word index.
+        index: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -59,6 +77,16 @@ impl fmt::Display for DecodeError {
             DecodeError::BadTileExtension { index } => {
                 write!(f, "malformed GEN tile extension at word {index}")
             }
+            DecodeError::FieldRange {
+                instr,
+                field,
+                value,
+                max,
+                index,
+            } => write!(
+                f,
+                "{instr}.{field} = {value} at word {index} exceeds its valid range (max {max})"
+            ),
         }
     }
 }
@@ -156,12 +184,23 @@ fn imm(bytes: &[u8]) -> u64 {
 /// `TILE0`: layer (8) | SNG group (8) | cout_begin (12) | cout_end (12) |
 /// col_pass (8) | col_passes (8) — 56 bits.
 fn tile0_imm(t: &Tile) -> Result<u64, EncodeError> {
-    Ok(check("GEN", "layer", t.layer.into(), 0xFF)?
+    let imm = check("GEN", "layer", t.layer.into(), 0xFF)?
         | (check("GEN", "sng_group", t.sng_group.into(), 0xFF)? << 8)
         | (check("GEN", "cout_begin", t.cout_begin.into(), 0xFFF)? << 16)
         | (check("GEN", "cout_end", t.cout_end.into(), 0xFFF)? << 28)
         | (check("GEN", "col_pass", t.col_pass.into(), 0xFF)? << 40)
-        | (check("GEN", "col_passes", t.col_passes.into(), 0xFF)? << 48))
+        | (check("GEN", "col_passes", t.col_passes.into(), 0xFF)? << 48);
+    // Cross-field bound, mirrored by `decode`: a pass index at or past the
+    // declared pass count addresses a column that does not exist.
+    if t.col_pass >= t.col_passes {
+        return Err(EncodeError::FieldRange {
+            instr: "GEN",
+            field: "col_pass",
+            value: t.col_pass.into(),
+            max: u64::from(t.col_passes.saturating_sub(1)),
+        });
+    }
+    Ok(imm)
 }
 
 /// `TILE1`: pos_begin (28) | pos_end (28) — 56 bits.
@@ -255,10 +294,17 @@ pub fn encode(program: &Program) -> Result<Vec<u8>, EncodeError> {
 
 /// Decodes an instruction stream produced by [`encode`].
 ///
+/// Strict: every accepted stream re-encodes to exactly the same bytes
+/// (decode and encode are mutually inverse bijections on the valid set),
+/// and every operand range the encoder enforces is re-checked here — a
+/// byte stream patched after encoding cannot decode into an instruction
+/// the encoder would have rejected.
+///
 /// # Errors
 ///
-/// Returns [`DecodeError`] for truncated streams, unknown opcodes, or
-/// malformed `GEN` tile extensions.
+/// Returns [`DecodeError`] for truncated streams, unknown opcodes,
+/// malformed `GEN` tile extensions, or out-of-range operands
+/// ([`DecodeError::FieldRange`]).
 pub fn decode(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
     if !bytes.len().is_multiple_of(INSTR_BYTES) {
         return Err(DecodeError::TruncatedStream { len: bytes.len() });
@@ -278,11 +324,24 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
                 let t1 = chunks.get(index + 2).filter(|c| c[0] == OP_TILE1);
                 match (t0, t1) {
                     (Some(t0), Some(t1)) => {
+                        let tile = tile_from_imms(imm(t0), imm(t1));
+                        // Re-check the cross-field bound the encoder
+                        // enforces: a patched TILE0 word must not decode
+                        // into a pass the tile does not declare.
+                        if tile.col_pass >= tile.col_passes {
+                            return Err(DecodeError::FieldRange {
+                                instr: "GEN",
+                                field: "col_pass",
+                                value: tile.col_pass.into(),
+                                max: u64::from(tile.col_passes.saturating_sub(1)),
+                                index,
+                            });
+                        }
                         index += GEN_WORDS - 1;
                         Instr::Generate {
                             cycles: v & 0xFFF_FFFF,
                             active_macs: (v >> 28) & 0xFFF_FFFF,
-                            tile: tile_from_imms(imm(t0), imm(t1)),
+                            tile,
                         }
                     }
                     _ => return Err(DecodeError::BadTileExtension { index }),
@@ -298,7 +357,22 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
                 layer: ((v >> 48) & 0xFF) as u32,
             },
             OP_STA => Instr::WriteActivations { bytes: v },
-            OP_SYNC => Instr::Sync,
+            OP_SYNC => {
+                // `SYNC` has no operands; its 56 immediate bits are
+                // reserved-zero. Accepting a nonzero immediate would make
+                // decode → encode lossy and let corrupted streams
+                // round-trip to *different* bytes.
+                if v != 0 {
+                    return Err(DecodeError::FieldRange {
+                        instr: "SYNC",
+                        field: "imm",
+                        value: v,
+                        max: 0,
+                        index,
+                    });
+                }
+                Instr::Sync
+            }
             opcode => return Err(DecodeError::UnknownOpcode { opcode, index }),
         });
         index += 1;
@@ -487,6 +561,87 @@ mod tests {
         ));
         let e = DecodeError::TruncatedStream { len: 7 };
         assert!(!e.to_string().is_empty());
+    }
+
+    /// Satellite regression for the PR 5 range-validation gap: `encode`
+    /// has checked operand ranges since PR 5, but `decode` used to accept
+    /// anything the field masks let through. Patch out-of-range operands
+    /// into an otherwise valid byte stream and require the typed
+    /// [`DecodeError::FieldRange`] instead of a plausible-looking
+    /// instruction.
+    #[test]
+    fn decode_recheck_rejects_patched_out_of_range_operands() {
+        // SYNC carries reserved-zero immediate bits; patch them nonzero.
+        let mut buf = Vec::new();
+        for i in &sample_instrs() {
+            encode_instr(i, &mut buf).unwrap();
+        }
+        let sync_word = buf.len() - INSTR_BYTES;
+        assert_eq!(buf[sync_word], OP_SYNC);
+        buf[sync_word + 3] = 0xAB;
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            DecodeError::FieldRange {
+                instr: "SYNC",
+                field: "imm",
+                value: 0xAB_0000,
+                max: 0,
+                index: buf.len() / INSTR_BYTES - 1,
+            }
+        );
+
+        // col_pass rides in TILE0 bits 40..48 (word byte 6); patch it past
+        // the declared col_passes.
+        let mut buf = Vec::new();
+        encode_instr(
+            &Instr::Generate {
+                cycles: 256,
+                active_macs: 25_600,
+                tile: sample_tile(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(buf[INSTR_BYTES], OP_TILE0);
+        buf[INSTR_BYTES + 6] = 0x77;
+        let err = decode(&buf).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::FieldRange {
+                instr: "GEN",
+                field: "col_pass",
+                value: 0x77,
+                max: 1,
+                index: 0,
+            }
+        );
+        assert!(err.to_string().contains("col_pass"));
+    }
+
+    #[test]
+    fn encode_rejects_col_pass_outside_declared_passes() {
+        let mut tile = sample_tile();
+        tile.col_pass = 2; // == col_passes
+        let mut buf = Vec::new();
+        let err = encode_instr(
+            &Instr::Generate {
+                cycles: 256,
+                active_macs: 25_600,
+                tile,
+            },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::FieldRange {
+                instr: "GEN",
+                field: "col_pass",
+                value: 2,
+                max: 1,
+            }
+        );
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -29,6 +29,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod accel;
+pub mod artifact;
+pub mod asm;
 pub mod baselines;
 pub mod compiler;
 pub mod dataflow;
@@ -46,6 +48,8 @@ pub mod tech;
 pub use geo_sc::telemetry;
 
 pub use accel::{AccelConfig, Category, Optimizations};
+pub use artifact::{ArtifactError, ProgramArtifact};
+pub use asm::{assemble, disassemble, AsmError, AsmErrorKind};
 pub use isa::{Instr, Program, Tile};
 pub use network::{LayerShape, NetworkDesc};
 pub use perfsim::SimReport;

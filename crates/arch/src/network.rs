@@ -120,7 +120,62 @@ pub struct NetworkDesc {
     pub layers: Vec<LayerShape>,
 }
 
+/// Folds one value into a running FNV-1a hash, byte by byte.
+fn fnv64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
 impl NetworkDesc {
+    /// Stable 64-bit fingerprint of the layer stack — every structural
+    /// field of every layer, in order, folded through FNV-1a. Serialized
+    /// program artifacts carry this value so the load boundary can bind a
+    /// program to the network it was compiled for; the name is excluded,
+    /// so renaming a network does not invalidate its cached programs.
+    ///
+    /// The value is part of the durable artifact format: changing how it
+    /// is computed is a format break and must bump
+    /// [`crate::artifact::FORMAT_VERSION`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv64(0xCBF2_9CE4_8422_2325, self.layers.len() as u64);
+        for layer in &self.layers {
+            match *layer {
+                LayerShape::Conv {
+                    cin,
+                    cout,
+                    kernel,
+                    stride,
+                    pad,
+                    in_h,
+                    in_w,
+                    pooled,
+                } => {
+                    for v in [
+                        0,
+                        cin,
+                        cout,
+                        kernel,
+                        stride,
+                        pad,
+                        in_h,
+                        in_w,
+                        pooled as usize,
+                    ] {
+                        h = fnv64(h, v as u64);
+                    }
+                }
+                LayerShape::Fc { inf, outf } => {
+                    for v in [1, inf, outf] {
+                        h = fnv64(h, v as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Total MACs of one inference.
     pub fn total_macs(&self) -> u64 {
         self.layers.iter().map(LayerShape::macs).sum()
@@ -394,6 +449,32 @@ mod tests {
                 outf: 10
             }
         );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_networks_and_track_structure() {
+        let lenet = NetworkDesc::lenet5_mnist();
+        let cnn4 = NetworkDesc::cnn4_cifar();
+        let vgg = NetworkDesc::vgg16_scaled_cifar();
+        assert_eq!(
+            lenet.fingerprint(),
+            NetworkDesc::lenet5_mnist().fingerprint()
+        );
+        assert_ne!(lenet.fingerprint(), cnn4.fingerprint());
+        assert_ne!(cnn4.fingerprint(), vgg.fingerprint());
+        assert_ne!(lenet.fingerprint(), vgg.fingerprint());
+
+        // Renames don't invalidate cached artifacts…
+        let mut renamed = lenet.clone();
+        renamed.name = "something-else".into();
+        assert_eq!(renamed.fingerprint(), lenet.fingerprint());
+
+        // …but any structural change does, down to a single flag.
+        let mut tweaked = lenet.clone();
+        if let LayerShape::Conv { pooled, .. } = &mut tweaked.layers[0] {
+            *pooled = !*pooled;
+        }
+        assert_ne!(tweaked.fingerprint(), lenet.fingerprint());
     }
 
     #[test]

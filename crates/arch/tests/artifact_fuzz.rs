@@ -1,0 +1,302 @@
+//! The panic-free load boundary, attacked from the byte level.
+//!
+//! Two layers of defense are pinned here:
+//!
+//! 1. **Fuzz properties** — [`ProgramArtifact::from_bytes`] and
+//!    [`decode`] must never panic, whatever bytes they are fed: raw
+//!    random strings, and targeted mutations (bitflips, truncations) of
+//!    a known-good artifact. Accepted inputs must re-serialize
+//!    byte-identically (the strict-decode bijection).
+//! 2. **A corrupt-artifact corpus** — each corruption class a durable
+//!    artifact can suffer on disk maps to its *specific* typed
+//!    [`ArtifactError`] variant, so callers can tell truncation from
+//!    bitrot from a program compiled for the wrong network.
+//!
+//! Case count is env-gated: `GEO_FUZZ_CASES` (default 1024; CI's serial
+//! fuzz-smoke lane raises it to 10000).
+
+use geo_arch::artifact::{crc32, ArtifactError, ProgramArtifact};
+use geo_arch::compiler::compile;
+use geo_arch::encoding::{decode, DecodeError, INSTR_BYTES};
+use geo_arch::{AccelConfig, NetworkDesc};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fuzz_cases() -> u32 {
+    std::env::var("GEO_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// A known-good artifact: compiled LeNet-5 for the GEO-ULP design point.
+fn valid_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let net = NetworkDesc::lenet5_mnist();
+        let program = compile(&net, &AccelConfig::ulp_geo(32, 64));
+        ProgramArtifact::new(program, &net)
+            .to_bytes()
+            .expect("compiled program must serialize")
+    })
+}
+
+/// Container geometry (see `artifact.rs` module docs): 14-byte header,
+/// 4-byte header CRC, then three `len | payload | crc` sections.
+const HEADER_CRC_AT: usize = 14;
+const FIRST_SECTION_AT: usize = 18;
+
+/// `(payload_offset, payload_len)` for the name, layers, and code
+/// sections of a well-formed artifact.
+fn section_bounds(bytes: &[u8]) -> [(usize, usize); 3] {
+    let mut pos = FIRST_SECTION_AT;
+    let mut out = [(0usize, 0usize); 3];
+    for slot in &mut out {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        *slot = (pos + 4, len);
+        pos += 4 + len + 4;
+    }
+    assert_eq!(pos, bytes.len(), "section walk must consume the artifact");
+    out
+}
+
+/// Rewrites a section's stored CRC to match its (mutated) payload, so a
+/// payload edit tests the *decode* path rather than the checksum.
+fn fix_section_crc(bytes: &mut [u8], payload_at: usize, len: usize) {
+    let crc = crc32(&bytes[payload_at..payload_at + len]).to_le_bytes();
+    bytes[payload_at + len..payload_at + len + 4].copy_from_slice(&crc);
+}
+
+/// Rewrites the header CRC to match a (mutated) header.
+fn fix_header_crc(bytes: &mut [u8]) {
+    let crc = crc32(&bytes[..HEADER_CRC_AT]).to_le_bytes();
+    bytes[HEADER_CRC_AT..HEADER_CRC_AT + 4].copy_from_slice(&crc);
+}
+
+/// Finds the code-payload offset of the first instruction word whose
+/// opcode byte is `opcode`.
+fn find_word(bytes: &[u8], opcode: u8) -> usize {
+    let (code_at, code_len) = section_bounds(bytes)[2];
+    let code = &bytes[code_at..code_at + code_len];
+    let word = code
+        .chunks_exact(INSTR_BYTES)
+        .position(|w| w[0] == opcode)
+        .unwrap_or_else(|| panic!("no word with opcode {opcode:#04x} in compiled LeNet-5"));
+    code_at + word * INSTR_BYTES
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Arbitrary byte strings never panic the loader or the decoder —
+    /// they produce `Ok` or a typed error, nothing else.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ProgramArtifact::from_bytes(&bytes);
+        let _ = decode(&bytes);
+    }
+
+    /// Targeted mutations of a valid artifact — single-byte XORs at any
+    /// offset — never panic, and anything still accepted re-serializes
+    /// byte-identically (a mutation either breaks the artifact loudly or
+    /// was byte-neutral; it can never silently change meaning *and*
+    /// survive).
+    #[test]
+    fn mutated_artifacts_never_panic(offset in 0usize..100_000, xor in any::<u8>()) {
+        let mut bytes = valid_bytes().to_vec();
+        let at = offset % bytes.len();
+        bytes[at] ^= xor;
+        if let Ok(artifact) = ProgramArtifact::from_bytes(&bytes) {
+            prop_assert_eq!(artifact.to_bytes().unwrap(), bytes);
+        }
+    }
+
+    /// Truncation at any length never panics and — for proper prefixes —
+    /// always reports `Truncated`: every section consumes exactly its
+    /// declared bytes, so a short read can never be mistaken for a
+    /// complete artifact.
+    #[test]
+    fn truncations_report_truncated(len in 0usize..100_000) {
+        let bytes = valid_bytes();
+        let len = len % bytes.len(); // proper prefix
+        match ProgramArtifact::from_bytes(&bytes[..len]) {
+            Err(ArtifactError::Truncated { expected, actual }) => {
+                prop_assert!(actual <= len && expected > actual);
+            }
+            other => prop_assert!(false, "prefix of {len} bytes gave {other:?}"),
+        }
+    }
+
+    /// Decoded instruction streams re-encode to the exact input bytes:
+    /// strict decoding makes encode/decode mutually inverse, which is
+    /// what lets the container promise byte-identical round trips.
+    #[test]
+    fn accepted_streams_reencode_identically(
+        words in prop::collection::vec(any::<u8>(), 0..16),
+        fill in any::<u8>(),
+    ) {
+        // Bias toward plausible streams: random opcodes, uniform payload.
+        let mut bytes = Vec::with_capacity(words.len() * INSTR_BYTES);
+        for op in &words {
+            bytes.push(*op);
+            bytes.extend_from_slice(&[fill; INSTR_BYTES - 1]);
+        }
+        if let Ok(instrs) = decode(&bytes) {
+            let mut out = Vec::new();
+            for i in &instrs {
+                geo_arch::encoding::encode_instr(i, &mut out).unwrap();
+            }
+            prop_assert_eq!(out, bytes);
+        }
+    }
+}
+
+/// The corrupt-artifact corpus: one corruption per on-disk failure
+/// class, each mapped to its specific typed error variant.
+#[test]
+fn corruption_corpus_maps_to_typed_errors() {
+    let valid = valid_bytes();
+    ProgramArtifact::from_bytes(valid).expect("corpus baseline must load");
+    let [_, (layers_at, layers_len), (code_at, code_len)] = section_bounds(valid);
+
+    // Wrong magic.
+    let mut bad = valid.to_vec();
+    bad[0] = b'X';
+    assert!(matches!(
+        ProgramArtifact::from_bytes(&bad),
+        Err(ArtifactError::BadMagic { found }) if &found == b"XEOA"
+    ));
+
+    // Unsupported format version (header CRC fixed up, so the version
+    // check itself is what fires).
+    let mut bad = valid.to_vec();
+    bad[4] = 0xFF;
+    fix_header_crc(&mut bad);
+    assert!(matches!(
+        ProgramArtifact::from_bytes(&bad),
+        Err(ArtifactError::VersionMismatch {
+            found: 0x00FF,
+            supported: 1
+        })
+    ));
+
+    // A flipped fingerprint bit without a matching CRC is header bitrot.
+    let mut bad = valid.to_vec();
+    bad[6] ^= 0x01;
+    assert!(matches!(
+        ProgramArtifact::from_bytes(&bad),
+        Err(ArtifactError::ChecksumMismatch {
+            section: "header",
+            ..
+        })
+    ));
+
+    // Payload bitrot in each section.
+    for (i, name) in ["name", "layers", "code"].iter().enumerate() {
+        let (at, len) = section_bounds(valid)[i];
+        assert!(len > 0, "{name} section must be non-empty in the corpus");
+        let mut bad = valid.to_vec();
+        bad[at] ^= 0x80;
+        match ProgramArtifact::from_bytes(&bad) {
+            Err(ArtifactError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            }) => {
+                assert_eq!(&section, name);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("bitrot in {name} gave {other:?}"),
+        }
+    }
+
+    // Bytes past the last section.
+    let mut bad = valid.to_vec();
+    bad.push(0);
+    assert!(matches!(
+        ProgramArtifact::from_bytes(&bad),
+        Err(ArtifactError::TrailingBytes { extra: 1 })
+    ));
+
+    // A SYNC word with reserved immediate bits set — checksummed
+    // consistently, so it reaches the strict decoder.
+    let sync_at = find_word(valid, 0x08);
+    let mut bad = valid.to_vec();
+    bad[sync_at + 3] = 0xAB;
+    fix_section_crc(&mut bad, code_at, code_len);
+    match ProgramArtifact::from_bytes(&bad) {
+        Err(ArtifactError::Decode(DecodeError::FieldRange { instr, field, .. })) => {
+            assert_eq!((instr, field), ("SYNC", "imm"));
+        }
+        other => panic!("reserved SYNC bits gave {other:?}"),
+    }
+
+    // A GEN tile claiming column pass 0x77 of a smaller pass count —
+    // in-field-range bytes whose cross-field bound only strict decoding
+    // catches.
+    let tile0_at = find_word(valid, 0x09);
+    let mut bad = valid.to_vec();
+    bad[tile0_at + 6] = 0x77; // immediate bits 40..48 = col_pass
+    fix_section_crc(&mut bad, code_at, code_len);
+    match ProgramArtifact::from_bytes(&bad) {
+        Err(ArtifactError::Decode(DecodeError::FieldRange {
+            instr,
+            field,
+            value,
+            ..
+        })) => {
+            assert_eq!((instr, field, value), ("GEN", "col_pass", 0x77));
+        }
+        other => panic!("out-of-range col_pass gave {other:?}"),
+    }
+
+    // A consistently rewritten fingerprint (CRC fixed up) is a valid
+    // container for the *wrong network*: the container loads, and the
+    // semantic check at the execution boundary is what rejects it.
+    let mut bad = valid.to_vec();
+    bad[6] ^= 0x01;
+    fix_header_crc(&mut bad);
+    let artifact = ProgramArtifact::from_bytes(&bad).expect("container itself is intact");
+    match artifact.verify_for(&NetworkDesc::lenet5_mnist()) {
+        Err(ArtifactError::Semantic { detail }) => {
+            assert!(detail.contains("fingerprint"), "{detail}");
+        }
+        other => panic!("wrong fingerprint gave {other:?}"),
+    }
+
+    // A layer table pointing past the instruction stream (CRC fixed up).
+    assert!(layers_len >= 4);
+    let mut bad = valid.to_vec();
+    bad[layers_at + layers_len - 4..layers_at + layers_len]
+        .copy_from_slice(&u32::MAX.to_le_bytes());
+    fix_section_crc(&mut bad, layers_at, layers_len);
+    match ProgramArtifact::from_bytes(&bad) {
+        Err(ArtifactError::Semantic { detail }) => {
+            assert!(detail.contains("beyond"), "{detail}");
+        }
+        other => panic!("out-of-bounds layer start gave {other:?}"),
+    }
+
+    // A layer table that is not a whole number of u32 entries: shrink the
+    // declared length by one (and re-CRC the shorter payload). The walk
+    // then misaligns, so the loader must fail with a typed error — which
+    // one depends on how the remaining bytes parse, but it never panics.
+    let mut bad = valid.to_vec();
+    let decl_at = layers_at - 4;
+    let short = (layers_len - 1) as u32;
+    bad[decl_at..decl_at + 4].copy_from_slice(&short.to_le_bytes());
+    assert!(ProgramArtifact::from_bytes(&bad).is_err());
+}
+
+/// The corpus' happy-path counterpart: the known-good artifact loads,
+/// verifies against its own network, and survives a byte-identical
+/// round trip.
+#[test]
+fn corpus_baseline_round_trips() {
+    let bytes = valid_bytes();
+    let artifact = ProgramArtifact::from_bytes(bytes).unwrap();
+    artifact.verify_for(&NetworkDesc::lenet5_mnist()).unwrap();
+    assert!(artifact.verify_for(&NetworkDesc::cnn4_cifar()).is_err());
+    assert_eq!(artifact.to_bytes().unwrap(), bytes);
+}

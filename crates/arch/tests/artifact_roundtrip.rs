@@ -1,0 +1,167 @@
+//! Program-level round-trip contracts for the durable representations.
+//!
+//! Every program the compiler can emit must survive both persistence
+//! formats losslessly:
+//!
+//! - **binary**: `Program → artifact bytes → Program → artifact bytes`
+//!   is byte-identical (strict decoding makes encode/decode mutually
+//!   inverse, so the second serialization cannot drift);
+//! - **text**: `disassemble → assemble → disassemble` is a fixpoint, and
+//!   assembling the text recovers the exact in-memory program.
+//!
+//! Pinned across the bench networks × the paper's design points, and
+//! across randomly generated (non-compiler-shaped) valid programs.
+
+use geo_arch::artifact::ProgramArtifact;
+use geo_arch::compiler::compile;
+use geo_arch::{asm, AccelConfig, Instr, NetworkDesc, Program, Tile};
+use proptest::prelude::*;
+
+fn networks() -> Vec<NetworkDesc> {
+    vec![NetworkDesc::lenet5_mnist(), NetworkDesc::cnn4_cifar()]
+}
+
+fn design_points() -> Vec<AccelConfig> {
+    vec![
+        AccelConfig::ulp_geo(32, 64),
+        AccelConfig::ulp_base(),
+        AccelConfig::ulp_gen(),
+        AccelConfig::ulp_gen_exec(),
+        AccelConfig::lp_geo(16, 32),
+    ]
+}
+
+/// Binary round trip: bytes → Program → bytes is the identity for every
+/// compiled bench program.
+#[test]
+fn binary_round_trips_are_byte_identical() {
+    for net in networks() {
+        for accel in design_points() {
+            let program = compile(&net, &accel);
+            let artifact = ProgramArtifact::new(program.clone(), &net);
+            let bytes = artifact.to_bytes().unwrap();
+            let back = ProgramArtifact::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", net.name, accel.name));
+            assert_eq!(back.program(), &program);
+            assert_eq!(
+                back.to_bytes().unwrap(),
+                bytes,
+                "{}/{} re-serialization drifted",
+                net.name,
+                accel.name
+            );
+        }
+    }
+}
+
+/// Text round trip: canonical assembly is a fixpoint and recovers the
+/// exact program for every compiled bench program.
+#[test]
+fn asm_round_trips_are_fixpoints() {
+    for net in networks() {
+        for accel in design_points() {
+            let program = compile(&net, &accel);
+            let text = asm::disassemble(&program)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", net.name, accel.name));
+            let back =
+                asm::assemble(&text).unwrap_or_else(|e| panic!("{}/{}: {e}", net.name, accel.name));
+            assert_eq!(back, program, "{}/{} text drift", net.name, accel.name);
+            assert_eq!(asm::disassemble(&back).unwrap(), text);
+        }
+    }
+}
+
+/// Valid (encodable) instructions, including the cross-field
+/// `col_pass < col_passes` bound on GEN tiles. One flat tuple with a
+/// variant selector stands in for `prop_oneof!`.
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    (
+        (0u8..8, 0u64..0xFF_FFFF_FFFF_FFFF),
+        (0u32..0x100, 0u32..0x100, 0u32..0x1000, 0u32..0x1000),
+        (
+            0u32..0x1000_0000,
+            0u32..0x1000_0000,
+            0u32..0x100,
+            1u32..0x100,
+        ),
+    )
+        .prop_map(
+            |(
+                (variant, bytes),
+                (layer, sng_group, cout_begin, cout_end),
+                (pos_begin, pos_end, pass_seed, col_passes),
+            )| {
+                let elements = bytes & 0xFFFF_FFFF_FFFF;
+                match variant {
+                    0 => Instr::LoadWeightsExternal { bytes },
+                    1 => Instr::LoadWeights { bytes },
+                    2 => Instr::LoadActivations { bytes },
+                    3 => Instr::WriteActivations { bytes },
+                    4 => Instr::NearMemAccumulate { elements, layer },
+                    5 => Instr::NearMemBatchNorm { elements, layer },
+                    6 => Instr::Sync,
+                    _ => Instr::Generate {
+                        cycles: bytes & 0xFFF_FFFF,
+                        active_macs: (bytes >> 28) & 0xFFF_FFFF,
+                        tile: Tile {
+                            layer,
+                            sng_group,
+                            cout_begin,
+                            cout_end,
+                            pos_begin,
+                            pos_end,
+                            col_pass: pass_seed % col_passes,
+                            col_passes,
+                        },
+                    },
+                }
+            },
+        )
+}
+
+/// Valid programs the compiler would never emit: arbitrary instruction
+/// mixes, layer markers anywhere (sorted seeds, so starts are always
+/// non-decreasing and in bounds), printable names.
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(instr_strategy(), 0..24),
+        prop::collection::vec(any::<u8>(), 0..6),
+        prop::collection::vec(any::<u8>(), 0..24),
+    )
+        .prop_map(|(instrs, marker_seed, name_seed)| {
+            let name: String = name_seed
+                .into_iter()
+                .map(|b| (b % 94 + 32) as char) // printable ASCII
+                .collect();
+            let mut program = Program::new(&name);
+            let n = instrs.len();
+            let mut starts: Vec<usize> = marker_seed
+                .into_iter()
+                .map(|b| b as usize % (n + 1))
+                .collect();
+            starts.sort_unstable();
+            program.layer_starts = starts;
+            program.instrs = instrs;
+            program
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both round trips hold for arbitrary valid programs, not just
+    /// compiler output.
+    #[test]
+    fn random_valid_programs_round_trip(program in program_strategy()) {
+        let net = NetworkDesc::lenet5_mnist();
+        let bytes = ProgramArtifact::new(program.clone(), &net).to_bytes().unwrap();
+        let back = ProgramArtifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.program(), &program);
+        prop_assert_eq!(back.to_bytes().unwrap(), bytes);
+
+        let text = asm::disassemble(&program).unwrap();
+        let reparsed = asm::assemble(&text).unwrap();
+        prop_assert_eq!(&reparsed, &program);
+        prop_assert_eq!(asm::disassemble(&reparsed).unwrap(), text);
+    }
+}

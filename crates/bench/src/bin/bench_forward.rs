@@ -24,7 +24,7 @@
 //!
 //! Run: `cargo run --release -p geo-bench --bin bench_forward [-- --smoke|--quick]`
 
-use geo_arch::AccelConfig;
+use geo_arch::{AccelConfig, NetworkDesc};
 use geo_bench::telemetry::Artifact;
 use geo_bench::trajectory::{Cell, Report, SCHEMA};
 use geo_core::{GeoConfig, ProgramExecutor, ScEngine};
@@ -247,6 +247,58 @@ fn emit_telemetry(
     Ok(())
 }
 
+/// `--artifact <dir>`: exercises the durable-artifact path end to end.
+/// Each workload's compiled program is serialized to
+/// `<dir>/<name>.geoa`, re-read from disk, loaded through the validating
+/// [`ProgramExecutor::from_artifact`] boundary, and the reloaded
+/// executor's forward outputs are asserted bit-identical to a fresh
+/// in-memory executor's.
+fn artifact_round_trip(
+    workloads: &[(&str, Sequential); 2],
+    base: GeoConfig,
+    x: &Tensor,
+    sizing: Sizing,
+    dir: &str,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for (name, model) in workloads {
+        let accel = AccelConfig::ulp_geo(32, 64);
+        let input = (1, sizing.size, sizing.size);
+        let compiled = ProgramExecutor::compile(base, &accel, model, input, name)
+            .map_err(|e| format!("{name}: compile failed: {e}"))?;
+        let bytes = compiled
+            .to_artifact()
+            .map_err(|e| format!("{name}: artifact serialization failed: {e}"))?;
+        let path = PathBuf::from(dir).join(format!("{name}.geoa"));
+        std::fs::write(&path, &bytes)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let reread =
+            std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let net = NetworkDesc::from_model(name, model, input);
+        let mut reloaded = ProgramExecutor::from_artifact(base, &net, &reread)
+            .map_err(|e| format!("{}: artifact rejected on reload: {e}", path.display()))?;
+        // Fresh executors on both sides: identical engine state, so the
+        // outputs must match bit for bit.
+        let mut fresh = ProgramExecutor::compile(base, &accel, model, input, name)
+            .map_err(|e| format!("{name}: compile failed: {e}"))?;
+        let mut model_a = model.clone();
+        let mut model_b = model.clone();
+        let direct = fresh
+            .forward(&mut model_a, x, false)
+            .map_err(|e| format!("{name}: in-memory forward failed: {e}"))?;
+        let via_artifact = reloaded
+            .forward(&mut model_b, x, false)
+            .map_err(|e| format!("{name}: reloaded forward failed: {e}"))?;
+        assert_identical(direct.data(), via_artifact.data(), name);
+        println!(
+            "artifact {}: {} bytes, reload bit-identical",
+            path.display(),
+            bytes.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let sizing = sizing_from_args();
     let threads = rayon::current_num_threads();
@@ -363,6 +415,20 @@ fn main() -> ExitCode {
         path.display(),
         parsed.cells.len()
     );
+
+    // Durable-artifact round trip: save every compiled program, reload it
+    // through the validating boundary, and require bit-identical outputs.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--artifact") {
+        let Some(dir) = args.get(i + 1) else {
+            eprintln!("bench_forward: --artifact requires a directory argument");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = artifact_round_trip(&workloads, base, &x, sizing, dir) {
+            eprintln!("bench_forward: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // Telemetry artifact: requires the counters to be live, i.e. the
     // `telemetry` cargo feature. `--telemetry` on a feature-less build is

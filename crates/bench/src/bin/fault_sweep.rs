@@ -19,6 +19,7 @@ use geo_nn::models;
 use geo_nn::Sequential;
 use geo_sc::FaultModel;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 
 /// Transient stream bit-error rates swept per accumulation mode.
 const BERS: [f64; 6] = [0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2];
@@ -119,7 +120,7 @@ fn json_curves(curves: &[ModeCurve], dvfs: &[(f64, f64, f32)], scale: Scale) -> 
     out
 }
 
-fn main() {
+fn main() -> ExitCode {
     let scale = Scale::from_args();
     let (_, _, epochs) = scale.sizing();
     let (train_ds, test_ds) = dataset(DatasetSpec::mnist_like(31), scale);
@@ -202,8 +203,14 @@ fn main() {
     }
 
     let json = json_curves(&curves, &dvfs, scale);
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/fault_sweep.json", &json).expect("write results/fault_sweep.json");
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("fault_sweep: cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write("results/fault_sweep.json", &json) {
+        eprintln!("fault_sweep: cannot write results/fault_sweep.json: {e}");
+        return ExitCode::FAILURE;
+    }
     println!();
     println!("Curves written to results/fault_sweep.json");
     println!(
@@ -211,4 +218,5 @@ fn main() {
          absorbs sparse flips), degrading toward chance by 5e-2; binary-heavy \
          modes (FXP) degrade fastest per flipped stream bit."
     );
+    ExitCode::SUCCESS
 }

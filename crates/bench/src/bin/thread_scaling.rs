@@ -21,6 +21,7 @@ use geo_nn::{models, Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::ThreadPoolBuilder;
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Thread counts swept, clamped to sensible values on small hosts but
@@ -37,7 +38,7 @@ fn forward_pass(model: &Sequential, config: GeoConfig, x: &Tensor) -> Vec<f32> {
         .to_vec()
 }
 
-fn main() {
+fn main() -> ExitCode {
     let scale = Scale::from_args();
     let (batch, size, reps) = match scale {
         Scale::Quick => (2usize, 8usize, 1usize),
@@ -122,9 +123,14 @@ fn main() {
         },
         cells,
     };
-    std::fs::create_dir_all("results").expect("create results/");
-    report
-        .write("results/thread_scaling.json")
-        .expect("write results/thread_scaling.json");
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("thread_scaling: cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = report.write("results/thread_scaling.json") {
+        eprintln!("thread_scaling: cannot write results/thread_scaling.json: {e}");
+        return ExitCode::FAILURE;
+    }
     println!("Sweep written to results/thread_scaling.json");
+    ExitCode::SUCCESS
 }

@@ -1,5 +1,6 @@
 //! Error type for the GEO engine.
 
+use geo_arch::ArtifactError;
 use geo_nn::NnError;
 use geo_sc::ScError;
 use std::fmt;
@@ -12,6 +13,8 @@ pub enum GeoError {
     Sc(ScError),
     /// An error from the neural-network substrate.
     Nn(NnError),
+    /// A program artifact that failed to load or validate.
+    Artifact(ArtifactError),
     /// A configuration the engine cannot realize.
     InvalidConfig(String),
     /// An engine invariant that should be unreachable was violated —
@@ -24,6 +27,7 @@ impl fmt::Display for GeoError {
         match self {
             GeoError::Sc(e) => write!(f, "stochastic substrate: {e}"),
             GeoError::Nn(e) => write!(f, "network substrate: {e}"),
+            GeoError::Artifact(e) => write!(f, "program artifact: {e}"),
             GeoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GeoError::Internal(msg) => write!(f, "engine invariant violated (bug): {msg}"),
         }
@@ -35,6 +39,7 @@ impl std::error::Error for GeoError {
         match self {
             GeoError::Sc(e) => Some(e),
             GeoError::Nn(e) => Some(e),
+            GeoError::Artifact(e) => Some(e),
             GeoError::InvalidConfig(_) | GeoError::Internal(_) => None,
         }
     }
@@ -54,6 +59,13 @@ impl From<NnError> for GeoError {
     }
 }
 
+#[doc(hidden)]
+impl From<ArtifactError> for GeoError {
+    fn from(e: ArtifactError) -> Self {
+        GeoError::Artifact(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +81,8 @@ mod tests {
         let e = GeoError::InvalidConfig("stream length must be a power of two".into());
         assert!(e.to_string().contains("power of two"));
         assert!(e.source().is_none());
+        let e: GeoError = ArtifactError::BadMagic { found: [0; 4] }.into();
+        assert!(e.to_string().contains("program artifact"));
+        assert!(e.source().is_some());
     }
 }

@@ -28,7 +28,7 @@ use crate::config::GeoConfig;
 use crate::engine::ScEngine;
 use crate::error::GeoError;
 use geo_arch::compiler;
-use geo_arch::{AccelConfig, Instr, NetworkDesc, Program};
+use geo_arch::{AccelConfig, Instr, NetworkDesc, Program, ProgramArtifact};
 use geo_nn::datasets::Dataset;
 use geo_nn::loss::argmax_rows;
 use geo_nn::{Layer, Sequential, Tensor};
@@ -124,6 +124,42 @@ impl ProgramExecutor {
         let net = NetworkDesc::from_model(name, model, input);
         let program = compiler::compile(&net, accel);
         Self::new(config, &net, program)
+    }
+
+    /// Loads a durable program artifact (see [`geo_arch::artifact`]) and
+    /// validates it against `net` **before any compute**: container
+    /// integrity (magic, version, per-section checksums), strict operand
+    /// decoding, the network fingerprint, and the full semantic
+    /// validation of [`ProgramExecutor::new`] (operand ranges, exact tile
+    /// coverage) all run at the load boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::Artifact`] for any container-level failure —
+    /// truncation, bad magic, version or checksum mismatch, malformed
+    /// instruction words, or a fingerprint that does not match `net` —
+    /// and [`GeoError::InvalidConfig`] for the semantic cases of
+    /// [`ProgramExecutor::new`]. Never panics, whatever `bytes` holds.
+    pub fn from_artifact(
+        config: GeoConfig,
+        net: &NetworkDesc,
+        bytes: &[u8],
+    ) -> Result<Self, GeoError> {
+        let artifact = ProgramArtifact::from_bytes(bytes)?;
+        artifact.verify_for(net)?;
+        Self::new(config, net, artifact.into_program())
+    }
+
+    /// Serializes the executor's validated program as a durable artifact
+    /// bound to its network (the inverse of
+    /// [`ProgramExecutor::from_artifact`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::Artifact`] if the program cannot be encoded —
+    /// unreachable for programs that passed construction-time validation.
+    pub fn to_artifact(&self) -> Result<Vec<u8>, GeoError> {
+        Ok(ProgramArtifact::new(self.program.clone(), &self.net).to_bytes()?)
     }
 
     /// The compiled program being executed.
@@ -505,6 +541,52 @@ mod tests {
         } else {
             assert_eq!(report.total().macs, 0);
         }
+    }
+
+    #[test]
+    fn artifact_round_trip_is_bit_identical() {
+        let (mut model, exec) = thumb_exec();
+        let bytes = exec.to_artifact().unwrap();
+        let net = NetworkDesc::from_model("lenet5-thumb", &model, (1, 8, 8));
+        let mut reloaded = ProgramExecutor::from_artifact(GeoConfig::geo(32, 64), &net, &bytes)
+            .expect("valid artifact must load");
+        assert_eq!(reloaded.program(), exec.program());
+        // Bit-identical forward outputs: a fresh in-memory executor and
+        // the reloaded one see the same engine state and program.
+        let x = Tensor::full(&[2, 1, 8, 8], 0.4);
+        let mut fresh = thumb_exec().1;
+        let direct = fresh.forward(&mut model, &x, false).unwrap();
+        let via_artifact = reloaded.forward(&mut model, &x, false).unwrap();
+        assert_eq!(via_artifact.data(), direct.data());
+    }
+
+    #[test]
+    fn from_artifact_rejects_corruption_and_wrong_network() {
+        let (model, exec) = thumb_exec();
+        let net = NetworkDesc::from_model("lenet5-thumb", &model, (1, 8, 8));
+        let bytes = exec.to_artifact().unwrap();
+        // Corrupt payload byte → checksum failure at the load boundary.
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() ^= 0xFF;
+        let err = ProgramExecutor::from_artifact(GeoConfig::geo(32, 64), &net, &bad)
+            .err()
+            .unwrap();
+        assert!(matches!(err, GeoError::Artifact(_)), "{err}");
+        // Truncation → typed artifact error, never a panic.
+        let err = ProgramExecutor::from_artifact(GeoConfig::geo(32, 64), &net, &bytes[..10])
+            .err()
+            .unwrap();
+        assert!(matches!(err, GeoError::Artifact(_)), "{err}");
+        // Valid container, wrong network → fingerprint mismatch before
+        // any compute.
+        let other = NetworkDesc::cnn4_cifar();
+        let err = ProgramExecutor::from_artifact(GeoConfig::geo(32, 64), &other, &bytes)
+            .err()
+            .unwrap();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -24,5 +24,8 @@ run scaling    $B thread_scaling                 > $R/thread_scaling.txt
 # BENCH_forward.json is the one that survives.
 run telemetry  cargo run --release -q -p geo-bench --features telemetry \
                --bin bench_forward -- --telemetry > $R/bench_forward_telemetry.txt
-run perf       $B bench_forward                  > $R/bench_forward.txt
+# --artifact also saves each compiled program to $R/<model>.geoa,
+# reloads it through the validating from_artifact boundary, and asserts
+# the reloaded executor's outputs bit-identical (DESIGN.md §13).
+run perf       $B bench_forward -- --artifact $R > $R/bench_forward.txt
 echo ALL_EXPERIMENTS_DONE
