@@ -122,6 +122,7 @@ fn main() -> ExitCode {
             Scale::Full => "full".to_string(),
         },
         cells,
+        runs: Vec::new(),
     };
     if let Err(e) = std::fs::create_dir_all("results") {
         eprintln!("thread_scaling: cannot create results/: {e}");

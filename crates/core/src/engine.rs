@@ -117,6 +117,59 @@ impl LaneTable {
             LaneTable::Progressive(t) => t.words(level as u8),
         }
     }
+
+    /// Identity key for flat-table deduplication: lanes sharing one cached
+    /// table (the sharing levels of §II-C) share one flat slab.
+    fn ptr_key(&self) -> usize {
+        match self {
+            LaneTable::Normal(t) => Arc::as_ptr(t) as usize,
+            LaneTable::Progressive(t) => Arc::as_ptr(t) as usize,
+        }
+    }
+
+    /// Number of quantized levels the table carries (max level + 1).
+    fn level_count(&self) -> usize {
+        match self {
+            LaneTable::Normal(t) => (1usize << t.width()) + 1,
+            LaneTable::Progressive(_) => 256,
+        }
+    }
+}
+
+/// Copies every activation table's streams into one flat, level-indexed
+/// slab: lane `i`'s stream for level `lv` occupies
+/// `act_flat[act_off[i] + lv·words ..][..words]`. The hoisted row gather
+/// then reads packed words with one indexed load — no `LaneTable` enum
+/// match, no `Arc` dereference, no per-level slice lookup — which is
+/// what licenses the branchless level-0 masking in
+/// [`ResolvedConv::gather_row`] and [`ResolvedLinear::gather_batch`].
+/// Tables shared between lanes are deduplicated by pointer identity, so
+/// the slab size tracks the layer's *distinct* tables.
+fn flatten_act_tables(
+    tables: &[LaneTable],
+    words: usize,
+) -> Result<(Vec<u64>, Vec<u32>), GeoError> {
+    let mut flat: Vec<u64> = Vec::new();
+    let mut offs: Vec<u32> = Vec::with_capacity(tables.len());
+    let mut seen: Vec<(usize, u32)> = Vec::new();
+    for t in tables {
+        let key = t.ptr_key();
+        if let Some(&(_, off)) = seen.iter().find(|&&(p, _)| p == key) {
+            offs.push(off);
+            continue;
+        }
+        let off = u32::try_from(flat.len()).map_err(|_| {
+            GeoError::Internal("flat activation table exceeds u32 indexing".to_string())
+        })?;
+        let levels = t.level_count();
+        flat.reserve(levels * words);
+        for level in 0..levels {
+            flat.extend_from_slice(t.words(level as u32));
+        }
+        seen.push((key, off));
+        offs.push(off);
+    }
+    Ok((flat, offs))
 }
 
 /// Validates once, at resolve time, that every quantized activation level
@@ -174,14 +227,26 @@ struct WeightRef {
 }
 
 impl WeightRef {
+    /// Resolves one weight lane. `copy_words` controls whether the stream
+    /// words are copied into the per-lane `Vec`s: the reference kernels
+    /// read them, so [`ScEngine::forward_reference`] resolves with the
+    /// copies (keeping the "before" timing honest), while the compacted
+    /// path skips the two heap copies per lane and reads its words
+    /// straight out of the lane table when [`CompactKernel::build`] packs
+    /// the position-major buffer. Levels are range-validated either way.
     fn resolve(
         table: &LaneTable,
         (pos, neg): (u32, u32),
         group: usize,
+        copy_words: bool,
     ) -> Result<WeightRef, GeoError> {
         let words_of = |level: u32| -> Result<Vec<u64>, GeoError> {
-            Ok(if level > 0 {
-                table.stream(level)?.as_words().to_vec()
+            if level == 0 {
+                return Ok(Vec::new());
+            }
+            let stream = table.stream(level)?;
+            Ok(if copy_words {
+                stream.as_words().to_vec()
             } else {
                 Vec::new()
             })
@@ -201,124 +266,190 @@ impl WeightRef {
     }
 }
 
-/// One nonzero weight lane in a [`CompactKernel`] row: the kernel
-/// coordinates it reads, the accumulator group it feeds, and where its
-/// stream words live in the shared contiguous buffer.
-#[derive(Debug, Clone, Copy)]
-struct CompactLane {
-    /// Activation-table index (conv: `(ci·k + ky)·k + kx`; linear: the
-    /// feature index).
-    lane: u32,
-    /// Input channel (conv only; zero for linear).
-    ci: u32,
-    /// Kernel row offset (conv only; zero for linear).
-    ky: u32,
-    /// Kernel column offset (conv only; zero for linear).
-    kx: u32,
-    /// Accumulator group this lane feeds.
-    group: u32,
-    /// Offset of this lane's weight words in [`CompactKernel::words_buf`]:
-    /// the positive half at `word_off`, the negative at `word_off + words`.
-    word_off: usize,
-    /// Whether the positive split half is nonzero.
-    has_pos: bool,
-    /// Whether the negative split half is nonzero.
-    has_neg: bool,
-}
-
-/// Sparsity-compacted weight lanes for a whole layer: per output
-/// channel/neuron, a contiguous run of its *nonzero* lanes plus one flat
-/// buffer holding every lane's stream words back to back. The per-pixel
-/// hot loop walks these dense arrays instead of re-testing
-/// `WeightRef::is_zero` on every lane of every output position, and the
-/// adjacent word layout keeps the accumulation loop cache-resident.
+/// Sparsity-compacted weight lanes for a whole layer, in
+/// structure-of-arrays form with **position-major** stream words
+/// (DESIGN.md §14): per output channel/neuron, a contiguous run of its
+/// *nonzero* lanes, and per row a weight-word segment laid out so that for
+/// each stream-word position `j` the words of all `n` row lanes are
+/// adjacent (`row_pos(r)[j·n + i]`). The per-pixel hot loop streams
+/// through these dense arrays 4 lanes per iteration instead of re-testing
+/// `WeightRef::is_zero` per lane per pixel and hopping between per-lane
+/// word pairs.
 ///
 /// Lane order within a row matches the resolve order (`ci`, `ky`, `kx`
 /// ascending), so the sequence of accumulate calls — and therefore APC
-/// compressor pairing — is exactly the pre-compaction sequence.
+/// compressor pairing — is exactly the pre-compaction sequence. Absent
+/// split halves are stored as zero words: ANDing/ORing them is the
+/// identity for every popcount mode, and the APC gather gates on
+/// [`CompactKernel::flags`] so its push order never sees them.
 #[derive(Debug)]
 struct CompactKernel {
-    lanes: Vec<CompactLane>,
-    /// Row `r`'s lanes are `lanes[offsets[r]..offsets[r + 1]]`.
+    /// Activation index of each lane (conv: `(ci·k + ky)·k + kx`; linear:
+    /// the feature index).
+    lane: Vec<usize>,
+    /// Per-lane offset into the shared gathered-activation row buffer
+    /// ([`ActBuf`]): `lane · act_stride`, where `act_stride` is `ow` for
+    /// conv (one gathered word run per output column) and 1 for linear.
+    /// A pixel's activation word lives at `acts[(aoff + ox)·words + j]`,
+    /// its nonzero flag at `nz[aoff + ox]`.
+    aoff: Vec<u32>,
+    /// Accumulator group each lane feeds.
+    group: Vec<u32>,
+    /// Split-half liveness per lane: bit 0 = nonzero positive half,
+    /// bit 1 = nonzero negative half (gates APC push order only).
+    flags: Vec<u8>,
+    /// Row `r`'s lanes are SoA indices `offsets[r]..offsets[r + 1]`.
     offsets: Vec<usize>,
-    /// `2·words` u64 per compacted lane: positive words then negative
-    /// words, zero-filled for an absent split half (never read — the
-    /// `has_pos`/`has_neg` flags gate access, preserving APC push order).
+    /// Per-row position-major stream words: row `r` starts at
+    /// `offsets[r]·2·words` and holds `n·words` positive words
+    /// (`[j·n + i]`) followed by `n·words` negative words.
     words_buf: Vec<u64>,
     /// Words per stream (`len.div_ceil(64)`).
     words: usize,
+    /// Per-row positive-half lane list (APC kernels): the gather offsets
+    /// of the lanes whose positive split half is nonzero, in lane
+    /// (arrival) order; row `r` spans `pos_offsets[r]..pos_offsets[r+1]`.
+    /// Most lanes carry exactly one live half, so walking these lists
+    /// halves the APC product loop relative to walking every lane twice.
+    pos_aoff: Vec<u32>,
+    /// The listed lanes' stream words, lane-major (`words` per entry).
+    pos_w: Vec<u64>,
+    pos_offsets: Vec<usize>,
+    /// Negative-half counterparts of the `pos_*` lists.
+    neg_aoff: Vec<u32>,
+    neg_w: Vec<u64>,
+    neg_offsets: Vec<usize>,
 }
 
 impl CompactKernel {
     /// Compacts `wrefs` (laid out `rows × lanes_per_row`, resolve order)
-    /// into per-row nonzero lane lists. `meta(lane)` supplies the
-    /// `(ci, ky, kx)` coordinates of a lane index.
-    fn build<F>(
+    /// into per-row nonzero lane lists, reading each lane's stream words
+    /// from its table in `wtables` (parallel to `wrefs`). `act_stride`
+    /// is the gathered-activation stride per lane index (conv: `ow`,
+    /// linear: 1); callers guarantee `lanes_per_row · act_stride` fits
+    /// `u32`.
+    fn build(
         wrefs: &[WeightRef],
+        wtables: &[LaneTable],
         rows: usize,
         lanes_per_row: usize,
         words: usize,
-        meta: F,
-    ) -> CompactKernel
-    where
-        F: Fn(usize) -> (u32, u32, u32),
-    {
-        let mut lanes = Vec::new();
-        let mut offsets = Vec::with_capacity(rows + 1);
-        let mut words_buf = Vec::new();
-        offsets.push(0);
+        act_stride: usize,
+    ) -> CompactKernel {
+        let nonzero = wrefs.iter().filter(|w| !w.is_zero()).count();
+        let mut k = CompactKernel {
+            lane: Vec::with_capacity(nonzero),
+            aoff: Vec::with_capacity(nonzero),
+            group: Vec::with_capacity(nonzero),
+            flags: Vec::with_capacity(nonzero),
+            offsets: Vec::with_capacity(rows + 1),
+            words_buf: Vec::with_capacity(nonzero * 2 * words),
+            words,
+            pos_aoff: Vec::new(),
+            pos_w: Vec::new(),
+            pos_offsets: Vec::with_capacity(rows + 1),
+            neg_aoff: Vec::new(),
+            neg_w: Vec::new(),
+            neg_offsets: Vec::with_capacity(rows + 1),
+        };
+        k.offsets.push(0);
+        k.pos_offsets.push(0);
+        k.neg_offsets.push(0);
+        let empty: &[u64] = &[];
+        let mut row_streams: Vec<(&[u64], &[u64])> = Vec::with_capacity(lanes_per_row);
         for r in 0..rows {
+            row_streams.clear();
             for l in 0..lanes_per_row {
-                let wref = &wrefs[r * lanes_per_row + l];
+                let i = r * lanes_per_row + l;
+                let wref = &wrefs[i];
                 if wref.is_zero() {
                     continue;
                 }
-                let word_off = words_buf.len();
-                for half in [&wref.pos_words, &wref.neg_words] {
-                    if half.is_empty() {
-                        words_buf.resize(words_buf.len() + words, 0);
-                    } else {
-                        words_buf.extend_from_slice(half);
+                let aoff = (l * act_stride) as u32;
+                let table = &wtables[i];
+                let pw = if wref.pos > 0 {
+                    table.words(wref.pos)
+                } else {
+                    empty
+                };
+                let nw = if wref.neg > 0 {
+                    table.words(wref.neg)
+                } else {
+                    empty
+                };
+                if !pw.is_empty() {
+                    k.pos_aoff.push(aoff);
+                    k.pos_w.extend_from_slice(pw);
+                }
+                if !nw.is_empty() {
+                    k.neg_aoff.push(aoff);
+                    k.neg_w.extend_from_slice(nw);
+                }
+                row_streams.push((pw, nw));
+                k.lane.push(l);
+                k.aoff.push(aoff);
+                k.group.push(wref.group as u32);
+                k.flags
+                    .push(u8::from(wref.pos > 0) | (u8::from(wref.neg > 0) << 1));
+            }
+            for half in 0..2 {
+                for j in 0..words {
+                    for &(pw, nw) in &row_streams {
+                        let src = if half == 0 { pw } else { nw };
+                        k.words_buf.push(if src.is_empty() { 0 } else { src[j] });
                     }
                 }
-                let (ci, ky, kx) = meta(l);
-                lanes.push(CompactLane {
-                    lane: l as u32,
-                    ci,
-                    ky,
-                    kx,
-                    group: wref.group as u32,
-                    word_off,
-                    has_pos: wref.pos > 0,
-                    has_neg: wref.neg > 0,
-                });
             }
-            offsets.push(lanes.len());
+            k.offsets.push(k.lane.len());
+            k.pos_offsets.push(k.pos_aoff.len());
+            k.neg_offsets.push(k.neg_aoff.len());
         }
-        CompactKernel {
-            lanes,
-            offsets,
-            words_buf,
-            words,
-        }
+        k
     }
 
-    /// The compacted lanes of output row/channel `r`.
+    /// The SoA index range of output row/channel `r`.
     #[inline]
-    fn row(&self, r: usize) -> &[CompactLane] {
-        &self.lanes[self.offsets[r]..self.offsets[r + 1]]
+    fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.offsets[r]..self.offsets[r + 1]
     }
 
-    /// Positive-half stream words of a lane.
+    /// Position-major positive stream words of row `r`: word `j` of row
+    /// lane `i` at `[j·n + i]`.
     #[inline]
-    fn pos_words(&self, l: &CompactLane) -> &[u64] {
-        &self.words_buf[l.word_off..l.word_off + self.words]
+    fn row_pos(&self, r: usize) -> &[u64] {
+        let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+        let base = lo * 2 * self.words;
+        &self.words_buf[base..base + (hi - lo) * self.words]
     }
 
-    /// Negative-half stream words of a lane.
+    /// Position-major negative stream words of row `r`.
     #[inline]
-    fn neg_words(&self, l: &CompactLane) -> &[u64] {
-        &self.words_buf[l.word_off + self.words..l.word_off + 2 * self.words]
+    fn row_neg(&self, r: usize) -> &[u64] {
+        let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+        let n = hi - lo;
+        let base = lo * 2 * self.words + n * self.words;
+        &self.words_buf[base..base + n * self.words]
+    }
+
+    /// Row `r`'s positive-half lane list: gather offsets and their
+    /// lane-major stream words (`words` per entry), arrival order.
+    #[inline]
+    fn row_pos_list(&self, r: usize) -> (&[u32], &[u64]) {
+        let (lo, hi) = (self.pos_offsets[r], self.pos_offsets[r + 1]);
+        (
+            &self.pos_aoff[lo..hi],
+            &self.pos_w[lo * self.words..hi * self.words],
+        )
+    }
+
+    /// Row `r`'s negative-half lane list.
+    #[inline]
+    fn row_neg_list(&self, r: usize) -> (&[u32], &[u64]) {
+        let (lo, hi) = (self.neg_offsets[r], self.neg_offsets[r + 1]);
+        (
+            &self.neg_aoff[lo..hi],
+            &self.neg_w[lo * self.words..hi * self.words],
+        )
     }
 
     /// Largest nonzero-lane count of any row — the layer's effective max
@@ -356,13 +487,24 @@ struct ResolvedConv {
     /// (the equivalence oracle and the `bench_forward` baseline).
     wrefs: Vec<WeightRef>,
     act_levels: Vec<u32>,
+    /// Level-indexed flat copy of the activation tables
+    /// ([`flatten_act_tables`]); empty when resolving for the reference
+    /// kernels.
+    act_flat: Vec<u64>,
     /// Per-output-channel compacted nonzero lanes (the hot-path layout).
     compact: CompactKernel,
-    /// First output column whose every `kx` tap is inside the image.
-    x_lo: usize,
-    /// One past the last interior output column (`x_lo..x_hi` runs the
-    /// padding-check-free inner loop).
-    x_hi: usize,
+    /// Input channel per kernel position (`lane / k²`) — conv activation
+    /// tables are per position, shared by every output channel, so the
+    /// spatial gather walks these instead of per-compacted-lane copies.
+    pos_ci: Vec<u32>,
+    /// Kernel row offset per kernel position (`(lane % k²) / k`).
+    pos_ky: Vec<u32>,
+    /// Kernel column offset per kernel position (`lane % k`).
+    pos_kx: Vec<u32>,
+    /// Flat activation-table offset per kernel position
+    /// ([`flatten_act_tables`]); zeros when resolving for the reference
+    /// kernels, which never read it.
+    pos_ao: Vec<u32>,
 }
 
 /// Everything the pure compute phase needs for one fully-connected layer,
@@ -379,8 +521,15 @@ struct ResolvedLinear {
     /// Uncompacted lanes, kept for the pre-compaction reference kernels.
     wrefs: Vec<WeightRef>,
     act_levels: Vec<u32>,
+    /// Level-indexed flat copy of the activation tables
+    /// ([`flatten_act_tables`]); empty when resolving for the reference
+    /// kernels.
+    act_flat: Vec<u64>,
     /// Per-output-neuron compacted nonzero lanes (the hot-path layout).
     compact: CompactKernel,
+    /// Flat activation-table offset per input feature; zeros when
+    /// resolving for the reference kernels.
+    pos_ao: Vec<u32>,
 }
 
 // The compute phase hands these to scoped worker threads by shared
@@ -391,237 +540,118 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<LaneTable>();
     assert_send_sync::<WeightRef>();
-    assert_send_sync::<CompactLane>();
     assert_send_sync::<CompactKernel>();
     assert_send_sync::<ResolvedConv>();
     assert_send_sync::<ResolvedLinear>();
 };
 
-/// Streaming one-level approximate-parallel-counter state.
-///
-/// [`geo_sc::apc::apc_count`] with one compressor level pairs the product
-/// streams in arrival order — `(s0, s1), (s2, s3), …` — and counts
-/// `2·ones(a ∧ b) + ones(a ∨ b)` per pair plus the unpaired tail exactly.
-/// That fold is computable online: hold at most one pending product in a
-/// fixed `words`-sized buffer and collapse each arriving partner into the
-/// running count. Bit-identical to materializing every product (the
-/// pre-compaction path allocated a `Vec<u64>` *and* a [`Bitstream`] per
-/// MAC per pixel just to feed `apc_count`), with zero heap traffic in the
-/// hot loop.
-struct ApcAcc {
-    /// The unpaired product, valid when `filled` (sized once; asserted
-    /// non-reallocating in debug builds via [`Scratch::debug_check`]).
-    pending: Vec<u64>,
-    filled: bool,
-    count: i64,
+/// A borrowed, gather-ready view of one output row's compacted lanes.
+/// Every slice aliases the [`CompactKernel`] SoA arrays directly — there
+/// is no per-row repacking; lanes whose input row falls outside the image
+/// read zero words from the shared [`ActBuf`] instead (see
+/// [`ResolvedConv::gather_row`]).
+struct RowView<'a> {
+    n: usize,
+    /// Per-lane base offsets into the gathered activations: lane `i` of
+    /// pixel `ox` reads `acts[(aoff[i] + ox)·words ..]` and
+    /// `nz[aoff[i] + ox]`.
+    aoff: &'a [u32],
+    /// Per-lane accumulator groups.
+    group: &'a [u32],
+    /// Per-lane split-half flags (bit 0 pos, bit 1 neg) — APC gating.
+    flags: &'a [u8],
+    /// Position-major positive stream words (`wp[j·n + i]`).
+    wp: &'a [u64],
+    /// Position-major negative stream words.
+    wn: &'a [u64],
+    /// Positive-half lane list ([`CompactKernel::row_pos_list`]) — the
+    /// APC kernels walk this instead of testing every lane's flags.
+    pos_aoff: &'a [u32],
+    pos_w: &'a [u64],
+    /// Negative-half lane list.
+    neg_aoff: &'a [u32],
+    neg_w: &'a [u64],
 }
 
-impl ApcAcc {
-    fn new(words: usize) -> Self {
-        ApcAcc {
-            pending: vec![0u64; words],
-            filled: false,
-            count: 0,
+/// Per-worker gathered-activation buffers, shared across every output
+/// channel of a spatial row (conv) or every output neuron of a batch
+/// element (linear). Conv activation tables are per kernel position —
+/// identical for all `cout` channels — so hoisting the gather out of the
+/// channel loop amortizes it `cout`× (respectively `outf`× for linear).
+struct ActBuf {
+    /// Gathered activation words, `units · words`, lane-major within a
+    /// unit (`acts[u·words + j]`), zeroed for skipped (level-0 or
+    /// out-of-bounds) units.
+    acts: Vec<u64>,
+    /// Per-unit nonzero-activation flags (0/1) — APC gating and MAC
+    /// telemetry.
+    nz: Vec<u8>,
+    /// Per-output-column count of zero (level-0 or out-of-bounds) units
+    /// across every kernel position (conv: `ow` entries; linear: one).
+    /// `zeros[ox] == 0` proves every lane of every row is live at that
+    /// column, licensing the APC kernels' statically-paired fast path.
+    zeros: Vec<u32>,
+}
+
+impl ActBuf {
+    fn new(units: usize, words: usize, cols: usize) -> Self {
+        ActBuf {
+            acts: vec![0u64; units * words],
+            nz: vec![0u8; units],
+            zeros: vec![0u32; cols],
         }
     }
-
-    fn reset(&mut self) {
-        // `pending` is overwritten before it is next read; only the pair
-        // state and count need clearing.
-        self.filled = false;
-        self.count = 0;
-    }
-
-    /// Folds in the product `act ∧ weight` as the next APC input stream.
-    #[inline]
-    fn push(&mut self, act: &[u64], weight: &[u64]) {
-        if self.filled {
-            let mut c = 0i64;
-            for ((&p, &a), &w) in self.pending.iter().zip(act).zip(weight) {
-                let prod = a & w;
-                c += 2 * i64::from((p & prod).count_ones()) + i64::from((p | prod).count_ones());
-            }
-            self.count += c;
-            self.filled = false;
-        } else {
-            for ((p, &a), &w) in self.pending.iter_mut().zip(act).zip(weight) {
-                *p = a & w;
-            }
-            self.filled = true;
-        }
-    }
-
-    /// The count `apc_count(products, 1)` would have produced.
-    fn total(&self) -> i64 {
-        let tail: i64 = if self.filled {
-            self.pending.iter().map(|w| i64::from(w.count_ones())).sum()
-        } else {
-            0
-        };
-        self.count + tail
-    }
 }
 
-/// One compacted lane resolved against a fixed output row: `iy` is the
-/// same for every pixel of the row, so the y-bounds test and the input
-/// row base address are computed once per row, not once per pixel.
-#[derive(Debug, Clone, Copy)]
-struct RowLane {
-    /// `act_levels` index of this lane's input at `ix = 0`.
-    row_base: usize,
-    kx: usize,
-    lane: u32,
-    group: u32,
-    word_off: usize,
-    has_pos: bool,
-    has_neg: bool,
-}
-
-/// Per-output-position accumulator state for the compacted kernels. All
-/// buffers are sized once, at construction, from resolve-time layer
+/// Per-worker pixel buffers: the APC product gather and the grouped
+/// accumulators. All sized once at construction from resolve-time
 /// constants — the hot loop performs no heap allocation in any mode.
-struct AccumState {
-    mode: Accumulation,
-    words: usize,
+struct PixelBuf {
+    /// APC product gather, lane-major (`words` adjacent words per kept
+    /// product, arrival order preserved).
+    prod_pos: Vec<u64>,
+    prod_neg: Vec<u64>,
+    /// Grouped accumulators (`groups·words`), Pbw/Pbhw (and multiword Or).
     acc_pos: Vec<u64>,
     acc_neg: Vec<u64>,
-    fxp_pos: i64,
-    fxp_neg: i64,
-    apc_pos: ApcAcc,
-    apc_neg: ApcAcc,
     /// MACs folded since the last telemetry flush. Local (non-atomic) so
-    /// the hot loop pays one integer increment; flushed to the layer's
-    /// shared counter once per output row, and *not* cleared by the
-    /// per-pixel [`AccumState::reset`].
+    /// the hot loop pays one integer add per pixel; flushed to the
+    /// layer's shared counter once per output row.
     macs: u64,
 }
 
-impl AccumState {
-    fn new(mode: Accumulation, groups: usize, words: usize) -> Self {
-        AccumState {
-            mode,
-            words,
+impl PixelBuf {
+    fn new(groups: usize, words: usize, max_row_lanes: usize) -> Self {
+        PixelBuf {
+            prod_pos: vec![0u64; max_row_lanes * words],
+            prod_neg: vec![0u64; max_row_lanes * words],
             acc_pos: vec![0u64; groups * words],
             acc_neg: vec![0u64; groups * words],
-            fxp_pos: 0,
-            fxp_neg: 0,
-            apc_pos: ApcAcc::new(words),
-            apc_neg: ApcAcc::new(words),
             macs: 0,
         }
-    }
-
-    #[inline]
-    fn reset(&mut self) {
-        self.acc_pos.fill(0);
-        self.acc_neg.fill(0);
-        self.fxp_pos = 0;
-        self.fxp_neg = 0;
-        self.apc_pos.reset();
-        self.apc_neg.reset();
-    }
-
-    /// Folds one multiply-accumulate into the mode-specific state. The
-    /// single-word case (stream lengths up to 64 cycles — every paper
-    /// configuration's hidden layers) is special-cased so the compiler
-    /// drops the inner loops.
-    #[inline]
-    fn fold(
-        &mut self,
-        act: &[u64],
-        pos: &[u64],
-        neg: &[u64],
-        group: usize,
-        has_pos: bool,
-        has_neg: bool,
-    ) {
-        if telemetry::enabled() {
-            self.macs += 1;
-        }
-        match self.mode {
-            Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
-                if self.words == 1 {
-                    if has_pos {
-                        self.acc_pos[group] |= act[0] & pos[0];
-                    }
-                    if has_neg {
-                        self.acc_neg[group] |= act[0] & neg[0];
-                    }
-                    return;
-                }
-                let words = self.words;
-                if has_pos {
-                    let dst = &mut self.acc_pos[group * words..(group + 1) * words];
-                    for ((d, &a), &w) in dst.iter_mut().zip(act).zip(pos) {
-                        *d |= a & w;
-                    }
-                }
-                if has_neg {
-                    let dst = &mut self.acc_neg[group * words..(group + 1) * words];
-                    for ((d, &a), &w) in dst.iter_mut().zip(act).zip(neg) {
-                        *d |= a & w;
-                    }
-                }
-            }
-            Accumulation::Fxp => {
-                if has_pos {
-                    self.fxp_pos += act
-                        .iter()
-                        .zip(pos)
-                        .map(|(&a, &w)| i64::from((a & w).count_ones()))
-                        .sum::<i64>();
-                }
-                if has_neg {
-                    self.fxp_neg += act
-                        .iter()
-                        .zip(neg)
-                        .map(|(&a, &w)| i64::from((a & w).count_ones()))
-                        .sum::<i64>();
-                }
-            }
-            Accumulation::Apc => {
-                if has_pos {
-                    self.apc_pos.push(act, pos);
-                }
-                if has_neg {
-                    self.apc_neg.push(act, neg);
-                }
-            }
-        }
-    }
-
-    /// Converts the accumulated state into the output value.
-    #[inline]
-    fn finish(&self, len: usize) -> f32 {
-        let signed: i64 = match self.mode {
-            Accumulation::Or | Accumulation::Pbw | Accumulation::Pbhw => {
-                let pos: i64 = self.acc_pos.iter().map(|w| i64::from(w.count_ones())).sum();
-                let neg: i64 = self.acc_neg.iter().map(|w| i64::from(w.count_ones())).sum();
-                pos - neg
-            }
-            Accumulation::Fxp => self.fxp_pos - self.fxp_neg,
-            Accumulation::Apc => self.apc_pos.total() - self.apc_neg.total(),
-        };
-        signed as f32 / len as f32
     }
 }
 
 /// Per-worker scratch for the compacted kernels, allocated once per
-/// worker (`for_each_init`) and sized from resolve-time constants.
+/// worker (`for_each_init`). Split into activation and pixel halves so
+/// the pixel kernels can read the gathered activations while mutating
+/// their accumulators.
 struct Scratch {
-    /// Reusable per-row lane list, capacity fixed at the layer's max
-    /// fan-in so row resolution never reallocates.
-    row_lanes: Vec<RowLane>,
-    row_capacity: usize,
-    acc: AccumState,
+    act: ActBuf,
+    pix: PixelBuf,
 }
 
 impl Scratch {
-    fn new(mode: Accumulation, groups: usize, words: usize, max_row_lanes: usize) -> Self {
+    fn new(
+        groups: usize,
+        words: usize,
+        max_row_lanes: usize,
+        gather_units: usize,
+        gather_cols: usize,
+    ) -> Self {
         Scratch {
-            row_lanes: Vec::with_capacity(max_row_lanes),
-            row_capacity: max_row_lanes,
-            acc: AccumState::new(mode, groups, words),
+            act: ActBuf::new(gather_units, words, gather_cols),
+            pix: PixelBuf::new(groups, words, max_row_lanes),
         }
     }
 
@@ -629,13 +659,298 @@ impl Scratch {
     /// construction — the sizing contract of the compacted kernels.
     #[inline]
     fn debug_check(&self) {
-        debug_assert!(
-            self.row_lanes.capacity() >= self.row_capacity
-                && self.row_lanes.len() <= self.row_capacity,
-            "row-lane scratch outgrew its resolve-time max fan-in sizing"
+        debug_assert_eq!(
+            self.act.acts.len(),
+            self.act.nz.len() * self.words_per_unit()
         );
-        debug_assert_eq!(self.acc.apc_pos.pending.len(), self.acc.words);
-        debug_assert_eq!(self.acc.apc_neg.pending.len(), self.acc.words);
+        debug_assert_eq!(self.pix.prod_pos.len(), self.pix.prod_neg.len());
+    }
+
+    #[inline]
+    fn words_per_unit(&self) -> usize {
+        if self.act.nz.is_empty() {
+            1
+        } else {
+            self.act.acts.len() / self.act.nz.len()
+        }
+    }
+}
+
+/// Row-level monomorphized accumulation kernels (DESIGN.md §14): the row
+/// loop dispatches on the layer's accumulation mode once, and each mode's
+/// pixel body is a straight-line SWAR reduction over the gathered
+/// activation words — 4 lanes per inner-loop iteration, popcounts
+/// combined by pairwise adds — with no per-MAC mode or liveness branch.
+trait ModeKernel {
+    /// The signed accumulated count of one pixel: lane `i` reads its
+    /// activation words at `act.acts[(aoff[i] + ox)·words ..]`.
+    fn pixel(pix: &mut PixelBuf, view: &RowView, act: &ActBuf, ox: usize, words: usize) -> i64;
+}
+
+/// 4-wide OR/AND reduction of one single-word pixel across all lanes:
+/// the OR accumulation of a whole pixel collapses into four independent
+/// register accumulators folded by a pairwise tree. OR is associative and
+/// commutative, so any reduction shape is bit-identical to the reference
+/// kernels' sequential fold.
+#[inline]
+fn or_fold(aoff: &[u32], ox: usize, acts: &[u64], wp: &[u64], wn: &[u64]) -> (u64, u64) {
+    let (mut p0, mut p1, mut p2, mut p3) = (0u64, 0u64, 0u64, 0u64);
+    let (mut q0, mut q1, mut q2, mut q3) = (0u64, 0u64, 0u64, 0u64);
+    let mut o4 = aoff.chunks_exact(4);
+    let mut p4 = wp.chunks_exact(4);
+    let mut n4 = wn.chunks_exact(4);
+    for ((o, p), q) in (&mut o4).zip(&mut p4).zip(&mut n4) {
+        let a0 = acts[o[0] as usize + ox];
+        let a1 = acts[o[1] as usize + ox];
+        let a2 = acts[o[2] as usize + ox];
+        let a3 = acts[o[3] as usize + ox];
+        p0 |= a0 & p[0];
+        p1 |= a1 & p[1];
+        p2 |= a2 & p[2];
+        p3 |= a3 & p[3];
+        q0 |= a0 & q[0];
+        q1 |= a1 & q[1];
+        q2 |= a2 & q[2];
+        q3 |= a3 & q[3];
+    }
+    for ((&o, &p), &q) in o4
+        .remainder()
+        .iter()
+        .zip(p4.remainder())
+        .zip(n4.remainder())
+    {
+        let a = acts[o as usize + ox];
+        p0 |= a & p;
+        q0 |= a & q;
+    }
+    ((p0 | p1) | (p2 | p3), (q0 | q1) | (q2 | q3))
+}
+
+/// OR accumulation (`groups == 1`): register accumulators, no memory
+/// traffic at all in the single-word case.
+struct OrKernel;
+
+impl ModeKernel for OrKernel {
+    #[inline]
+    fn pixel(_pix: &mut PixelBuf, view: &RowView, act: &ActBuf, ox: usize, words: usize) -> i64 {
+        let n = view.n;
+        if words == 1 {
+            let (p, q) = or_fold(&view.aoff[..n], ox, &act.acts, &view.wp[..n], &view.wn[..n]);
+            return i64::from(p.count_ones()) - i64::from(q.count_ones());
+        }
+        let mut pos = 0i64;
+        let mut neg = 0i64;
+        for j in 0..words {
+            let (mut p, mut q) = (0u64, 0u64);
+            for i in 0..n {
+                let a = act.acts[(view.aoff[i] as usize + ox) * words + j];
+                p |= a & view.wp[j * n + i];
+                q |= a & view.wn[j * n + i];
+            }
+            pos += i64::from(p.count_ones());
+            neg += i64::from(q.count_ones());
+        }
+        pos - neg
+    }
+}
+
+/// Partial-binary accumulation (Pbw/Pbhw): per-lane group-indexed OR
+/// accumulators, 4 lanes per iteration.
+struct GroupedKernel;
+
+impl ModeKernel for GroupedKernel {
+    #[inline]
+    fn pixel(pix: &mut PixelBuf, view: &RowView, act: &ActBuf, ox: usize, words: usize) -> i64 {
+        let n = view.n;
+        let PixelBuf {
+            acc_pos, acc_neg, ..
+        } = pix;
+        acc_pos.fill(0);
+        acc_neg.fill(0);
+        if words == 1 {
+            let acts = &act.acts;
+            let wp = &view.wp[..n];
+            let wn = &view.wn[..n];
+            let gr = &view.group[..n];
+            let mut o4 = view.aoff[..n].chunks_exact(4);
+            let mut p4 = wp.chunks_exact(4);
+            let mut n4 = wn.chunks_exact(4);
+            let mut g4 = gr.chunks_exact(4);
+            for (((o, p), q), g) in (&mut o4).zip(&mut p4).zip(&mut n4).zip(&mut g4) {
+                let a0 = acts[o[0] as usize + ox];
+                let a1 = acts[o[1] as usize + ox];
+                let a2 = acts[o[2] as usize + ox];
+                let a3 = acts[o[3] as usize + ox];
+                acc_pos[g[0] as usize] |= a0 & p[0];
+                acc_neg[g[0] as usize] |= a0 & q[0];
+                acc_pos[g[1] as usize] |= a1 & p[1];
+                acc_neg[g[1] as usize] |= a1 & q[1];
+                acc_pos[g[2] as usize] |= a2 & p[2];
+                acc_neg[g[2] as usize] |= a2 & q[2];
+                acc_pos[g[3] as usize] |= a3 & p[3];
+                acc_neg[g[3] as usize] |= a3 & q[3];
+            }
+            for (((&o, &p), &q), &g) in o4
+                .remainder()
+                .iter()
+                .zip(p4.remainder())
+                .zip(n4.remainder())
+                .zip(g4.remainder())
+            {
+                let a = acts[o as usize + ox];
+                acc_pos[g as usize] |= a & p;
+                acc_neg[g as usize] |= a & q;
+            }
+        } else {
+            for j in 0..words {
+                let wpj = &view.wp[j * n..(j + 1) * n];
+                let wnj = &view.wn[j * n..(j + 1) * n];
+                for i in 0..n {
+                    let a = act.acts[(view.aoff[i] as usize + ox) * words + j];
+                    let g = view.group[i] as usize * words + j;
+                    acc_pos[g] |= a & wpj[i];
+                    acc_neg[g] |= a & wnj[i];
+                }
+            }
+        }
+        let pos: i64 = acc_pos.iter().map(|w| i64::from(w.count_ones())).sum();
+        let neg: i64 = acc_neg.iter().map(|w| i64::from(w.count_ones())).sum();
+        pos - neg
+    }
+}
+
+/// 4-wide signed popcount reduction of one stream-word position: four
+/// independent counters, combined by pairwise adds. Exact integer
+/// arithmetic, so any association is bit-identical to the reference
+/// fold's `pos − neg`.
+#[inline]
+fn fxp_fold(aoff: &[u32], ox: usize, acts: &[u64], wp: &[u64], wn: &[u64]) -> i64 {
+    let (mut c0, mut c1, mut c2, mut c3) = (0i64, 0i64, 0i64, 0i64);
+    let mut o4 = aoff.chunks_exact(4);
+    let mut p4 = wp.chunks_exact(4);
+    let mut n4 = wn.chunks_exact(4);
+    for ((o, p), q) in (&mut o4).zip(&mut p4).zip(&mut n4) {
+        let a0 = acts[o[0] as usize + ox];
+        let a1 = acts[o[1] as usize + ox];
+        let a2 = acts[o[2] as usize + ox];
+        let a3 = acts[o[3] as usize + ox];
+        c0 += i64::from((a0 & p[0]).count_ones()) - i64::from((a0 & q[0]).count_ones());
+        c1 += i64::from((a1 & p[1]).count_ones()) - i64::from((a1 & q[1]).count_ones());
+        c2 += i64::from((a2 & p[2]).count_ones()) - i64::from((a2 & q[2]).count_ones());
+        c3 += i64::from((a3 & p[3]).count_ones()) - i64::from((a3 & q[3]).count_ones());
+    }
+    for ((&o, &p), &q) in o4
+        .remainder()
+        .iter()
+        .zip(p4.remainder())
+        .zip(n4.remainder())
+    {
+        let a = acts[o as usize + ox];
+        c0 += i64::from((a & p).count_ones()) - i64::from((a & q).count_ones());
+    }
+    (c0 + c1) + (c2 + c3)
+}
+
+/// Exact fixed-point accumulation: SWAR popcount tree per stream-word
+/// position.
+struct FxpKernel;
+
+impl ModeKernel for FxpKernel {
+    #[inline]
+    fn pixel(_pix: &mut PixelBuf, view: &RowView, act: &ActBuf, ox: usize, words: usize) -> i64 {
+        let n = view.n;
+        if words == 1 {
+            return fxp_fold(&view.aoff[..n], ox, &act.acts, &view.wp[..n], &view.wn[..n]);
+        }
+        let mut total = 0i64;
+        for j in 0..words {
+            for i in 0..n {
+                let a = act.acts[(view.aoff[i] as usize + ox) * words + j];
+                total += i64::from((a & view.wp[j * n + i]).count_ones())
+                    - i64::from((a & view.wn[j * n + i]).count_ones());
+            }
+        }
+        total
+    }
+}
+
+/// The one-level APC count of a statically-paired product run: every
+/// listed lane is known live, so pair `t` is list entries `2t, 2t+1` and
+/// the reference reduction's `Σ_pairs (2·ones(a∧b) + ones(a∨b)) +
+/// ones(tail)` collapses — by the inclusion–exclusion identity
+/// `ones(a∨b) = ones(a) + ones(b) − ones(a∧b)` — to
+/// `Σ ones(product) + Σ_pairs ones(a∧b)`, computed here with no product
+/// staging and full ILP. Integer-exact, so bit-identical to
+/// [`geo_sc::apc::apc_reduce`] by construction.
+#[inline]
+fn apc_static(aoff: &[u32], w: &[u64], ox: usize, acts: &[u64]) -> i64 {
+    let mut sum = 0i64;
+    let mut o2 = aoff.chunks_exact(2);
+    let mut w2 = w.chunks_exact(2);
+    for (o, ww) in (&mut o2).zip(&mut w2) {
+        let a = acts[o[0] as usize + ox] & ww[0];
+        let b = acts[o[1] as usize + ox] & ww[1];
+        sum += i64::from(a.count_ones()) + i64::from(b.count_ones());
+        sum += i64::from((a & b).count_ones());
+    }
+    if let (Some(&o), Some(&ww)) = (o2.remainder().first(), w2.remainder().first()) {
+        sum += i64::from((acts[o as usize + ox] & ww).count_ones());
+    }
+    sum
+}
+
+/// One-level APC accumulation over the per-polarity static lane lists
+/// (most lanes carry one live half, so the two list walks touch ~half
+/// the words of a both-halves-per-lane loop). Columns with no zero
+/// activation anywhere (`ActBuf::zeros`) — the overwhelming majority on
+/// interior pixels — take [`apc_static`]; columns with level-0 or
+/// padding units compact each polarity's live products into scratch
+/// (write always, advance by the unit's nonzero flag — branchless, and
+/// the cursor never outruns the entry index) preserving the reference
+/// kernels' push order exactly, then reduce with the 4-wide input stage
+/// [`geo_sc::apc::apc_reduce`].
+struct ApcKernel;
+
+impl ModeKernel for ApcKernel {
+    #[inline]
+    fn pixel(pix: &mut PixelBuf, view: &RowView, act: &ActBuf, ox: usize, words: usize) -> i64 {
+        let n = view.n;
+        let PixelBuf {
+            prod_pos, prod_neg, ..
+        } = pix;
+        let mut np = 0usize;
+        let mut nn = 0usize;
+        if words == 1 {
+            if act.zeros[ox] == 0 {
+                return apc_static(view.pos_aoff, view.pos_w, ox, &act.acts)
+                    - apc_static(view.neg_aoff, view.neg_w, ox, &act.acts);
+            }
+            for (&o, &w) in view.pos_aoff.iter().zip(view.pos_w) {
+                let u = o as usize + ox;
+                prod_pos[np] = act.acts[u] & w;
+                np += usize::from(act.nz[u]);
+            }
+            for (&o, &w) in view.neg_aoff.iter().zip(view.neg_w) {
+                let u = o as usize + ox;
+                prod_neg[nn] = act.acts[u] & w;
+                nn += usize::from(act.nz[u]);
+            }
+            return geo_sc::apc::apc_reduce(&prod_pos[..np], 1)
+                - geo_sc::apc::apc_reduce(&prod_neg[..nn], 1);
+        }
+        for i in 0..n {
+            let u = view.aoff[i] as usize + ox;
+            let live = view.flags[i] * act.nz[u];
+            for j in 0..words {
+                let a = act.acts[u * words + j];
+                prod_pos[np * words + j] = a & view.wp[j * n + i];
+                prod_neg[nn * words + j] = a & view.wn[j * n + i];
+            }
+            np += usize::from(live & 1);
+            nn += usize::from((live >> 1) & 1);
+        }
+        geo_sc::apc::apc_reduce(&prod_pos[..np * words], words)
+            - geo_sc::apc::apc_reduce(&prod_neg[..nn * words], words)
     }
 }
 
@@ -653,146 +968,172 @@ fn record_error(slot: &Mutex<Option<GeoError>>, err: GeoError) {
 
 impl ResolvedConv {
     /// Phase 2: computes the whole output tensor, parallelizing over
-    /// output rows `(b, co, oy)`. Bit-identical at every thread count:
-    /// each row is written by exactly one worker from shared immutable
-    /// state. Infallible — every lookup the compacted kernels perform
-    /// was validated during resolve.
+    /// spatial rows `(b, oy)` so one activation gather is shared by every
+    /// output channel (DESIGN.md §14). Workers write a `[n, oh, cout, ow]`
+    /// staging buffer that a serial pass transposes to the `[n, cout, oh,
+    /// ow]` output layout. Bit-identical at every thread count: each
+    /// staging row is written by exactly one worker from shared immutable
+    /// state, and each pixel is a pure function of its indices.
+    /// Infallible — every lookup the compacted kernels perform was
+    /// validated during resolve.
     fn compute(&self, tel: &LayerCounters) -> Tensor {
-        let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
-        out.data_mut()
-            .par_chunks_mut(self.ow.max(1))
+        let row_elems = self.cout * self.ow;
+        let mut tmp = vec![0f32; self.n * self.oh * row_elems];
+        tmp.par_chunks_mut(row_elems.max(1))
             .enumerate()
             .for_each_init(
                 || {
                     Scratch::new(
-                        self.mode,
                         self.groups,
                         self.words,
                         self.compact.max_row_lanes(),
+                        self.volume * self.ow,
+                        self.ow,
                     )
                 },
-                |scratch, (row, chunk)| self.compute_row(row, chunk, scratch, tel),
+                |scratch, (row, chunk)| match self.mode {
+                    Accumulation::Or => self.compute_spatial::<OrKernel>(row, chunk, scratch, tel),
+                    Accumulation::Pbw | Accumulation::Pbhw => {
+                        self.compute_spatial::<GroupedKernel>(row, chunk, scratch, tel)
+                    }
+                    Accumulation::Fxp => {
+                        self.compute_spatial::<FxpKernel>(row, chunk, scratch, tel)
+                    }
+                    Accumulation::Apc => {
+                        self.compute_spatial::<ApcKernel>(row, chunk, scratch, tel)
+                    }
+                },
             );
+        let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
+        let data = out.data_mut();
+        for b in 0..self.n {
+            for oy in 0..self.oh {
+                let src = &tmp[(b * self.oh + oy) * row_elems..][..row_elems];
+                for co in 0..self.cout {
+                    let dst = ((b * self.cout + co) * self.oh + oy) * self.ow;
+                    data[dst..dst + self.ow].copy_from_slice(&src[co * self.ow..][..self.ow]);
+                }
+            }
+        }
         out
     }
 
-    /// Computes one output row: `b`, `co`, `oy` fixed, all `ox`.
-    ///
-    /// The row's compacted lanes are resolved once (`iy` bounds test +
-    /// input row base address), then the pixel loop runs in three spans:
-    /// left border, interior (`x_lo..x_hi`, no padding checks), right
-    /// border.
-    fn compute_row(
+    /// Gathers the activation words of every (kernel position, output
+    /// column) unit of spatial row `(b, oy)` into `act`, zeroing
+    /// out-of-bounds and level-0 units with a branchless mask and
+    /// recording per-unit nonzero flags. Zero activation words are
+    /// accumulation identities in every mode (OR, popcount, and the
+    /// flags·nz-gated APC push), so dropped lanes need no repacking —
+    /// and masking, rather than skipping the level-0 table read, matches
+    /// the reference kernels' skip semantics exactly even when fault
+    /// injection corrupts a table's level-0 stream.
+    fn gather_row(&self, b: usize, oy: usize, act: &mut ActBuf) {
+        let words = self.words;
+        let ActBuf { acts, nz, zeros } = act;
+        zeros.fill(0);
+        for l in 0..self.volume {
+            let dst_a = &mut acts[l * self.ow * words..][..self.ow * words];
+            let dst_n = &mut nz[l * self.ow..][..self.ow];
+            let iy = (oy * self.stride + self.pos_ky[l] as usize) as isize - self.pad as isize;
+            if iy < 0 || iy >= self.h as isize {
+                dst_a.fill(0);
+                dst_n.fill(0);
+                for z in zeros.iter_mut() {
+                    *z += 1;
+                }
+                continue;
+            }
+            let rbase = ((b * self.cin + self.pos_ci[l] as usize) * self.h + iy as usize) * self.w;
+            let ao = self.pos_ao[l] as usize;
+            let kx = self.pos_kx[l] as isize - self.pad as isize;
+            if words == 1 {
+                for (ox, ((a, z), zc)) in dst_a
+                    .iter_mut()
+                    .zip(dst_n.iter_mut())
+                    .zip(zeros.iter_mut())
+                    .enumerate()
+                {
+                    let ix = (ox * self.stride) as isize + kx;
+                    let lv = if ix >= 0 && ix < self.w as isize {
+                        self.act_levels[rbase + ix as usize] as usize
+                    } else {
+                        0
+                    };
+                    let keep = u64::from(lv != 0);
+                    *a = self.act_flat[ao + lv] & keep.wrapping_neg();
+                    *z = keep as u8;
+                    *zc += 1 - keep as u32;
+                }
+            } else {
+                for ox in 0..self.ow {
+                    let ix = (ox * self.stride) as isize + kx;
+                    let lv = if ix >= 0 && ix < self.w as isize {
+                        self.act_levels[rbase + ix as usize] as usize
+                    } else {
+                        0
+                    };
+                    let keep = u64::from(lv != 0);
+                    let mask = keep.wrapping_neg();
+                    let src = ao + lv * words;
+                    for j in 0..words {
+                        dst_a[ox * words + j] = self.act_flat[src + j] & mask;
+                    }
+                    dst_n[ox] = keep as u8;
+                    zeros[ox] += 1 - keep as u32;
+                }
+            }
+        }
+    }
+
+    /// Computes one spatial output row (`b`, `oy` fixed; all `co`, `ox`),
+    /// monomorphized over the accumulation-mode kernel: one shared
+    /// activation gather, then each output channel's pixels read the
+    /// kernel's static SoA arrays — no per-row repacking at all.
+    fn compute_spatial<M: ModeKernel>(
         &self,
         row: usize,
         chunk: &mut [f32],
         scratch: &mut Scratch,
         tel: &LayerCounters,
     ) {
-        let oy = row % self.oh;
-        let bc = row / self.oh;
-        let co = bc % self.cout;
-        let b = bc / self.cout;
-        scratch.row_lanes.clear();
-        for l in self.compact.row(co) {
-            let iy = (oy * self.stride + l.ky as usize) as isize - self.pad as isize;
-            if iy < 0 || iy >= self.h as isize {
-                continue;
+        let oy = row % self.oh.max(1);
+        let b = row / self.oh.max(1);
+        let ck = &self.compact;
+        let Scratch { act, pix } = scratch;
+        self.gather_row(b, oy, act);
+        for (co, out_row) in chunk.chunks_mut(self.ow.max(1)).enumerate() {
+            let range = ck.row_range(co);
+            let (pos_aoff, pos_w) = ck.row_pos_list(co);
+            let (neg_aoff, neg_w) = ck.row_neg_list(co);
+            let view = RowView {
+                n: range.len(),
+                aoff: &ck.aoff[range.clone()],
+                group: &ck.group[range.clone()],
+                flags: &ck.flags[range],
+                wp: ck.row_pos(co),
+                wn: ck.row_neg(co),
+                pos_aoff,
+                pos_w,
+                neg_aoff,
+                neg_w,
+            };
+            for (ox, out_v) in out_row.iter_mut().enumerate() {
+                *out_v = M::pixel(pix, &view, act, ox, self.words) as f32 / self.len as f32;
+                if telemetry::enabled() {
+                    pix.macs += view
+                        .aoff
+                        .iter()
+                        .map(|&o| u64::from(act.nz[o as usize + ox]))
+                        .sum::<u64>();
+                }
             }
-            scratch.row_lanes.push(RowLane {
-                row_base: ((b * self.cin + l.ci as usize) * self.h + iy as usize) * self.w,
-                kx: l.kx as usize,
-                lane: l.lane,
-                group: l.group,
-                word_off: l.word_off,
-                has_pos: l.has_pos,
-                has_neg: l.has_neg,
-            });
-        }
-        scratch.debug_check();
-        let Scratch { row_lanes, acc, .. } = scratch;
-        let (x_lo, x_hi) = (self.x_lo.min(chunk.len()), self.x_hi.min(chunk.len()));
-        for (ox, out_v) in chunk.iter_mut().enumerate().take(x_lo) {
-            *out_v = self.border_pixel(ox, row_lanes, acc);
-        }
-        for (ox, out_v) in chunk.iter_mut().enumerate().take(x_hi).skip(x_lo) {
-            *out_v = self.interior_pixel(ox, row_lanes, acc);
-        }
-        for (ox, out_v) in chunk.iter_mut().enumerate().skip(x_hi) {
-            *out_v = self.border_pixel(ox, row_lanes, acc);
         }
         if telemetry::enabled() {
-            tel.macs.add(acc.macs);
-            acc.macs = 0;
+            tel.macs.add(pix.macs);
+            pix.macs = 0;
         }
+        scratch.debug_check();
     }
-
-    /// One interior output pixel: every `kx` tap is in-bounds by the
-    /// definition of `x_lo..x_hi`, so the inner loop carries no padding
-    /// test at all.
-    #[inline]
-    fn interior_pixel(&self, ox: usize, row_lanes: &[RowLane], acc: &mut AccumState) -> f32 {
-        acc.reset();
-        let base_x = ox * self.stride - self.pad;
-        for l in row_lanes {
-            let alevel = self.act_levels[l.row_base + base_x + l.kx];
-            if alevel == 0 {
-                continue;
-            }
-            let act = self.act_tables[l.lane as usize].words(alevel);
-            acc.fold(
-                act,
-                &self.compact.words_buf[l.word_off..l.word_off + self.words],
-                &self.compact.words_buf[l.word_off + self.words..l.word_off + 2 * self.words],
-                l.group as usize,
-                l.has_pos,
-                l.has_neg,
-            );
-        }
-        acc.finish(self.len)
-    }
-
-    /// One border output pixel: `ix` is range-checked per lane.
-    fn border_pixel(&self, ox: usize, row_lanes: &[RowLane], acc: &mut AccumState) -> f32 {
-        acc.reset();
-        let x0 = (ox * self.stride) as isize - self.pad as isize;
-        for l in row_lanes {
-            let ix = x0 + l.kx as isize;
-            if ix < 0 || ix >= self.w as isize {
-                continue;
-            }
-            let alevel = self.act_levels[l.row_base + ix as usize];
-            if alevel == 0 {
-                continue;
-            }
-            let act = self.act_tables[l.lane as usize].words(alevel);
-            acc.fold(
-                act,
-                &self.compact.words_buf[l.word_off..l.word_off + self.words],
-                &self.compact.words_buf[l.word_off + self.words..l.word_off + 2 * self.words],
-                l.group as usize,
-                l.has_pos,
-                l.has_neg,
-            );
-        }
-        acc.finish(self.len)
-    }
-}
-
-/// The interior output-column span `x_lo..x_hi` for a convolution row:
-/// exactly the columns `ox` where every kernel tap `kx ∈ 0..k` reads
-/// inside the image (`0 ≤ ox·stride + kx − pad < w`). Empty (possibly
-/// with `x_lo = x_hi = 0`) when no column qualifies — e.g. `pad ≥ k`
-/// layers whose every pixel touches padding, or kernels wider than the
-/// padded image.
-fn interior_span(w: usize, k: usize, stride: usize, pad: usize, ow: usize) -> (usize, usize) {
-    let x_lo = pad.div_ceil(stride).min(ow);
-    let x_hi = if w + pad >= k {
-        ((w + pad - k) / stride + 1).min(ow)
-    } else {
-        0
-    };
-    (x_lo, x_hi.max(x_lo))
 }
 
 impl ResolvedLinear {
@@ -810,15 +1151,28 @@ impl ResolvedLinear {
             .par_chunks_mut(chunk_rows)
             .enumerate()
             .for_each_init(
-                || Scratch::new(self.mode, self.groups, self.words, 0),
+                || {
+                    Scratch::new(
+                        self.groups,
+                        self.words,
+                        self.compact.max_row_lanes(),
+                        self.features,
+                        1,
+                    )
+                },
                 |scratch, (ci, chunk)| {
                     let start = ci * chunk_rows;
-                    for (j, out_v) in chunk.iter_mut().enumerate() {
-                        *out_v = self.compute_neuron(start + j, &mut scratch.acc);
+                    match self.mode {
+                        Accumulation::Or => self.compute_chunk::<OrKernel>(start, chunk, scratch),
+                        Accumulation::Pbw | Accumulation::Pbhw => {
+                            self.compute_chunk::<GroupedKernel>(start, chunk, scratch)
+                        }
+                        Accumulation::Fxp => self.compute_chunk::<FxpKernel>(start, chunk, scratch),
+                        Accumulation::Apc => self.compute_chunk::<ApcKernel>(start, chunk, scratch),
                     }
                     if telemetry::enabled() {
-                        tel.macs.add(scratch.acc.macs);
-                        scratch.acc.macs = 0;
+                        tel.macs.add(scratch.pix.macs);
+                        scratch.pix.macs = 0;
                     }
                     scratch.debug_check();
                 },
@@ -826,28 +1180,68 @@ impl ResolvedLinear {
         out
     }
 
-    /// Computes one output neuron: `row = b * outf + o`.
-    fn compute_neuron(&self, row: usize, acc: &mut AccumState) -> f32 {
-        let o = row % self.outf;
-        let b = row / self.outf;
-        acc.reset();
+    /// Gathers batch element `b`'s activation words — one unit per input
+    /// feature — into `act`, zeroing level-0 units with a branchless
+    /// mask (identical semantics to [`ResolvedConv::gather_row`]).
+    fn gather_batch(&self, b: usize, act: &mut ActBuf) {
+        let words = self.words;
         let base = b * self.features;
-        for l in self.compact.row(o) {
-            let alevel = self.act_levels[base + l.lane as usize];
-            if alevel == 0 {
-                continue;
+        let mut zero_units = 0u32;
+        for f in 0..self.features {
+            let lv = self.act_levels[base + f] as usize;
+            let keep = u64::from(lv != 0);
+            let mask = keep.wrapping_neg();
+            let src = self.pos_ao[f] as usize + lv * words;
+            for j in 0..words {
+                act.acts[f * words + j] = self.act_flat[src + j] & mask;
             }
-            let act = self.act_tables[l.lane as usize].words(alevel);
-            acc.fold(
-                act,
-                self.compact.pos_words(l),
-                self.compact.neg_words(l),
-                l.group as usize,
-                l.has_pos,
-                l.has_neg,
-            );
+            act.nz[f] = keep as u8;
+            zero_units += 1 - keep as u32;
         }
-        acc.finish(self.len)
+        act.zeros[0] = zero_units;
+    }
+
+    /// Computes one worker's run of output neurons (`row = b·outf + o`),
+    /// monomorphized over the accumulation-mode kernel. A worker's run is
+    /// contiguous in `(b, o)` order, so the batch element's activation
+    /// gather is performed once per `b` and shared by its `outf` neurons;
+    /// a neuron's [`RowView`] borrows the kernel SoA arrays directly.
+    fn compute_chunk<M: ModeKernel>(&self, start: usize, chunk: &mut [f32], scratch: &mut Scratch) {
+        let ck = &self.compact;
+        let Scratch { act, pix } = scratch;
+        let mut cur_b = usize::MAX;
+        for (j, out_v) in chunk.iter_mut().enumerate() {
+            let row = start + j;
+            let o = row % self.outf;
+            let b = row / self.outf;
+            if b != cur_b {
+                self.gather_batch(b, act);
+                cur_b = b;
+            }
+            let range = ck.row_range(o);
+            let (pos_aoff, pos_w) = ck.row_pos_list(o);
+            let (neg_aoff, neg_w) = ck.row_neg_list(o);
+            let view = RowView {
+                n: range.len(),
+                aoff: &ck.aoff[range.clone()],
+                group: &ck.group[range.clone()],
+                flags: &ck.flags[range],
+                wp: ck.row_pos(o),
+                wn: ck.row_neg(o),
+                pos_aoff,
+                pos_w,
+                neg_aoff,
+                neg_w,
+            };
+            *out_v = M::pixel(pix, &view, act, 0, self.words) as f32 / self.len as f32;
+            if telemetry::enabled() {
+                pix.macs += view
+                    .aoff
+                    .iter()
+                    .map(|&of| u64::from(act.nz[of as usize]))
+                    .sum::<u64>();
+            }
+        }
     }
 }
 
@@ -1296,7 +1690,12 @@ impl ScEngine {
 
         // Weight references: per (kernel, position), with the accumulator
         // group each lane feeds precomputed from its kernel coordinates.
+        // The tables are retained (cheap `Arc` clones) so the compacted
+        // build can read stream words without the per-lane heap copies
+        // the reference resolve makes.
+        let copy_words = self.reference_kernels;
         let mut wrefs = Vec::with_capacity(cout * volume);
+        let mut wtables = Vec::with_capacity(cout * volume);
         for co in 0..cout {
             for ci in 0..cin {
                 for ky in 0..k {
@@ -1310,7 +1709,8 @@ impl ScEngine {
                             Accumulation::Pbhw => ky * k + kx,
                             Accumulation::Or | Accumulation::Fxp | Accumulation::Apc => 0,
                         };
-                        wrefs.push(WeightRef::resolve(&table, levels, group)?);
+                        wrefs.push(WeightRef::resolve(&table, levels, group, copy_words)?);
+                        wtables.push(table);
                     }
                 }
             }
@@ -1346,18 +1746,36 @@ impl ScEngine {
             Accumulation::Fxp | Accumulation::Apc => 1, // handled separately
         };
         let words = len.div_ceil(64);
-        let compact = CompactKernel::build(&wrefs, cout, volume, words, |lane| {
-            let ci = lane / (k * k);
+        // The flat activation slab only serves the compacted gather; the
+        // reference path keeps its per-MAC table lookups (and their cost).
+        let (act_flat, act_off) = if self.reference_kernels {
+            (Vec::new(), vec![0u32; act_tables.len()])
+        } else {
+            flatten_act_tables(&act_tables, words)?
+        };
+        // The per-lane gather offsets (`lane · ow`) are stored as u32.
+        if u32::try_from(volume.saturating_mul(ow.max(1))).is_err() {
+            return Err(GeoError::Internal(format!(
+                "conv gather index space {volume}·{ow} exceeds u32"
+            )));
+        }
+        let compact = CompactKernel::build(&wrefs, &wtables, cout, volume, words, ow);
+        drop(wtables);
+        let mut pos_ci = Vec::with_capacity(volume);
+        let mut pos_ky = Vec::with_capacity(volume);
+        let mut pos_kx = Vec::with_capacity(volume);
+        for lane in 0..volume {
             let rem = lane % (k * k);
-            ((ci as u32), ((rem / k) as u32), ((rem % k) as u32))
-        });
-        let (x_lo, x_hi) = interior_span(w, k, stride, pad, ow);
+            pos_ci.push((lane / (k * k)) as u32);
+            pos_ky.push((rem / k) as u32);
+            pos_kx.push((rem % k) as u32);
+        }
         if telemetry::enabled() {
             let tel = self.telemetry.layer(param_layer as usize);
             tel.add_phase_ns(Phase::Resolve, sw_compact.elapsed_ns());
-            tel.compacted_lanes.add(compact.lanes.len() as u64);
+            tel.compacted_lanes.add(compact.lane.len() as u64);
             tel.skipped_zero_lanes
-                .add((wrefs.len() - compact.lanes.len()) as u64);
+                .add((wrefs.len() - compact.lane.len()) as u64);
         }
         Ok(ResolvedConv {
             mode,
@@ -1378,9 +1796,12 @@ impl ScEngine {
             act_tables,
             wrefs,
             act_levels,
+            act_flat,
             compact,
-            x_lo,
-            x_hi,
+            pos_ci,
+            pos_ky,
+            pos_kx,
+            pos_ao: act_off,
         })
     }
 
@@ -1445,7 +1866,9 @@ impl ScEngine {
                 self.lane_table(width, len, spec)
             })
             .collect::<Result<_, _>>()?;
+        let copy_words = self.reference_kernels;
         let mut wrefs = Vec::with_capacity(outf * features);
+        let mut wtables = Vec::with_capacity(outf * features);
         for o in 0..outf {
             for i in 0..features {
                 let spec = plan.weight_spec(o, i / wdim, 0, i % wdim);
@@ -1455,7 +1878,8 @@ impl ScEngine {
                     Accumulation::Pbw | Accumulation::Pbhw => i % wdim,
                     Accumulation::Or | Accumulation::Fxp | Accumulation::Apc => 0,
                 };
-                wrefs.push(WeightRef::resolve(&table, levels, group)?);
+                wrefs.push(WeightRef::resolve(&table, levels, group, copy_words)?);
+                wtables.push(table);
             }
         }
         if telemetry::enabled() {
@@ -1485,13 +1909,25 @@ impl ScEngine {
             Accumulation::Fxp | Accumulation::Apc => 1,
         };
         let words = len.div_ceil(64);
-        let compact = CompactKernel::build(&wrefs, outf, features, words, |_| (0, 0, 0));
+        let (act_flat, act_off) = if self.reference_kernels {
+            (Vec::new(), vec![0u32; act_tables.len()])
+        } else {
+            flatten_act_tables(&act_tables, words)?
+        };
+        // The per-lane gather offsets (`lane · 1`) are stored as u32.
+        if u32::try_from(features).is_err() {
+            return Err(GeoError::Internal(format!(
+                "linear gather index space {features} exceeds u32"
+            )));
+        }
+        let compact = CompactKernel::build(&wrefs, &wtables, outf, features, words, 1);
+        drop(wtables);
         if telemetry::enabled() {
             let tel = self.telemetry.layer(param_layer as usize);
             tel.add_phase_ns(Phase::Resolve, sw_compact.elapsed_ns());
-            tel.compacted_lanes.add(compact.lanes.len() as u64);
+            tel.compacted_lanes.add(compact.lane.len() as u64);
             tel.skipped_zero_lanes
-                .add((wrefs.len() - compact.lanes.len()) as u64);
+                .add((wrefs.len() - compact.lane.len()) as u64);
         }
         Ok(ResolvedLinear {
             mode,
@@ -1504,7 +1940,9 @@ impl ScEngine {
             act_tables,
             wrefs,
             act_levels,
+            act_flat,
             compact,
+            pos_ao: act_off,
         })
     }
 }
@@ -2034,62 +2472,53 @@ mod tests {
     }
 
     #[test]
-    fn interior_span_matches_bruteforce() {
-        // `interior_span` must mark exactly the output columns whose every
-        // kernel tap reads inside the image, for any geometry — including
-        // pad >= k, stride > 1, and kernels wider than the padded image.
-        for w in 1..=8usize {
-            for k in 1..=4usize {
-                for stride in 1..=3usize {
-                    for pad in 0..=5usize {
-                        if w + 2 * pad < k {
-                            continue; // no valid output columns at all
-                        }
-                        let ow = (w + 2 * pad - k) / stride + 1;
-                        let (x_lo, x_hi) = interior_span(w, k, stride, pad, ow);
-                        assert!(x_lo <= x_hi && x_hi <= ow, "span order w={w} k={k}");
-                        for ox in 0..ow {
-                            let interior = (0..k).all(|kx| {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                ix >= 0 && ix < w as isize
-                            });
-                            assert_eq!(
-                                interior,
-                                (x_lo..x_hi).contains(&ox),
-                                "w={w} k={k} stride={stride} pad={pad} ox={ox}"
-                            );
-                        }
-                    }
-                }
-            }
+    fn gather_offsets_address_the_hoisted_row_buffer() {
+        // A compacted lane's `aoff` must point at its kernel position's
+        // run in the shared per-(b, oy) gather buffer — `lane · ow` for
+        // conv, `lane` for linear — and the position metadata must invert
+        // the lane index exactly.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let conv = geo_nn::Conv2d::new(2, 3, 3, 1, 1, false, &mut rng);
+        let x = Tensor::full(&[1, 2, 5, 5], 0.5);
+        let mut eng = engine(GeoConfig::geo(32, 32));
+        let rc = eng.resolve_conv(&conv, &x, 32, 0).unwrap();
+        let k = conv.kernel();
+        for (p, &lane) in rc.compact.lane.iter().enumerate() {
+            assert_eq!(rc.compact.aoff[p] as usize, lane * rc.ow);
+        }
+        for lane in 0..rc.volume {
+            assert_eq!(rc.pos_ci[lane] as usize, lane / (k * k));
+            assert_eq!(rc.pos_ky[lane] as usize, (lane % (k * k)) / k);
+            assert_eq!(rc.pos_kx[lane] as usize, lane % k);
+        }
+        let lin = geo_nn::Linear::new(12, 4, &mut rng);
+        let xl = Tensor::full(&[2, 12], 0.5);
+        let rl = eng.resolve_linear(&lin, &xl, 32, 0).unwrap();
+        assert_eq!(rl.pos_ao.len(), rl.features);
+        for (p, &lane) in rl.compact.lane.iter().enumerate() {
+            assert_eq!(rl.compact.aoff[p] as usize, lane);
         }
     }
 
     #[test]
-    fn streaming_apc_matches_apc_count() {
-        // The streaming one-level APC fold must reproduce
-        // `apc_count(products, 1)` exactly, for even and odd stream
-        // counts and multi-word streams.
-        for len in [64usize, 96, 256] {
-            let words = len.div_ceil(64);
-            for count in 0..9usize {
-                let streams: Vec<Bitstream> = (0..count)
-                    .map(|i| Bitstream::from_fn(len, move |c| (c * 7 + i * 13) % 5 < 2))
-                    .collect();
-                let expected = geo_sc::apc::apc_count(&streams, 1).unwrap() as i64;
-                let mut acc = ApcAcc::new(words);
-                let ones = Bitstream::ones(len);
-                for s in &streams {
-                    acc.push(ones.as_words(), s.as_words());
-                }
-                assert_eq!(acc.total(), expected, "len={len} count={count}");
-                // Reset reuses the buffer with no reallocation.
-                let ptr = acc.pending.as_ptr();
-                acc.reset();
-                assert_eq!(acc.total(), 0);
-                assert_eq!(acc.pending.as_ptr(), ptr);
-            }
-        }
+    fn apc_gather_preserves_push_order() {
+        // The branchless APC product gather must feed `apc_reduce` the
+        // products in resolve order with zero-activation and absent-half
+        // lanes excluded — the pairing contract `apc_reduce`'s own tests
+        // pin on the geo-sc side. Exercised here end to end through a
+        // model whose weights include exact zeros.
+        let mut model = models::lenet5(1, 8, 10, 3);
+        let x = Tensor::full(&[1, 1, 8, 8], 0.43);
+        let cfg = GeoConfig::geo(32, 32).with_accumulation(Accumulation::Apc);
+        let a = engine(cfg).forward(&mut model, &x, false).unwrap();
+        let b = engine(cfg)
+            .forward_reference(&mut model, &x, false)
+            .unwrap();
+        assert_eq!(
+            a.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]
@@ -2125,26 +2554,36 @@ mod tests {
         let conv = geo_nn::Conv2d::new(2, 3, 3, 1, 1, false, &mut rng);
         let x = Tensor::full(&[1, 2, 5, 5], 0.5);
         let mut eng = engine(GeoConfig::geo(32, 32));
+        // Reference resolve keeps per-lane word copies in the WeightRefs,
+        // giving this test an independent source of truth for the packed
+        // position-major layout.
+        eng.reference_kernels = true;
         let resolved = eng.resolve_conv(&conv, &x, 32, 0).unwrap();
+        let ck = &resolved.compact;
+        let words = resolved.words;
         let nonzero: usize = resolved.wrefs.iter().filter(|w| !w.is_zero()).count();
-        assert_eq!(resolved.compact.lanes.len(), nonzero);
-        assert_eq!(resolved.compact.offsets.len(), conv.cout() + 1);
+        assert_eq!(ck.lane.len(), nonzero);
+        assert_eq!(ck.offsets.len(), conv.cout() + 1);
         for co in 0..conv.cout() {
-            let lanes = resolved.compact.row(co);
+            let range = ck.row_range(co);
+            let n = range.len();
             // Lane indices strictly ascend within a row (resolve order).
-            for pair in lanes.windows(2) {
-                assert!(pair[0].lane < pair[1].lane);
+            for pair in ck.lane[range.clone()].windows(2) {
+                assert!(pair[0] < pair[1]);
             }
-            for l in lanes {
-                let wref = &resolved.wrefs[co * resolved.volume + l.lane as usize];
+            let (wp, wn) = (ck.row_pos(co), ck.row_neg(co));
+            for (i, p) in range.clone().enumerate() {
+                let wref = &resolved.wrefs[co * resolved.volume + ck.lane[p]];
                 assert!(!wref.is_zero());
-                assert_eq!(l.has_pos, wref.pos > 0);
-                assert_eq!(l.has_neg, wref.neg > 0);
-                if l.has_pos {
-                    assert_eq!(resolved.compact.pos_words(l), &wref.pos_words[..]);
-                }
-                if l.has_neg {
-                    assert_eq!(resolved.compact.neg_words(l), &wref.neg_words[..]);
+                assert_eq!(ck.flags[p] & 1 != 0, wref.pos > 0);
+                assert_eq!(ck.flags[p] & 2 != 0, wref.neg > 0);
+                // Words are position-major: word j of every lane in the
+                // row is contiguous, absent halves stored as zeros.
+                for j in 0..words {
+                    let want_pos = if wref.pos > 0 { wref.pos_words[j] } else { 0 };
+                    let want_neg = if wref.neg > 0 { wref.neg_words[j] } else { 0 };
+                    assert_eq!(wp[j * n + i], want_pos, "co={co} lane {i} word {j}");
+                    assert_eq!(wn[j * n + i], want_neg, "co={co} lane {i} word {j}");
                 }
             }
         }

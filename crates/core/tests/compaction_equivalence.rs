@@ -6,7 +6,9 @@
 //! accumulate operations per output position is provably unchanged, and
 //! these tests pin that across every accumulation mode, sharing level,
 //! generation mode, RNG kind, kernel geometry (including `pad >= k`),
-//! and 1–8 worker threads.
+//! and 1–8 worker threads — plus staircase-sparsity models whose rows
+//! compact to exactly 0..=9 lanes, exercising every remainder path of
+//! the SWAR multi-lane kernels (DESIGN.md §14).
 //!
 //! Both engines are built fresh *inside* the same thread-pool scope so
 //! TRNG tables (re-seeded per forward pass) see identical pass counters
@@ -52,6 +54,25 @@ fn conv_model(seed: u64, k: usize, stride: usize, pad: usize) -> (Sequential, Te
 /// the pattern is irregular but reproducible).
 fn sparsify(t: &Tensor) -> Tensor {
     t.map(|v| if v.to_bits() & 1 == 0 { 0.0 } else { v })
+}
+
+/// Rewrites weights so output row `r` keeps exactly `r % 10` nonzero
+/// taps, magnitudes clamped into `[0.25, 1.0]` so none quantize back to
+/// zero. With ten output rows this walks compacted group sizes 0..=9,
+/// covering every SWAR remainder path in one forward pass: the 4-wide
+/// popcount quads at remainders 0..=3, the APC pair stage at both
+/// parities, and the all-zero row whose compacted lane list is empty.
+fn staircase(t: &Tensor, row_len: usize) -> Tensor {
+    let mut out = t.clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        let (row, lane) = (i / row_len, i % row_len);
+        *v = if lane < row % 10 {
+            v.abs().clamp(0.25, 1.0).copysign(*v)
+        } else {
+            0.0
+        };
+    }
+    out
 }
 
 /// Runs the compacted path and the pre-compaction reference path on fresh
@@ -112,6 +133,44 @@ proptest! {
         prop_assert_eq!(
             reference, compacted,
             "k={} stride={} pad={} threads={} diverged", k, stride, pad, threads
+        );
+    }
+
+    /// Every SWAR remainder path × every accumulation mode: both the
+    /// conv and the linear layer get [`staircase`] weights, so their ten
+    /// output rows compact to exactly 0..=9 surviving lanes — the empty
+    /// row included — and the whole model must stay bit-identical to the
+    /// reference at one and two stream words per operand.
+    #[test]
+    fn swar_remainder_group_sizes_match_reference_bit_for_bit(
+        seed in 0u64..500,
+        mode_idx in 0usize..5,
+        progressive in any::<bool>(),
+        threads in 1usize..9,
+        two_words in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(3, 10, 2, 1, 1, false, &mut rng);
+        conv.weight.value = staircase(&conv.weight.value, 3 * 2 * 2);
+        let mut linear = Linear::new(10 * 5 * 5, 10, &mut rng);
+        linear.weight.value = staircase(&linear.weight.value, 10 * 5 * 5);
+        let model = Sequential::new(vec![
+            Layer::Conv2d(conv),
+            Layer::Relu(Relu::new()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(linear),
+        ]);
+        let mut x = Tensor::kaiming(&[2, 3, 4, 4], 4, &mut rng).map(|v| v.abs().min(1.0));
+        x.data_mut()[0] = 1.0;
+        let (pooled, full) = if two_words { (64, 128) } else { (32, 32) };
+        let cfg = GeoConfig::geo(pooled, full)
+            .with_accumulation(Accumulation::ALL[mode_idx])
+            .with_progressive(progressive);
+        let (reference, compacted) = forward_both(threads, cfg, &model, &x);
+        prop_assert_eq!(
+            reference, compacted,
+            "mode={:?} threads={} two_words={} diverged",
+            Accumulation::ALL[mode_idx], threads, two_words
         );
     }
 

@@ -100,6 +100,66 @@ pub fn exact_count(streams: &[Bitstream]) -> u64 {
     streams.iter().map(|s| u64::from(s.count_ones())).sum()
 }
 
+/// One-level APC reduction over packed product words — the SWAR form of
+/// [`apc_count`] with `levels = 1` that the engine's hot loops call.
+///
+/// `products` holds the product streams back to back, `words` packed
+/// `u64` words per stream (so `products.len()` is a multiple of `words`);
+/// stream `i` occupies `products[i·words..(i+1)·words]`. Streams are
+/// paired in arrival order — `(s0, s1), (s2, s3), …` — each pair
+/// contributing `2·ones(a ∧ b) + ones(a ∨ b)`, and an unpaired tail
+/// stream is counted exactly, which is precisely the fold
+/// `apc_count(streams, 1)` performs after its stable same-weight sort.
+///
+/// The single-word path consumes two pairs (four streams) per iteration
+/// into independent counters combined pairwise at the end, keeping the
+/// popcount units busy without a loop-carried dependency; the loop is
+/// branch-free, which `scripts/check_apc_asm.sh` spot-checks in the
+/// release disassembly. `#[inline(never)]` keeps the symbol addressable
+/// for that check; the call cost is amortized over a whole accumulator's
+/// worth of lanes.
+#[inline(never)]
+pub fn apc_reduce(products: &[u64], words: usize) -> i64 {
+    if words == 0 {
+        return 0;
+    }
+    debug_assert_eq!(products.len() % words, 0);
+    let n = products.len() / words;
+    if words == 1 {
+        let mut c0 = 0i64;
+        let mut c1 = 0i64;
+        let mut quads = products.chunks_exact(4);
+        for q in &mut quads {
+            let (a, b) = (q[0], q[1]);
+            let (c, d) = (q[2], q[3]);
+            c0 += 2 * i64::from((a & b).count_ones()) + i64::from((a | b).count_ones());
+            c1 += 2 * i64::from((c & d).count_ones()) + i64::from((c | d).count_ones());
+        }
+        let rest = quads.remainder();
+        if rest.len() >= 2 {
+            let (a, b) = (rest[0], rest[1]);
+            c0 += 2 * i64::from((a & b).count_ones()) + i64::from((a | b).count_ones());
+        }
+        if rest.len() % 2 == 1 {
+            c1 += i64::from(rest[rest.len() - 1].count_ones());
+        }
+        return c0 + c1;
+    }
+    let mut count = 0i64;
+    let mut pairs = products.chunks_exact(2 * words);
+    for p in &mut pairs {
+        let (a, b) = p.split_at(words);
+        for (&x, &y) in a.iter().zip(b) {
+            count += 2 * i64::from((x & y).count_ones()) + i64::from((x | y).count_ones());
+        }
+    }
+    if n % 2 == 1 {
+        let tail = pairs.remainder();
+        count += tail.iter().map(|w| i64::from(w.count_ones())).sum::<i64>();
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +220,49 @@ mod tests {
     fn mismatched_lengths_error() {
         let streams = vec![Bitstream::zeros(8), Bitstream::zeros(9)];
         assert!(apc_count(&streams, 1).is_err());
+    }
+
+    #[test]
+    fn apc_reduce_matches_apc_count_for_every_remainder_path() {
+        // 0..=9 streams exercise the empty input, both four-stream loop
+        // remainders, the final unpaired pair, and the odd tail, at one,
+        // two, and four words per stream.
+        for len in [64usize, 96, 256] {
+            let words = len.div_ceil(64);
+            for count in 0..=9usize {
+                let streams: Vec<Bitstream> = (0..count)
+                    .map(|i| Bitstream::from_fn(len, move |c| (c * 7 + i * 13) % 5 < 2))
+                    .collect();
+                let expected = apc_count(&streams, 1).unwrap() as i64;
+                let packed: Vec<u64> = streams
+                    .iter()
+                    .flat_map(|s| s.as_words().iter().copied())
+                    .collect();
+                assert_eq!(
+                    apc_reduce(&packed, words),
+                    expected,
+                    "len={len} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apc_reduce_pairs_in_arrival_order() {
+        // Swapping two streams across a pair boundary changes the count,
+        // pinning that the reduction pairs (s0,s1),(s2,s3) — the order
+        // contract the engine's lane gather relies on.
+        let a = 0xFFFF_0000_FFFF_0000u64;
+        let b = 0xFFFF_FFFF_0000_0000u64;
+        let c = 0x0000_0000_0000_0000u64;
+        let ordered = apc_reduce(&[a, b, c, c], 1);
+        let swapped = apc_reduce(&[a, c, b, c], 1);
+        assert_ne!(ordered, swapped);
+    }
+
+    #[test]
+    fn apc_reduce_zero_words_is_zero() {
+        assert_eq!(apc_reduce(&[], 0), 0);
+        assert_eq!(apc_reduce(&[], 1), 0);
     }
 }

@@ -3,6 +3,12 @@
 set -u
 cd /root/repo
 R=results
+# Stale outputs this script owns but no longer produces. queue.log was a
+# leftover completion-marker redirect from an earlier revision;
+# telemetry artifacts follow the documented telemetry_<scale>.json
+# naming, and only the full-scale one is regenerated here — smoke/quick
+# files are transient CI/dev probes that must not linger as if current.
+rm -f $R/queue.log $R/telemetry_smoke.json $R/telemetry_quick.json
 run() { echo "=== $1 ==="; shift; "$@" 2>&1; }
 B="cargo run --release -q -p geo-bench --bin"
 run fig5       $B fig5_mac_area                 > $R/fig5.txt
@@ -21,11 +27,15 @@ run scaling    $B thread_scaling                 > $R/thread_scaling.txt
 # Telemetry needs the feature flag (live counters), so it gets its own
 # cargo invocation; the artifact lands in results/telemetry_full.json.
 # Runs before the plain perf pass so the canonical feature-off
-# BENCH_forward.json is the one that survives.
+# BENCH_forward.json is the one that survives. Both passes carry stable
+# --run-id labels: same-label history entries are replaced in place, so
+# re-running this script updates the trajectory points instead of
+# growing BENCH_forward.json's history.
 run telemetry  cargo run --release -q -p geo-bench --features telemetry \
-               --bin bench_forward -- --telemetry > $R/bench_forward_telemetry.txt
+               --bin bench_forward -- --telemetry --run-id full-telemetry \
+               > $R/bench_forward_telemetry.txt
 # --artifact also saves each compiled program to $R/<model>.geoa,
 # reloads it through the validating from_artifact boundary, and asserts
 # the reloaded executor's outputs bit-identical (DESIGN.md §13).
-run perf       $B bench_forward -- --artifact $R > $R/bench_forward.txt
+run perf       $B bench_forward -- --artifact $R --run-id full > $R/bench_forward.txt
 echo ALL_EXPERIMENTS_DONE

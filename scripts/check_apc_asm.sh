@@ -1,0 +1,94 @@
+#!/bin/bash
+# Opt-in asm spot check: proves the Apc inner reduction compiles to
+# branchless hardware popcounts (DESIGN.md §14).
+#
+# `geo_sc::apc_reduce` is `#[inline(never)]` precisely so it survives as
+# a standalone symbol this script can disassemble; the engine's Apc
+# kernels (`apc_static` and the dynamic fallback) feed it and inline the
+# same `count_ones` trees. The check builds the geo-sc test binary with
+# `-C target-cpu=native` (the baseline x86-64 target expands
+# `count_ones` to the branchless SWAR bit-twiddle sequence instead of
+# the `popcnt` instruction, which would make the grep vacuous), carves
+# the `apc_reduce` body out of `objdump -d`, and asserts:
+#
+#   1. hardware popcounts are present (`popcnt` on x86_64, vector
+#      `cnt` on aarch64),
+#   2. nothing calls an outlined popcount helper (`__popcount*`), and
+#   3. the hot region — everything between the first and the last
+#      popcount — contains no `call` at all: the reduction loops are
+#      straight-line code, with only the cold slice-bounds panic stubs
+#      allowed past the final return.
+#
+# Loop back-edge branches are expected and allowed; what must not appear
+# is a per-element data-dependent branch, which on this code shape LLVM
+# only emits when the reduction fails to vectorize into popcount trees.
+# The conditional-branch count of the hot region is printed for the
+# record.
+#
+# Not wired into default CI (it needs objdump and a popcount-capable
+# -C target-cpu); run it locally: scripts/check_apc_asm.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Separate target dir: -C target-cpu=native must not poison the shared
+# incremental cache with non-portable codegen.
+export CARGO_TARGET_DIR=target/asm-check
+export RUSTFLAGS="-C target-cpu=native"
+
+echo "building geo-sc test binary (release, target-cpu=native)..."
+out=$(cargo test -p geo-sc --release --no-run 2>&1) || {
+    echo "$out"
+    exit 1
+}
+bin=$(echo "$out" | sed -n 's/.*(\(.*deps\/geo_sc-[0-9a-f]*\))/\1/p' | head -1)
+if [ -z "$bin" ] || [ ! -x "$bin" ]; then
+    echo "FAIL: could not locate the geo-sc test binary in cargo output" >&2
+    echo "$out" >&2
+    exit 1
+fi
+echo "disassembling $bin"
+
+body=$(objdump -d --demangle "$bin" | awk '/^[0-9a-f]+ <geo_sc::apc::apc_reduce>:/{f=1} f && $0==""{f=0} f{print}')
+if [ -z "$body" ]; then
+    echo "FAIL: no apc_reduce symbol in the binary — was #[inline(never)] removed?" >&2
+    exit 1
+fi
+
+case "$(uname -m)" in
+x86_64)
+    pop_re='popcnt'
+    ;;
+aarch64 | arm64)
+    pop_re='[[:space:]]cnt[[:space:]]'
+    ;;
+*)
+    echo "SKIP: no popcount-instruction pattern for $(uname -m)" >&2
+    exit 0
+    ;;
+esac
+
+pops=$(echo "$body" | grep -c -E "$pop_re" || true)
+if [ "$pops" -eq 0 ]; then
+    echo "FAIL: apc_reduce contains no hardware popcount instructions" >&2
+    exit 1
+fi
+if echo "$body" | grep -E '(call|bl)[[:space:]].*popcount'; then
+    echo "FAIL: apc_reduce calls an outlined popcount helper" >&2
+    exit 1
+fi
+
+# Hot region = first popcount line .. last popcount line; the cold
+# slice-bounds panic stubs sit after the final return and are excluded.
+first=$(echo "$body" | grep -n -E "$pop_re" | head -1 | cut -d: -f1)
+last=$(echo "$body" | grep -n -E "$pop_re" | tail -1 | cut -d: -f1)
+hot=$(echo "$body" | sed -n "${first},${last}p")
+calls=$(echo "$hot" | grep -c -E '[[:space:]](call|bl)[[:space:]]' || true)
+branches=$(echo "$hot" | grep -c -E '[[:space:]](j(a|ae|b|be|e|g|ge|l|le|ne|s|ns|o|no|p|np)|b\.[a-z]+|cbn?z|tbn?z)[[:space:]]' || true)
+
+echo "apc_reduce: $(echo "$body" | wc -l) lines total, hot region lines ${first}..${last}: $pops popcounts, $calls calls, $branches loop-control branches"
+if [ "$calls" -ne 0 ]; then
+    echo "FAIL: apc_reduce's hot region calls out of line — reduction is not self-contained:" >&2
+    echo "$hot" | grep -E '[[:space:]](call|bl)[[:space:]]' >&2
+    exit 1
+fi
+echo "PASS: apc_reduce is a branchless popcount reduction ($pops popcounts, loop control only in the hot region)"
