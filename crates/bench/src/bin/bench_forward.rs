@@ -26,18 +26,33 @@
 //! DESIGN.md §12). Passing `--telemetry` to a feature-less build is an
 //! error instead of a silently missing artifact.
 //!
+//! Passing `--serve` additionally measures the compile-once, serve-many
+//! path (DESIGN.md §15): each workload is prepared once into an
+//! immutable `PreparedModel` and single-image 8×8 thumbnail requests —
+//! the online-serving workload, fixed across scales; `--smoke`/`--quick`
+//! only shrink the measurement effort — are pushed
+//! through an `ScServer` at target batch sizes 1, 8, and 64. The
+//! per-inference wall clock, throughput (inf/sec), and p50/p99 request
+//! latencies are printed, and the trajectory artifact gains `Serve8` /
+//! `Serve64` throughput cells (`ms_before` = batch-1 per-inference cost,
+//! `ms_after` = batched) plus `ServeLat*` latency cells (`ms_before` =
+//! p50, `ms_after` = p99). The threshold gate requires the `Serve64`
+//! cells' batched per-inference cost to be *strictly* below batch-1 —
+//! batching that stops paying for itself fails the run.
+//!
 //! Run: `cargo run --release -p geo-bench --bin bench_forward [-- --smoke|--quick]`
 
 use geo_arch::{AccelConfig, NetworkDesc};
 use geo_bench::telemetry::Artifact;
 use geo_bench::trajectory::{Cell, Report, SCHEMA};
-use geo_core::{GeoConfig, ProgramExecutor, ScEngine};
+use geo_core::{GeoConfig, PreparedModel, ProgramExecutor, ScEngine, ScServer, ServeConfig};
 use geo_nn::{models, Sequential, Tensor};
 use geo_sc::Accumulation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Workload sizing: `(batch, image size, timed reps)`.
@@ -160,7 +175,10 @@ fn speedup_floor(accumulation: &str, scale: &str) -> f64 {
 
 /// Gates the freshly re-read head snapshot against the per-mode floors:
 /// every cell must report `identical: true` and clear
-/// [`speedup_floor`] for its accumulation mode. Collects *all*
+/// [`speedup_floor`] for its accumulation mode. Serve cells carry their
+/// own gate: `Serve64` throughput cells must show batched per-inference
+/// cost *strictly* below batch-1 (speedup > 1), `Serve8` and the
+/// `ServeLat*` latency records are informational. Collects *all*
 /// violations instead of stopping at the first, so one CI failure names
 /// every regressed cell.
 fn check_thresholds(report: &Report) -> Result<(), String> {
@@ -176,6 +194,19 @@ fn check_thresholds(report: &Report) -> Result<(), String> {
             violations.push(format!("{cell}: identical=false"));
             continue;
         }
+        if c.accumulation.starts_with("ServeLat") || c.accumulation == "Serve8" {
+            continue; // latency/low-batch records: no floor
+        }
+        if c.accumulation == "Serve64" {
+            if c.speedup <= 1.0 {
+                violations.push(format!(
+                    "{cell}: batch-64 per-inference cost {:.3}ms is not strictly below \
+                     batch-1 cost {:.3}ms",
+                    c.ms_after, c.ms_before
+                ));
+            }
+            continue;
+        }
         let floor = speedup_floor(&c.accumulation, &report.scale);
         if c.speedup < floor {
             violations.push(format!(
@@ -189,6 +220,195 @@ fn check_thresholds(report: &Report) -> Result<(), String> {
     } else {
         Err(violations.join("\n"))
     }
+}
+
+/// One measured serve operating point: a target batch size pushed
+/// through a live `ScServer` for several waves.
+struct ServePoint {
+    batch: usize,
+    per_inf_ms: f64,
+    inf_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    identical: bool,
+}
+
+/// Deterministic single-image request for queue slot `slot`.
+fn serve_input(size: usize, slot: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(0xCAFE + slot as u64);
+    Tensor::kaiming(&[1, 1, size, size], size, &mut rng).map(|v| v.abs().min(1.0))
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency list.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Measures one serve operating point: `waves` rounds of `batch`
+/// single-image submissions against a server capped at `max_batch =
+/// batch`, after one warm-up wave. Per-inference cost is the
+/// lower-median wave's wall-clock over `batch` (robust to one-off
+/// scheduler stalls without favoring any batch size); latency
+/// percentiles pool every response across all timed waves. Every
+/// response is checked bit-equal to an unbatched
+/// `PreparedModel::forward` of the same input.
+fn serve_point(
+    prepared: &Arc<PreparedModel>,
+    size: usize,
+    batch: usize,
+    waves: usize,
+) -> Result<ServePoint, String> {
+    let config = ServeConfig::default()
+        .with_max_batch(batch)
+        .with_queue_depth(batch);
+    let server = ScServer::spawn(Arc::clone(prepared), config)
+        .map_err(|e| format!("serve spawn (batch {batch}) failed: {e}"))?;
+    let inputs: Vec<Tensor> = (0..batch).map(|s| serve_input(size, s)).collect();
+    let direct: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| {
+            prepared
+                .forward(x)
+                .map(|t| t.data().to_vec())
+                .map_err(|e| format!("unbatched reference forward failed: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let run_wave = |latencies: Option<&mut Vec<f64>>| -> Result<bool, String> {
+        let pendings: Vec<_> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("serve submit (batch {batch}) failed: {e}"))?;
+        let mut identical = true;
+        let mut wave_latencies = Vec::with_capacity(batch);
+        for (slot, pending) in pendings.into_iter().enumerate() {
+            let response = pending
+                .wait()
+                .map_err(|e| format!("serve request (batch {batch}) failed: {e}"))?;
+            wave_latencies.push(response.latency.as_secs_f64() * 1e3);
+            identical &= assert_close_bits(response.output.data(), &direct[slot]);
+        }
+        if let Some(all) = latencies {
+            all.extend(wave_latencies);
+        }
+        Ok(identical)
+    };
+
+    let mut identical = run_wave(None)?; // warm-up: tables hot, threads up
+    let mut latencies = Vec::with_capacity(batch * waves);
+    // Per-inference cost comes from the lower-median wave: a one-off
+    // scheduler stall on this single-core host would dominate a mean,
+    // while a minimum would cherry-pick hardest for the smallest waves.
+    let mut wave_times = Vec::with_capacity(waves);
+    for _ in 0..waves {
+        let t0 = Instant::now();
+        identical &= run_wave(Some(&mut latencies))?;
+        wave_times.push(t0.elapsed().as_secs_f64());
+    }
+    server
+        .shutdown()
+        .map_err(|e| format!("serve shutdown (batch {batch}) failed: {e}"))?;
+
+    wave_times.sort_by(f64::total_cmp);
+    let median_wave_s = wave_times[(wave_times.len() - 1) / 2];
+    latencies.sort_by(f64::total_cmp);
+    Ok(ServePoint {
+        batch,
+        per_inf_ms: median_wave_s * 1e3 / batch as f64,
+        inf_per_sec: batch as f64 / median_wave_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        identical,
+    })
+}
+
+fn assert_close_bits(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The serve benchmark's fixed request geometry: single-image 8×8
+/// thumbnails, the online-serving workload. Scales shrink measurement
+/// effort (waves), never the request shape — per-request compute must
+/// stay comparable across smoke/quick/full trajectory points.
+const SERVE_SIZE: usize = 8;
+
+/// `--serve`: the compile-once, serve-many benchmark. Prepares each
+/// workload once, measures operating points at batch 1/8/64, prints the
+/// throughput table, and appends `Serve*` cells to the trajectory
+/// snapshot (see module docs for the encoding).
+fn serve_bench(
+    base: GeoConfig,
+    sizing: Sizing,
+    threads: usize,
+    cells: &mut Vec<Cell>,
+) -> Result<(), String> {
+    let waves = match sizing.scale {
+        "full" => 6,
+        "quick" => 3,
+        _ => 2,
+    };
+    let workloads: [(&str, Sequential); 2] = [
+        ("lenet5", models::lenet5(1, SERVE_SIZE, 10, 7)),
+        ("cnn4", models::cnn4(1, SERVE_SIZE, 10, 11)),
+    ];
+    println!(
+        "\nserve throughput (prepared once, single-image {SERVE_SIZE}x{SERVE_SIZE} requests, \
+         {waves} waves):"
+    );
+    println!(
+        "{:>8} {:>6} {:>12} {:>10} {:>10} {:>10}",
+        "model", "batch", "per-inf", "inf/sec", "p50", "p99"
+    );
+    for (name, model) in &workloads {
+        let mut model = model.clone();
+        model.set_training(false);
+        let mut engine =
+            ScEngine::new(base).map_err(|e| format!("{name}: engine construction failed: {e}"))?;
+        let prepared = Arc::new(
+            engine
+                .prepare(&model, &[1, 1, SERVE_SIZE, SERVE_SIZE])
+                .map_err(|e| format!("{name}: prepare failed: {e}"))?,
+        );
+        let points: Vec<ServePoint> = [1usize, 8, 64]
+            .iter()
+            .map(|&batch| serve_point(&prepared, SERVE_SIZE, batch, waves))
+            .collect::<Result<_, _>>()?;
+        for p in &points {
+            println!(
+                "{name:>8} {:>6} {:>10.3}ms {:>10.1} {:>8.3}ms {:>8.3}ms",
+                p.batch, p.per_inf_ms, p.inf_per_sec, p.p50_ms, p.p99_ms
+            );
+            cells.push(Cell {
+                model: (*name).to_string(),
+                accumulation: format!("ServeLat{}", p.batch),
+                progressive: base.progressive,
+                threads,
+                ms_before: p.p50_ms,
+                ms_after: p.p99_ms,
+                speedup: p.p50_ms / p.p99_ms,
+                identical: p.identical,
+            });
+        }
+        let single = &points[0];
+        for p in &points[1..] {
+            cells.push(Cell {
+                model: (*name).to_string(),
+                accumulation: format!("Serve{}", p.batch),
+                progressive: base.progressive,
+                threads,
+                ms_before: single.per_inf_ms,
+                ms_after: p.per_inf_ms,
+                speedup: single.per_inf_ms / p.per_inf_ms,
+                identical: single.identical && p.identical,
+            });
+        }
+    }
+    Ok(())
 }
 
 fn repo_root_artifact() -> PathBuf {
@@ -440,6 +660,15 @@ fn main() -> ExitCode {
             for progressive in [false, true] {
                 expected.push((*name, format!("{mode:?}"), progressive));
             }
+        }
+    }
+
+    // Compile-once, serve-many measurement: appended to the same head
+    // snapshot so the serve trajectory rides the run history.
+    if args.iter().any(|a| a == "--serve") {
+        if let Err(e) = serve_bench(base, sizing, threads, &mut cells) {
+            eprintln!("bench_forward: {e}");
+            return ExitCode::FAILURE;
         }
     }
 

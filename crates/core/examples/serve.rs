@@ -1,0 +1,81 @@
+//! Compile-once, serve-many: prepare a model into an immutable
+//! `PreparedModel`, share it across threads via `Arc`, and serve batched
+//! requests against it through an `ScServer`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p geo-core --example serve
+//! ```
+
+use geo_core::{GeoConfig, GeoError, ScEngine, ScServer, ServeConfig};
+use geo_nn::{models, Tensor};
+use std::sync::Arc;
+
+fn main() -> Result<(), GeoError> {
+    // Prepare phase: one serial pass hoists every input-independent
+    // resolve product (stream tables, weight streams, compact lane
+    // lists, scratch sizing) out of the per-request path.
+    let mut engine = ScEngine::new(GeoConfig::geo(32, 64))?;
+    let mut model = models::lenet5(1, 8, 10, 0);
+    model.set_training(false);
+    let prepared = Arc::new(engine.prepare(&model, &[1, 1, 8, 8])?);
+    println!(
+        "prepared '{:?}' input shape {:?} once; serving from {} threads",
+        prepared.config().accumulation,
+        prepared.input_shape(),
+        4
+    );
+
+    // Serve phase: one dispatcher thread drains the queue and fuses up
+    // to `max_batch` shape-compatible requests per forward pass. The
+    // same `Arc<PreparedModel>` can also be used directly from any
+    // thread — `PreparedModel::forward` takes `&self`.
+    let server = ScServer::spawn(
+        Arc::clone(&prepared),
+        ServeConfig::default()
+            .with_max_batch(8)
+            .with_queue_depth(32),
+    )?;
+
+    let server = Arc::new(server);
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let shade = 0.1 + 0.1 * (client * 3 + i) as f32 / 12.0;
+                    let x = Tensor::full(&[1, 1, 8, 8], shade);
+                    match server.infer(x) {
+                        Ok(response) => println!(
+                            "client {client} request {i}: {} logits, \
+                             fused into a batch of {}, {:.1} us",
+                            response.output.len(),
+                            response.batch,
+                            response.latency.as_secs_f64() * 1e6,
+                        ),
+                        Err(e) => eprintln!("client {client} request {i}: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Direct compute against the shared prepared model, bypassing the
+    // queue — bit-identical to the served responses for equal inputs.
+    let direct = prepared.forward(&Tensor::full(&[1, 1, 8, 8], 0.5))?;
+    println!("direct forward against the same PreparedModel: {direct:?}");
+
+    let report = prepared.telemetry_report();
+    println!(
+        "prepared-model telemetry: {} passes, {} MACs",
+        report.passes,
+        report.total().macs
+    );
+
+    match Arc::into_inner(server) {
+        Some(server) => server.shutdown()?,
+        None => unreachable!("all client clones dropped at scope exit"),
+    }
+    Ok(())
+}

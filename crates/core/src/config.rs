@@ -146,9 +146,79 @@ impl GeoConfig {
     }
 }
 
+/// Configuration of the batched serving loop ([`crate::serve`]).
+///
+/// The dispatcher drains up to `max_batch` queued requests per pass and
+/// runs them as one forward through the shared
+/// [`PreparedModel`](crate::PreparedModel); the submission queue holds at
+/// most `queue_depth` requests before
+/// [`GeoError::ServeOverflow`](crate::GeoError) pushes back on callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Maximum requests fused into one batched forward pass.
+    pub max_batch: usize,
+    /// Bound of the submission queue (requests waiting to be batched).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            queue_depth: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the serve configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidConfig`] if either bound is zero.
+    pub fn validate(&self) -> Result<(), GeoError> {
+        if self.max_batch == 0 {
+            return Err(GeoError::InvalidConfig(
+                "serve max_batch must be at least 1".into(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(GeoError::InvalidConfig(
+                "serve queue_depth must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different batch bound.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns a copy with a different queue bound.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_defaults_validate_and_zero_bounds_are_rejected() {
+        let s = ServeConfig::default();
+        assert_eq!(s.max_batch, 8);
+        assert_eq!(s.queue_depth, 64);
+        assert!(s.validate().is_ok());
+        assert!(ServeConfig::default().with_max_batch(0).validate().is_err());
+        assert!(ServeConfig::default()
+            .with_queue_depth(0)
+            .validate()
+            .is_err());
+    }
 
     #[test]
     fn geo_defaults_match_paper() {

@@ -13,27 +13,39 @@
 //! result — the paper's "simulated SC computes output values while the
 //! floating-point forward pass guides back propagation".
 //!
-//! # Resolve/compute pipeline
+//! # Prepare/compute pipeline (DESIGN.md §15)
 //!
-//! Each parametrized layer executes in two phases:
+//! Each parametrized layer executes in two phases with a hard
+//! immutability boundary between them:
 //!
-//! 1. **Resolve** (serial, `&mut self`): every lane table is built or
-//!    fetched through the [`TableCache`] and every operand is quantized
-//!    into a [`ResolvedConv`]/[`ResolvedLinear`]. Table construction is
-//!    the injection point for the fault model, so running it serially in
-//!    a fixed order keeps fault draws and counters deterministic and
-//!    call-order independent. Resolve also performs every computation
-//!    that is invariant across output positions: zero-weight lanes are
-//!    compacted away into per-output-channel [`CompactKernel`] lists,
-//!    operand levels are range-validated (making compute-phase table
-//!    lookups infallible), and the interior output-column span is
-//!    derived so the inner loop can drop its padding tests.
-//! 2. **Compute** (pure, `&self`): output positions `(b, co, oy, ox)` are
-//!    computed over disjoint output slices, in parallel across `rayon`
-//!    workers. Each position's accumulators are position-local and the
-//!    resolved tables are immutable, so the result is **bit-identical to
-//!    the serial engine at every thread count** — the correctness
-//!    contract `crates/core/tests/parallel_equivalence.rs` enforces.
+//! 1. **Prepare** (serial, `&mut self`): every lane table is built or
+//!    fetched through the [`TableCache`] and every *weight-side* operand
+//!    is quantized into a [`PreparedConv`]/[`PreparedLinear`]. Table
+//!    construction is the injection point for the fault model, so running
+//!    it serially in a fixed order keeps fault draws and counters
+//!    deterministic and call-order independent. Prepare also performs
+//!    every computation that is invariant across requests and output
+//!    positions: zero-weight lanes are compacted away into
+//!    per-output-channel [`CompactKernel`] lists, activation tables are
+//!    flattened into the gather slab, and per-worker [`Scratch`] sizing
+//!    is fixed. Nothing in a prepared layer depends on the activations.
+//! 2. **Compute** (pure, `&self`): the request's activations are
+//!    quantized and range-validated ([`ActBatch`]), then output positions
+//!    `(b, co, oy, ox)` are computed over disjoint output slices, in
+//!    parallel across `rayon` workers. Each position's accumulators are
+//!    position-local and the prepared state is immutable, so the result
+//!    is **bit-identical to the serial engine at every thread count** —
+//!    the correctness contract `crates/core/tests/parallel_equivalence.rs`
+//!    enforces.
+//!
+//! [`ScEngine::prepare`] hoists phase 1 for a whole network into an
+//! immutable, `Send + Sync`, `Arc`-shareable [`PreparedModel`] whose
+//! [`PreparedModel::forward`] borrows `&self` — the compile-once,
+//! serve-many entry point `geo_core::serve` batches requests against.
+//! [`ScEngine::forward`] itself is reimplemented as prepare-then-compute
+//! at inference (training keeps the interleaved loop so float layers can
+//! cache), which is what pins the prepared path bit-identical to every
+//! historical output.
 //!
 //! # Sparsity-compacted kernels (DESIGN.md §11)
 //!
@@ -79,7 +91,7 @@ enum LaneTable {
 impl LaneTable {
     /// Stream lookup for a quantized operand level.
     ///
-    /// [`ScEngine::act_level`] / [`ScEngine::weight_levels`] quantize every
+    /// [`act_level`] / [`ScEngine::weight_levels`] quantize every
     /// operand into the table's range, so an out-of-range level here means
     /// an engine bug — it surfaces as [`GeoError::Internal`] rather than a
     /// silent clamp (which would alias distinct operands) or a panic.
@@ -142,7 +154,7 @@ impl LaneTable {
 /// then reads packed words with one indexed load — no `LaneTable` enum
 /// match, no `Arc` dereference, no per-level slice lookup — which is
 /// what licenses the branchless level-0 masking in
-/// [`ResolvedConv::gather_row`] and [`ResolvedLinear::gather_batch`].
+/// [`PreparedConv::gather_row`] and [`PreparedLinear::gather_batch`].
 /// Tables shared between lanes are deduplicated by pointer identity, so
 /// the slab size tracks the layer's *distinct* tables.
 fn flatten_act_tables(
@@ -209,6 +221,19 @@ impl ResilienceReport {
         }
         self.layers[idx].accumulate(&delta);
         self.total.accumulate(&delta);
+    }
+
+    /// Folds another report into this one — how a prepared pass's locally
+    /// accumulated fault counts flow back into the engine's report.
+    fn absorb(&mut self, other: &ResilienceReport) {
+        self.passes += other.passes;
+        for (i, layer) in other.layers.iter().enumerate() {
+            if self.layers.len() <= i {
+                self.layers.resize(i + 1, FaultCounters::default());
+            }
+            self.layers[i].accumulate(layer);
+        }
+        self.total.accumulate(&other.total);
     }
 }
 
@@ -463,15 +488,20 @@ impl CompactKernel {
     }
 }
 
-/// Everything the pure compute phase needs for one convolution layer,
-/// produced serially by [`ScEngine::resolve_conv`]. Shared as `&self`
-/// across worker threads (see the compile-time assertions below).
-struct ResolvedConv {
+/// Everything input-independent that the pure compute phase needs for one
+/// convolution layer, produced serially by [`ScEngine::prepare_conv`] once
+/// per (model × config × fault-model). Shared as `&self` across worker
+/// threads and across requests (see the compile-time assertions below);
+/// per-request activations arrive separately as an [`ActBatch`].
+struct PreparedConv {
     mode: Accumulation,
     len: usize,
     words: usize,
     groups: usize,
-    n: usize,
+    /// Quantization width (`log2 len`) for per-request activation levels.
+    width: u8,
+    /// Progressive generation flag, fixed at prepare time.
+    progressive: bool,
     cin: usize,
     h: usize,
     w: usize,
@@ -486,7 +516,6 @@ struct ResolvedConv {
     /// Uncompacted lanes, kept for the pre-compaction reference kernels
     /// (the equivalence oracle and the `bench_forward` baseline).
     wrefs: Vec<WeightRef>,
-    act_levels: Vec<u32>,
     /// Level-indexed flat copy of the activation tables
     /// ([`flatten_act_tables`]); empty when resolving for the reference
     /// kernels.
@@ -505,22 +534,27 @@ struct ResolvedConv {
     /// ([`flatten_act_tables`]); zeros when resolving for the reference
     /// kernels, which never read it.
     pos_ao: Vec<u32>,
+    /// Per-worker scratch buffers, pooled across requests (serve path).
+    scratch: ScratchPool,
 }
 
-/// Everything the pure compute phase needs for one fully-connected layer,
-/// produced serially by [`ScEngine::resolve_linear`].
-struct ResolvedLinear {
+/// Everything input-independent that the pure compute phase needs for one
+/// fully-connected layer, produced serially by
+/// [`ScEngine::prepare_linear`].
+struct PreparedLinear {
     mode: Accumulation,
     len: usize,
     words: usize,
     groups: usize,
-    n: usize,
+    /// Quantization width (`log2 len`) for per-request activation levels.
+    width: u8,
+    /// Progressive generation flag, fixed at prepare time.
+    progressive: bool,
     features: usize,
     outf: usize,
     act_tables: Vec<LaneTable>,
     /// Uncompacted lanes, kept for the pre-compaction reference kernels.
     wrefs: Vec<WeightRef>,
-    act_levels: Vec<u32>,
     /// Level-indexed flat copy of the activation tables
     /// ([`flatten_act_tables`]); empty when resolving for the reference
     /// kernels.
@@ -530,19 +564,55 @@ struct ResolvedLinear {
     /// Flat activation-table offset per input feature; zeros when
     /// resolving for the reference kernels.
     pos_ao: Vec<u32>,
+    /// Per-worker scratch buffers, pooled across requests (serve path).
+    scratch: ScratchPool,
+}
+
+/// One request's quantized activations: the only input-dependent state a
+/// prepared layer's compute phase reads. Produced by
+/// [`PreparedConv::quantize_acts`] / [`PreparedLinear::quantize_acts`],
+/// which also range-validate the levels so compute-phase table lookups
+/// stay infallible.
+struct ActBatch {
+    /// Batch dimension of the request.
+    n: usize,
+    /// Quantized activation levels, input-tensor order.
+    levels: Vec<u32>,
+}
+
+/// Quantized activation level for table lookup.
+///
+/// Operands live in memory as 8-bit values; matching the LFSR width to
+/// the stream length *truncates* them to the top `width` bits (§II-B).
+/// A full-scale operand (`x = 1.0`) quantizes to level 256 — the
+/// documented all-ones encoding of [`quantize_unipolar`] — and
+/// `256 >> shift` is exactly `2^width`, the all-ones entry a normal
+/// [`StreamTable`] explicitly carries. The progressive path instead
+/// saturates at 255: its stream buffer holds 8-bit operands, a
+/// deliberate hardware limit and the one place the two generation
+/// modes encode operands differently.
+fn act_level(progressive: bool, x: f32, width: u8) -> u32 {
+    let q = quantize_unipolar(x.clamp(0.0, 1.0), 8);
+    if progressive {
+        q.min(255)
+    } else {
+        q >> (8 - width.min(8))
+    }
 }
 
 // The compute phase hands these to scoped worker threads by shared
-// reference; pin the auto-trait obligations at compile time so a future
-// non-Sync field (e.g. a Cell or Rc in a table) fails here, not at a
-// distant use site.
+// reference, and `PreparedModel` is additionally shared across requests
+// (`Arc`, the serve path); pin the auto-trait obligations at compile time
+// so a future non-Sync field (e.g. a Cell or Rc in a table) fails here,
+// not at a distant use site.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<LaneTable>();
     assert_send_sync::<WeightRef>();
     assert_send_sync::<CompactKernel>();
-    assert_send_sync::<ResolvedConv>();
-    assert_send_sync::<ResolvedLinear>();
+    assert_send_sync::<PreparedConv>();
+    assert_send_sync::<PreparedLinear>();
+    assert_send_sync::<PreparedModel>();
 };
 
 /// A borrowed, gather-ready view of one output row's compacted lanes.
@@ -672,6 +742,103 @@ impl Scratch {
             1
         } else {
             self.act.acts.len() / self.act.nz.len()
+        }
+    }
+}
+
+/// A pool of per-worker [`Scratch`] buffers owned by a prepared layer, so
+/// repeated requests through one `PreparedModel` reuse the same
+/// allocations instead of paying a fresh `Scratch::new` per worker per
+/// forward. Sizing is fixed at prepare time (it depends only on layer
+/// geometry), and returning workers debug-assert their buffers kept those
+/// sizes — the cross-request analogue of [`Scratch::debug_check`].
+struct ScratchPool {
+    groups: usize,
+    words: usize,
+    max_row_lanes: usize,
+    gather_units: usize,
+    gather_cols: usize,
+    pool: Mutex<Vec<Scratch>>,
+}
+
+impl ScratchPool {
+    fn new(
+        groups: usize,
+        words: usize,
+        max_row_lanes: usize,
+        gather_units: usize,
+        gather_cols: usize,
+    ) -> Self {
+        ScratchPool {
+            groups,
+            words,
+            max_row_lanes,
+            gather_units,
+            gather_cols,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled scratch, or allocates one to the layer's fixed
+    /// dimensions if every buffer is checked out. The guard returns it on
+    /// drop.
+    fn take(&self) -> PooledScratch<'_> {
+        let reused = self.lock().pop();
+        let scratch = reused.unwrap_or_else(|| {
+            Scratch::new(
+                self.groups,
+                self.words,
+                self.max_row_lanes,
+                self.gather_units,
+                self.gather_cols,
+            )
+        });
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Scratch>> {
+        // A panicking worker cannot leave a Scratch half-valid: buffers
+        // are plain overwrite-before-read arrays, so recover the poison.
+        self.pool.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// RAII guard over a pooled [`Scratch`]: derefs to the buffer and returns
+/// it to the pool on drop, debug-asserting it was not reallocated while
+/// checked out (the non-reallocation contract of the serve path).
+struct PooledScratch<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<Scratch>,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = Scratch;
+    fn deref(&self) -> &Scratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            debug_assert_eq!(s.act.acts.len(), self.pool.gather_units * self.pool.words);
+            debug_assert_eq!(s.act.nz.len(), self.pool.gather_units);
+            debug_assert_eq!(s.act.zeros.len(), self.pool.gather_cols);
+            debug_assert_eq!(s.pix.acc_pos.len(), self.pool.groups * self.pool.words);
+            debug_assert_eq!(
+                s.pix.prod_pos.len(),
+                self.pool.max_row_lanes * self.pool.words
+            );
+            self.pool.lock().push(s);
         }
     }
 }
@@ -966,7 +1133,35 @@ fn record_error(slot: &Mutex<Option<GeoError>>, err: GeoError) {
     }
 }
 
-impl ResolvedConv {
+impl PreparedConv {
+    /// Quantizes one request's activations into compute-ready levels,
+    /// validating the batch's shape against the prepared geometry and its
+    /// maximum level against the lane tables (keeping compute-phase
+    /// lookups infallible). Pure per-element work — safe to run
+    /// concurrently from any number of requests.
+    fn quantize_acts(&self, input: &Tensor) -> Result<ActBatch, GeoError> {
+        let s = input.shape();
+        if s.len() != 4 || s[1] != self.cin {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {}, H, W)", self.cin),
+                actual: s.to_vec(),
+            }));
+        }
+        if s[2] != self.h || s[3] != self.w {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {}, {}, {})", self.cin, self.h, self.w),
+                actual: s.to_vec(),
+            }));
+        }
+        let levels: Vec<u32> = input
+            .data()
+            .iter()
+            .map(|&x| act_level(self.progressive, x, self.width))
+            .collect();
+        validate_act_levels(&self.act_tables, &levels)?;
+        Ok(ActBatch { n: s[0], levels })
+    }
+
     /// Phase 2: computes the whole output tensor, parallelizing over
     /// spatial rows `(b, oy)` so one activation gather is shared by every
     /// output channel (DESIGN.md §14). Workers write a `[n, oh, cout, ow]`
@@ -975,38 +1170,32 @@ impl ResolvedConv {
     /// staging row is written by exactly one worker from shared immutable
     /// state, and each pixel is a pure function of its indices.
     /// Infallible — every lookup the compacted kernels perform was
-    /// validated during resolve.
-    fn compute(&self, tel: &LayerCounters) -> Tensor {
+    /// validated at prepare/quantize time.
+    fn compute(&self, batch: &ActBatch, tel: &LayerCounters) -> Tensor {
         let row_elems = self.cout * self.ow;
-        let mut tmp = vec![0f32; self.n * self.oh * row_elems];
+        let mut tmp = vec![0f32; batch.n * self.oh * row_elems];
         tmp.par_chunks_mut(row_elems.max(1))
             .enumerate()
             .for_each_init(
-                || {
-                    Scratch::new(
-                        self.groups,
-                        self.words,
-                        self.compact.max_row_lanes(),
-                        self.volume * self.ow,
-                        self.ow,
-                    )
-                },
+                || self.scratch.take(),
                 |scratch, (row, chunk)| match self.mode {
-                    Accumulation::Or => self.compute_spatial::<OrKernel>(row, chunk, scratch, tel),
+                    Accumulation::Or => {
+                        self.compute_spatial::<OrKernel>(row, chunk, batch, scratch, tel)
+                    }
                     Accumulation::Pbw | Accumulation::Pbhw => {
-                        self.compute_spatial::<GroupedKernel>(row, chunk, scratch, tel)
+                        self.compute_spatial::<GroupedKernel>(row, chunk, batch, scratch, tel)
                     }
                     Accumulation::Fxp => {
-                        self.compute_spatial::<FxpKernel>(row, chunk, scratch, tel)
+                        self.compute_spatial::<FxpKernel>(row, chunk, batch, scratch, tel)
                     }
                     Accumulation::Apc => {
-                        self.compute_spatial::<ApcKernel>(row, chunk, scratch, tel)
+                        self.compute_spatial::<ApcKernel>(row, chunk, batch, scratch, tel)
                     }
                 },
             );
-        let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
+        let mut out = Tensor::zeros(&[batch.n, self.cout, self.oh, self.ow]);
         let data = out.data_mut();
-        for b in 0..self.n {
+        for b in 0..batch.n {
             for oy in 0..self.oh {
                 let src = &tmp[(b * self.oh + oy) * row_elems..][..row_elems];
                 for co in 0..self.cout {
@@ -1027,7 +1216,7 @@ impl ResolvedConv {
     /// and masking, rather than skipping the level-0 table read, matches
     /// the reference kernels' skip semantics exactly even when fault
     /// injection corrupts a table's level-0 stream.
-    fn gather_row(&self, b: usize, oy: usize, act: &mut ActBuf) {
+    fn gather_row(&self, b: usize, oy: usize, levels: &[u32], act: &mut ActBuf) {
         let words = self.words;
         let ActBuf { acts, nz, zeros } = act;
         zeros.fill(0);
@@ -1055,7 +1244,7 @@ impl ResolvedConv {
                 {
                     let ix = (ox * self.stride) as isize + kx;
                     let lv = if ix >= 0 && ix < self.w as isize {
-                        self.act_levels[rbase + ix as usize] as usize
+                        levels[rbase + ix as usize] as usize
                     } else {
                         0
                     };
@@ -1068,7 +1257,7 @@ impl ResolvedConv {
                 for ox in 0..self.ow {
                     let ix = (ox * self.stride) as isize + kx;
                     let lv = if ix >= 0 && ix < self.w as isize {
-                        self.act_levels[rbase + ix as usize] as usize
+                        levels[rbase + ix as usize] as usize
                     } else {
                         0
                     };
@@ -1093,6 +1282,7 @@ impl ResolvedConv {
         &self,
         row: usize,
         chunk: &mut [f32],
+        batch: &ActBatch,
         scratch: &mut Scratch,
         tel: &LayerCounters,
     ) {
@@ -1100,7 +1290,7 @@ impl ResolvedConv {
         let b = row / self.oh.max(1);
         let ck = &self.compact;
         let Scratch { act, pix } = scratch;
-        self.gather_row(b, oy, act);
+        self.gather_row(b, oy, &batch.levels, act);
         for (co, out_row) in chunk.chunks_mut(self.ow.max(1)).enumerate() {
             let range = ck.row_range(co);
             let (pos_aoff, pos_w) = ck.row_pos_list(co);
@@ -1136,39 +1326,56 @@ impl ResolvedConv {
     }
 }
 
-impl ResolvedLinear {
+impl PreparedLinear {
+    /// Quantizes one request's activations (see
+    /// [`PreparedConv::quantize_acts`]).
+    fn quantize_acts(&self, input: &Tensor) -> Result<ActBatch, GeoError> {
+        let s = input.shape();
+        if s.len() != 2 || s[1] != self.features {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {})", self.features),
+                actual: s.to_vec(),
+            }));
+        }
+        let n = s[0];
+        let levels: Vec<u32> = (0..n)
+            .flat_map(|b| (0..self.features).map(move |i| (b, i)))
+            .map(|(b, i)| act_level(self.progressive, input.at2(b, i), self.width))
+            .collect();
+        validate_act_levels(&self.act_tables, &levels)?;
+        Ok(ActBatch { n, levels })
+    }
+
     /// Phase 2: computes the whole output tensor. Output neurons
     /// `(b, o)` are split into one contiguous run per worker (rather
     /// than scheduling each neuron as its own chunk), so per-chunk
     /// dispatch overhead is paid once per worker. Chunk geometry cannot
     /// affect the numerics — each neuron is a pure function of its row
     /// index — so this stays bit-identical at every thread count.
-    fn compute(&self, tel: &LayerCounters) -> Tensor {
-        let mut out = Tensor::zeros(&[self.n, self.outf]);
-        let total = self.n * self.outf;
+    fn compute(&self, batch: &ActBatch, tel: &LayerCounters) -> Tensor {
+        let mut out = Tensor::zeros(&[batch.n, self.outf]);
+        let total = batch.n * self.outf;
         let chunk_rows = total.div_ceil(rayon::current_num_threads().max(1)).max(1);
         out.data_mut()
             .par_chunks_mut(chunk_rows)
             .enumerate()
             .for_each_init(
-                || {
-                    Scratch::new(
-                        self.groups,
-                        self.words,
-                        self.compact.max_row_lanes(),
-                        self.features,
-                        1,
-                    )
-                },
+                || self.scratch.take(),
                 |scratch, (ci, chunk)| {
                     let start = ci * chunk_rows;
                     match self.mode {
-                        Accumulation::Or => self.compute_chunk::<OrKernel>(start, chunk, scratch),
-                        Accumulation::Pbw | Accumulation::Pbhw => {
-                            self.compute_chunk::<GroupedKernel>(start, chunk, scratch)
+                        Accumulation::Or => {
+                            self.compute_chunk::<OrKernel>(start, chunk, batch, scratch)
                         }
-                        Accumulation::Fxp => self.compute_chunk::<FxpKernel>(start, chunk, scratch),
-                        Accumulation::Apc => self.compute_chunk::<ApcKernel>(start, chunk, scratch),
+                        Accumulation::Pbw | Accumulation::Pbhw => {
+                            self.compute_chunk::<GroupedKernel>(start, chunk, batch, scratch)
+                        }
+                        Accumulation::Fxp => {
+                            self.compute_chunk::<FxpKernel>(start, chunk, batch, scratch)
+                        }
+                        Accumulation::Apc => {
+                            self.compute_chunk::<ApcKernel>(start, chunk, batch, scratch)
+                        }
                     }
                     if telemetry::enabled() {
                         tel.macs.add(scratch.pix.macs);
@@ -1182,13 +1389,13 @@ impl ResolvedLinear {
 
     /// Gathers batch element `b`'s activation words — one unit per input
     /// feature — into `act`, zeroing level-0 units with a branchless
-    /// mask (identical semantics to [`ResolvedConv::gather_row`]).
-    fn gather_batch(&self, b: usize, act: &mut ActBuf) {
+    /// mask (identical semantics to [`PreparedConv::gather_row`]).
+    fn gather_batch(&self, b: usize, levels: &[u32], act: &mut ActBuf) {
         let words = self.words;
         let base = b * self.features;
         let mut zero_units = 0u32;
         for f in 0..self.features {
-            let lv = self.act_levels[base + f] as usize;
+            let lv = levels[base + f] as usize;
             let keep = u64::from(lv != 0);
             let mask = keep.wrapping_neg();
             let src = self.pos_ao[f] as usize + lv * words;
@@ -1206,7 +1413,13 @@ impl ResolvedLinear {
     /// contiguous in `(b, o)` order, so the batch element's activation
     /// gather is performed once per `b` and shared by its `outf` neurons;
     /// a neuron's [`RowView`] borrows the kernel SoA arrays directly.
-    fn compute_chunk<M: ModeKernel>(&self, start: usize, chunk: &mut [f32], scratch: &mut Scratch) {
+    fn compute_chunk<M: ModeKernel>(
+        &self,
+        start: usize,
+        chunk: &mut [f32],
+        batch: &ActBatch,
+        scratch: &mut Scratch,
+    ) {
         let ck = &self.compact;
         let Scratch { act, pix } = scratch;
         let mut cur_b = usize::MAX;
@@ -1215,7 +1428,7 @@ impl ResolvedLinear {
             let o = row % self.outf;
             let b = row / self.outf;
             if b != cur_b {
-                self.gather_batch(b, act);
+                self.gather_batch(b, &batch.levels, act);
                 cur_b = b;
             }
             let range = ck.row_range(o);
@@ -1429,6 +1642,13 @@ impl ScEngine {
     /// lengths decoded from a compiled ISA program (cross-checked against
     /// the plan), so both paths share one datapath and stay bit-identical
     /// by construction.
+    ///
+    /// Inference runs as prepare-then-compute through a one-shot
+    /// [`PreparedModel`] — the same code the serve path reuses across
+    /// requests, which is what pins that path bit-identical to every
+    /// historical `forward` output. Training keeps the interleaved
+    /// per-layer loop because float layers must run `&mut` forwards to
+    /// cache inputs for backward.
     pub(crate) fn forward_with_lens<F>(
         &mut self,
         model: &mut Sequential,
@@ -1439,12 +1659,23 @@ impl ScEngine {
     where
         F: FnMut(u32, usize) -> Result<usize, GeoError>,
     {
+        if !training {
+            model.set_training(false);
+            let prepared = self.prepare_with_lens(model, input.shape(), &mut len_for)?;
+            let out = prepared.forward(input);
+            // Fold the pass's locally accumulated counters back into the
+            // engine's reports, exactly as the interleaved loop recorded
+            // them in place.
+            self.telemetry.absorb(&prepared.telemetry);
+            self.resilience.absorb(&prepared.resilience);
+            return out;
+        }
         self.cache.begin_pass();
         self.telemetry.passes.incr();
         if self.fault_model().is_some() {
             self.resilience.passes += 1;
         }
-        model.set_training(training);
+        model.set_training(true);
         let plan = self.stream_plan(model);
         let mut x = input.clone();
         let mut param_layer = 0u32;
@@ -1452,9 +1683,7 @@ impl ScEngine {
             match layer {
                 Layer::Conv2d(conv) => {
                     let len = len_for(param_layer, planned_len(&plan, i)?)?;
-                    if training {
-                        let _ = conv.forward(&x)?; // cache input for backward
-                    }
+                    let _ = conv.forward(&x)?; // cache input for backward
                     let before = self.cache.fault_counters();
                     x = self.sc_conv(conv, &x, len, param_layer)?;
                     self.record_layer_faults(param_layer, before);
@@ -1462,29 +1691,14 @@ impl ScEngine {
                 }
                 Layer::Linear(lin) => {
                     let len = len_for(param_layer, planned_len(&plan, i)?)?;
-                    if training {
-                        let _ = lin.forward(&x)?;
-                    }
+                    let _ = lin.forward(&x)?;
                     let before = self.cache.fault_counters();
                     x = self.sc_linear(lin, &x, len, param_layer)?;
                     self.record_layer_faults(param_layer, before);
                     param_layer += 1;
                 }
                 Layer::BatchNorm2d(bn) => {
-                    if training {
-                        x = bn.forward(&x)?;
-                    } else {
-                        // Near-memory work (quantized BN, pooling on
-                        // converted counts) is attributed to the
-                        // parametrized layer whose outputs it transforms.
-                        let sw = Stopwatch::start();
-                        x = quantized_batchnorm(bn, &x, self.config.bn_bits)?;
-                        if telemetry::enabled() {
-                            self.telemetry
-                                .layer(param_layer.saturating_sub(1) as usize)
-                                .add_phase_ns(Phase::NearMem, sw.elapsed_ns());
-                        }
-                    }
+                    x = bn.forward(&x)?;
                 }
                 Layer::Relu(r) => {
                     // ReLU, then saturate at 1.0: unipolar streams cannot
@@ -1504,6 +1718,174 @@ impl ScEngine {
             }
         }
         Ok(x)
+    }
+
+    /// Compiles `model` for inputs of `input_shape` (the batch dimension
+    /// is free — any `N` may be served) into an immutable, `Send + Sync`,
+    /// `Arc`-shareable [`PreparedModel`]: one serial pass over the network
+    /// builds every lane table, weight stream, compacted kernel, and
+    /// near-memory affine exactly as a direct [`ScEngine::forward`] would,
+    /// after which any number of requests can run
+    /// [`PreparedModel::forward`] concurrently against the shared state.
+    ///
+    /// Table and fault-draw order matches the interleaved loop (compute
+    /// never touches the cache or RNG), so prepared outputs are
+    /// bit-identical to direct forwards. One prepare consumes one cache
+    /// pass: TRNG tables and transient faults are drawn here and then
+    /// *frozen* for every request served from this `PreparedModel` (see
+    /// [`TableCache::begin_pass`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate errors and shape mismatches, exactly as
+    /// [`ScEngine::forward`] does.
+    pub fn prepare(
+        &mut self,
+        model: &Sequential,
+        input_shape: &[usize],
+    ) -> Result<PreparedModel, GeoError> {
+        self.prepare_with_lens(model, input_shape, &mut |_, len| Ok(len))
+    }
+
+    /// The prepare loop behind [`ScEngine::prepare`] and the inference arm
+    /// of [`ScEngine::forward_with_lens`]: traces shapes through the
+    /// network (replicating the forward loop's shape errors) and hoists
+    /// every input-independent step into a [`PreparedStep`] sequence.
+    pub(crate) fn prepare_with_lens<F>(
+        &mut self,
+        model: &Sequential,
+        input_shape: &[usize],
+        len_for: &mut F,
+    ) -> Result<PreparedModel, GeoError>
+    where
+        F: FnMut(u32, usize) -> Result<usize, GeoError>,
+    {
+        self.cache.begin_pass();
+        let plan = self.stream_plan(model);
+        let mut telemetry = EngineTelemetry::default();
+        let mut resilience = ResilienceReport::default();
+        if self.fault_model().is_some() {
+            resilience.passes = 1;
+        }
+        let mut steps = Vec::with_capacity(model.layers().len());
+        let mut shape: Vec<usize> = input_shape.to_vec();
+        let mut param_layer = 0u32;
+        for (i, layer) in model.layers().iter().enumerate() {
+            // Near-memory steps are attributed to the parametrized layer
+            // whose outputs they transform, as in the interleaved loop.
+            let tel_layer = param_layer.saturating_sub(1) as usize;
+            match layer {
+                Layer::Conv2d(conv) => {
+                    let len = len_for(param_layer, planned_len(&plan, i)?)?;
+                    if shape.len() != 4 || shape[1] != conv.cin() {
+                        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                            expected: format!("(N, {}, H, W)", conv.cin()),
+                            actual: shape.clone(),
+                        }));
+                    }
+                    let before = self.cache.fault_counters();
+                    let (prep, stats) =
+                        self.prepare_conv(conv, (shape[2], shape[3]), len, param_layer)?;
+                    stats.apply(telemetry.layer(param_layer as usize));
+                    record_prepare_faults(
+                        &self.cache,
+                        param_layer,
+                        before,
+                        &mut telemetry,
+                        &mut resilience,
+                    );
+                    shape = vec![shape[0], prep.cout, prep.oh, prep.ow];
+                    steps.push(PreparedStep::Conv {
+                        layer: prep,
+                        param_layer,
+                    });
+                    param_layer += 1;
+                }
+                Layer::Linear(lin) => {
+                    let len = len_for(param_layer, planned_len(&plan, i)?)?;
+                    if shape.len() != 2 || shape[1] != lin.input_features() {
+                        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                            expected: format!("(N, {})", lin.input_features()),
+                            actual: shape.clone(),
+                        }));
+                    }
+                    let before = self.cache.fault_counters();
+                    let (prep, stats) = self.prepare_linear(lin, len, param_layer)?;
+                    stats.apply(telemetry.layer(param_layer as usize));
+                    record_prepare_faults(
+                        &self.cache,
+                        param_layer,
+                        before,
+                        &mut telemetry,
+                        &mut resilience,
+                    );
+                    shape = vec![shape[0], prep.outf];
+                    steps.push(PreparedStep::Linear {
+                        layer: prep,
+                        param_layer,
+                    });
+                    param_layer += 1;
+                }
+                Layer::BatchNorm2d(bn) => {
+                    let affine = BnAffine::prepare(bn, self.config.bn_bits)?;
+                    if shape.len() != 4 || shape[1] != affine.scales.len() {
+                        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                            expected: format!("(N, {}, H, W)", affine.scales.len()),
+                            actual: shape.clone(),
+                        }));
+                    }
+                    steps.push(PreparedStep::BatchNorm { affine, tel_layer });
+                }
+                Layer::Relu(_) => steps.push(PreparedStep::Relu),
+                Layer::AvgPool2d(_) | Layer::MaxPool2d(_) => {
+                    let (n, c, h, w) = pool_shape(&shape)?;
+                    shape = vec![n, c, h / 2, w / 2];
+                    steps.push(if matches!(layer, Layer::AvgPool2d(_)) {
+                        PreparedStep::AvgPool { tel_layer }
+                    } else {
+                        PreparedStep::MaxPool { tel_layer }
+                    });
+                }
+                Layer::Flatten(_) => {
+                    if shape.len() < 2 {
+                        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                            expected: "at least 2-d".into(),
+                            actual: shape.clone(),
+                        }));
+                    }
+                    let rest: usize = shape[1..].iter().product();
+                    shape = vec![shape[0], rest];
+                    steps.push(PreparedStep::Flatten { tel_layer });
+                }
+            }
+        }
+        // Pre-size the per-layer counters: `PreparedModel::forward` only
+        // holds `&self`, so it cannot grow the vector on first use. Near-
+        // memory steps attribute to `tel_layer`, which can reach index 0
+        // even in a network with no parametrized layers.
+        telemetry.ensure_layers(param_layer as usize);
+        if telemetry::enabled() {
+            let near_mem = steps
+                .iter()
+                .filter_map(|s| match s {
+                    PreparedStep::BatchNorm { tel_layer, .. }
+                    | PreparedStep::AvgPool { tel_layer }
+                    | PreparedStep::MaxPool { tel_layer }
+                    | PreparedStep::Flatten { tel_layer } => Some(*tel_layer + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            telemetry.ensure_layers(near_mem);
+        }
+        Ok(PreparedModel {
+            config: self.config,
+            input_shape: input_shape.to_vec(),
+            steps,
+            telemetry,
+            resilience,
+            reference: self.reference_kernels,
+        })
     }
 
     /// Runs the SC datapath of the single parametrized layer at
@@ -1555,17 +1937,13 @@ impl ScEngine {
     /// Attributes faults injected since the `before` snapshot to
     /// `param_layer`.
     fn record_layer_faults(&mut self, param_layer: u32, before: FaultCounters) {
-        if self.cache.fault_model().is_none() {
-            return;
-        }
-        let delta = self.cache.fault_counters().delta_since(&before);
-        if telemetry::enabled() {
-            self.telemetry
-                .layer(param_layer as usize)
-                .fault_events
-                .add(delta.total());
-        }
-        self.resilience.record(param_layer, delta);
+        record_prepare_faults(
+            &self.cache,
+            param_layer,
+            before,
+            &mut self.telemetry,
+            &mut self.resilience,
+        );
     }
 
     fn layer_seed(&self, param_layer: u32) -> u32 {
@@ -1587,28 +1965,8 @@ impl ScEngine {
         })
     }
 
-    /// Quantized activation level for table lookup.
-    ///
-    /// Operands live in memory as 8-bit values; matching the LFSR width to
-    /// the stream length *truncates* them to the top `width` bits (§II-B).
-    /// A full-scale operand (`x = 1.0`) quantizes to level 256 — the
-    /// documented all-ones encoding of [`quantize_unipolar`] — and
-    /// `256 >> shift` is exactly `2^width`, the all-ones entry a normal
-    /// [`StreamTable`] explicitly carries. The progressive path instead
-    /// saturates at 255: its stream buffer holds 8-bit operands, a
-    /// deliberate hardware limit and the one place the two generation
-    /// modes encode operands differently.
-    fn act_level(&self, x: f32, width: u8) -> u32 {
-        let q = quantize_unipolar(x.clamp(0.0, 1.0), 8);
-        if self.config.progressive {
-            q.min(255)
-        } else {
-            q >> (8 - width.min(8))
-        }
-    }
-
     /// Quantized split-weight levels for table lookup (same truncation and
-    /// full-scale semantics as [`Self::act_level`], so `|w| = 1.0` keeps
+    /// full-scale semantics as [`act_level`], so `|w| = 1.0` keeps
     /// the all-ones stream in normal mode).
     fn weight_levels(&self, w: f32, width: u8) -> (u32, u32) {
         let w = w.clamp(-1.0, 1.0);
@@ -1622,8 +1980,9 @@ impl ScEngine {
         }
     }
 
-    /// Stochastic convolution of one layer: serial resolve, parallel
-    /// compute.
+    /// Stochastic convolution of one layer: serial resolve, then
+    /// per-request quantize + parallel compute (the prepared pipeline run
+    /// end to end for a single call).
     fn sc_conv(
         &mut self,
         conv: &Conv2d,
@@ -1632,12 +1991,18 @@ impl ScEngine {
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
         let resolved = self.resolve_conv(conv, input, len, param_layer)?;
+        let reference = self.reference_kernels;
         let tel = self.telemetry.layer(param_layer as usize);
         let sw = Stopwatch::start();
-        let out = if self.reference_kernels {
-            resolved.compute_reference(tel)
+        let batch = resolved.quantize_acts(input)?;
+        if telemetry::enabled() {
+            tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
+        }
+        let sw = Stopwatch::start();
+        let out = if reference {
+            resolved.compute_reference(&batch, tel)
         } else {
-            Ok(resolved.compute(tel))
+            Ok(resolved.compute(&batch, tel))
         };
         if telemetry::enabled() {
             tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
@@ -1645,16 +2010,16 @@ impl ScEngine {
         out
     }
 
-    /// Phase 1 for a convolution: builds/fetches every lane table through
-    /// the serial [`TableCache`] (in a fixed order, so fault injection is
-    /// deterministic) and quantizes every operand.
+    /// Single-call form of [`Self::prepare_conv`]: checks the input's
+    /// shape, prepares the layer, and folds the resolve counters into the
+    /// engine's own telemetry.
     fn resolve_conv(
         &mut self,
         conv: &Conv2d,
         input: &Tensor,
         len: usize,
         param_layer: u32,
-    ) -> Result<ResolvedConv, GeoError> {
+    ) -> Result<PreparedConv, GeoError> {
         let s = input.shape();
         if s.len() != 4 || s[1] != conv.cin() {
             return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
@@ -1662,9 +2027,26 @@ impl ScEngine {
                 actual: s.to_vec(),
             }));
         }
+        let (prepared, stats) = self.prepare_conv(conv, (s[2], s[3]), len, param_layer)?;
+        stats.apply(self.telemetry.layer(param_layer as usize));
+        Ok(prepared)
+    }
+
+    /// Phase 1 for a convolution: builds/fetches every lane table through
+    /// the serial [`TableCache`] (in a fixed order, so fault injection is
+    /// deterministic) and quantizes every *weight* operand. Nothing here
+    /// reads the activations — the produced [`PreparedConv`] is reusable
+    /// across requests at the traced `(h, w)` geometry.
+    fn prepare_conv(
+        &mut self,
+        conv: &Conv2d,
+        (h, w): (usize, usize),
+        len: usize,
+        param_layer: u32,
+    ) -> Result<(PreparedConv, ResolveStats), GeoError> {
         let sw_resolve = Stopwatch::start();
         let (hits0, misses0) = self.cache.lookup_counts();
-        let (n, cin, h, w) = (s[0], s[1], s[2], s[3]);
+        let cin = conv.cin();
         let (cout, k) = (conv.cout(), conv.kernel());
         let (stride, pad) = (conv.stride(), conv.padding());
         let (oh, ow) = conv.output_size(h, w);
@@ -1715,30 +2097,8 @@ impl ScEngine {
                 }
             }
         }
-        if telemetry::enabled() {
-            let (hits, misses) = self.cache.lookup_counts();
-            let tel = self.telemetry.layer(param_layer as usize);
-            tel.add_phase_ns(Phase::Resolve, sw_resolve.elapsed_ns());
-            tel.table_hits.add(hits - hits0);
-            tel.table_misses.add(misses - misses0);
-        }
+        let (hits, misses) = self.cache.lookup_counts();
 
-        // Activation levels for the whole input tensor, validated once so
-        // the compute phase's table lookups are infallible.
-        let sw_convert = Stopwatch::start();
-        let act_levels: Vec<u32> = input
-            .data()
-            .iter()
-            .map(|&x| self.act_level(x, width))
-            .collect();
-        validate_act_levels(&act_tables, &act_levels)?;
-        if telemetry::enabled() {
-            self.telemetry
-                .layer(param_layer as usize)
-                .add_phase_ns(Phase::Convert, sw_convert.elapsed_ns());
-        }
-
-        let sw_compact = Stopwatch::start();
         let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw => k,
@@ -1770,39 +2130,44 @@ impl ScEngine {
             pos_ky.push((rem / k) as u32);
             pos_kx.push((rem % k) as u32);
         }
-        if telemetry::enabled() {
-            let tel = self.telemetry.layer(param_layer as usize);
-            tel.add_phase_ns(Phase::Resolve, sw_compact.elapsed_ns());
-            tel.compacted_lanes.add(compact.lane.len() as u64);
-            tel.skipped_zero_lanes
-                .add((wrefs.len() - compact.lane.len()) as u64);
-        }
-        Ok(ResolvedConv {
-            mode,
-            len,
-            words,
-            groups,
-            n,
-            cin,
-            h,
-            w,
-            cout,
-            k,
-            stride,
-            pad,
-            oh,
-            ow,
-            volume,
-            act_tables,
-            wrefs,
-            act_levels,
-            act_flat,
-            compact,
-            pos_ci,
-            pos_ky,
-            pos_kx,
-            pos_ao: act_off,
-        })
+        let stats = ResolveStats {
+            resolve_ns: sw_resolve.elapsed_ns(),
+            table_hits: hits - hits0,
+            table_misses: misses - misses0,
+            compacted_lanes: compact.lane.len() as u64,
+            skipped_zero_lanes: (wrefs.len() - compact.lane.len()) as u64,
+        };
+        let scratch = ScratchPool::new(groups, words, compact.max_row_lanes(), volume * ow, ow);
+        Ok((
+            PreparedConv {
+                mode,
+                len,
+                words,
+                groups,
+                width,
+                progressive: self.config.progressive,
+                cin,
+                h,
+                w,
+                cout,
+                k,
+                stride,
+                pad,
+                oh,
+                ow,
+                volume,
+                act_tables,
+                wrefs,
+                act_flat,
+                compact,
+                pos_ci,
+                pos_ky,
+                pos_kx,
+                pos_ao: act_off,
+                scratch,
+            },
+            stats,
+        ))
     }
 
     /// Stochastic fully-connected layer: features map onto a pseudo-kernel
@@ -1816,12 +2181,18 @@ impl ScEngine {
         param_layer: u32,
     ) -> Result<Tensor, GeoError> {
         let resolved = self.resolve_linear(lin, input, len, param_layer)?;
+        let reference = self.reference_kernels;
         let tel = self.telemetry.layer(param_layer as usize);
         let sw = Stopwatch::start();
-        let out = if self.reference_kernels {
-            resolved.compute_reference(tel)
+        let batch = resolved.quantize_acts(input)?;
+        if telemetry::enabled() {
+            tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
+        }
+        let sw = Stopwatch::start();
+        let out = if reference {
+            resolved.compute_reference(&batch, tel)
         } else {
-            Ok(resolved.compute(tel))
+            Ok(resolved.compute(&batch, tel))
         };
         if telemetry::enabled() {
             tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
@@ -1829,14 +2200,15 @@ impl ScEngine {
         out
     }
 
-    /// Phase 1 for a fully-connected layer (see [`Self::resolve_conv`]).
+    /// Single-call form of [`Self::prepare_linear`] (see
+    /// [`Self::resolve_conv`]).
     fn resolve_linear(
         &mut self,
         lin: &Linear,
         input: &Tensor,
         len: usize,
         param_layer: u32,
-    ) -> Result<ResolvedLinear, GeoError> {
+    ) -> Result<PreparedLinear, GeoError> {
         let s = input.shape();
         if s.len() != 2 || s[1] != lin.input_features() {
             return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
@@ -1844,9 +2216,21 @@ impl ScEngine {
                 actual: s.to_vec(),
             }));
         }
+        let (prepared, stats) = self.prepare_linear(lin, len, param_layer)?;
+        stats.apply(self.telemetry.layer(param_layer as usize));
+        Ok(prepared)
+    }
+
+    /// Phase 1 for a fully-connected layer (see [`Self::prepare_conv`]).
+    fn prepare_linear(
+        &mut self,
+        lin: &Linear,
+        len: usize,
+        param_layer: u32,
+    ) -> Result<(PreparedLinear, ResolveStats), GeoError> {
         let sw_resolve = Stopwatch::start();
         let (hits0, misses0) = self.cache.lookup_counts();
-        let (n, features) = (s[0], s[1]);
+        let features = lin.input_features();
         let outf = lin.output_features();
         let width = GeoConfig::width_for(len);
         let wdim = FC_BINARY_WIDTH.min(features);
@@ -1882,27 +2266,8 @@ impl ScEngine {
                 wtables.push(table);
             }
         }
-        if telemetry::enabled() {
-            let (hits, misses) = self.cache.lookup_counts();
-            let tel = self.telemetry.layer(param_layer as usize);
-            tel.add_phase_ns(Phase::Resolve, sw_resolve.elapsed_ns());
-            tel.table_hits.add(hits - hits0);
-            tel.table_misses.add(misses - misses0);
-        }
+        let (hits, misses) = self.cache.lookup_counts();
 
-        let sw_convert = Stopwatch::start();
-        let act_levels: Vec<u32> = (0..n)
-            .flat_map(|b| (0..features).map(move |i| (b, i)))
-            .map(|(b, i)| self.act_level(input.at2(b, i), width))
-            .collect();
-        validate_act_levels(&act_tables, &act_levels)?;
-        if telemetry::enabled() {
-            self.telemetry
-                .layer(param_layer as usize)
-                .add_phase_ns(Phase::Convert, sw_convert.elapsed_ns());
-        }
-
-        let sw_compact = Stopwatch::start();
         let groups = match mode {
             Accumulation::Or => 1,
             Accumulation::Pbw | Accumulation::Pbhw => wdim,
@@ -1922,28 +2287,33 @@ impl ScEngine {
         }
         let compact = CompactKernel::build(&wrefs, &wtables, outf, features, words, 1);
         drop(wtables);
-        if telemetry::enabled() {
-            let tel = self.telemetry.layer(param_layer as usize);
-            tel.add_phase_ns(Phase::Resolve, sw_compact.elapsed_ns());
-            tel.compacted_lanes.add(compact.lane.len() as u64);
-            tel.skipped_zero_lanes
-                .add((wrefs.len() - compact.lane.len()) as u64);
-        }
-        Ok(ResolvedLinear {
-            mode,
-            len,
-            words,
-            groups,
-            n,
-            features,
-            outf,
-            act_tables,
-            wrefs,
-            act_levels,
-            act_flat,
-            compact,
-            pos_ao: act_off,
-        })
+        let stats = ResolveStats {
+            resolve_ns: sw_resolve.elapsed_ns(),
+            table_hits: hits - hits0,
+            table_misses: misses - misses0,
+            compacted_lanes: compact.lane.len() as u64,
+            skipped_zero_lanes: (wrefs.len() - compact.lane.len()) as u64,
+        };
+        let scratch = ScratchPool::new(groups, words, compact.max_row_lanes(), features, 1);
+        Ok((
+            PreparedLinear {
+                mode,
+                len,
+                words,
+                groups,
+                width,
+                progressive: self.config.progressive,
+                features,
+                outf,
+                act_tables,
+                wrefs,
+                act_flat,
+                compact,
+                pos_ao: act_off,
+                scratch,
+            },
+            stats,
+        ))
     }
 }
 
@@ -2094,11 +2464,15 @@ mod reference {
         }
     }
 
-    impl ResolvedConv {
+    impl PreparedConv {
         /// Pre-compaction phase 2: the per-pixel `cin·k·k` loop with
         /// padding, zero-activation, and zero-weight tests inline.
-        pub(super) fn compute_reference(&self, tel: &LayerCounters) -> Result<Tensor, GeoError> {
-            let mut out = Tensor::zeros(&[self.n, self.cout, self.oh, self.ow]);
+        pub(super) fn compute_reference(
+            &self,
+            batch: &ActBatch,
+            tel: &LayerCounters,
+        ) -> Result<Tensor, GeoError> {
+            let mut out = Tensor::zeros(&[batch.n, self.cout, self.oh, self.ow]);
             let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
             out.data_mut()
                 .par_chunks_mut(self.ow.max(1))
@@ -2106,7 +2480,9 @@ mod reference {
                 .for_each_init(
                     || RefScratch::new(self.groups, self.words),
                     |scratch, (row, chunk)| {
-                        if let Err(err) = self.compute_row_reference(row, chunk, scratch) {
+                        if let Err(err) =
+                            self.compute_row_reference(row, chunk, &batch.levels, scratch)
+                        {
                             record_error(&first_err, err);
                         }
                         if telemetry::enabled() {
@@ -2125,6 +2501,7 @@ mod reference {
             &self,
             row: usize,
             chunk: &mut [f32],
+            levels: &[u32],
             scratch: &mut RefScratch,
         ) -> Result<(), GeoError> {
             let oy = row % self.oh;
@@ -2146,7 +2523,7 @@ mod reference {
                             if iy < 0 || iy >= self.h as isize || ix < 0 || ix >= self.w as isize {
                                 continue;
                             }
-                            let alevel = self.act_levels[idx_in(ci, iy as usize, ix as usize)];
+                            let alevel = levels[idx_in(ci, iy as usize, ix as usize)];
                             if alevel == 0 {
                                 continue;
                             }
@@ -2172,16 +2549,22 @@ mod reference {
         }
     }
 
-    impl ResolvedLinear {
+    impl PreparedLinear {
         /// Pre-compaction phase 2: each output neuron scheduled as its
         /// own single-element chunk (`par_chunks_mut(1)`).
-        pub(super) fn compute_reference(&self, tel: &LayerCounters) -> Result<Tensor, GeoError> {
-            let mut out = Tensor::zeros(&[self.n, self.outf]);
+        pub(super) fn compute_reference(
+            &self,
+            batch: &ActBatch,
+            tel: &LayerCounters,
+        ) -> Result<Tensor, GeoError> {
+            let mut out = Tensor::zeros(&[batch.n, self.outf]);
             let first_err: Mutex<Option<GeoError>> = Mutex::new(None);
             out.data_mut().par_chunks_mut(1).enumerate().for_each_init(
                 || RefScratch::new(self.groups, self.words),
                 |scratch, (row, chunk)| {
-                    if let Err(err) = self.compute_neuron_reference(row, chunk, scratch) {
+                    if let Err(err) =
+                        self.compute_neuron_reference(row, chunk, &batch.levels, scratch)
+                    {
                         record_error(&first_err, err);
                     }
                     if telemetry::enabled() {
@@ -2200,13 +2583,14 @@ mod reference {
             &self,
             row: usize,
             chunk: &mut [f32],
+            levels: &[u32],
             scratch: &mut RefScratch,
         ) -> Result<(), GeoError> {
             let o = row % self.outf;
             let b = row / self.outf;
             scratch.reset();
             for i in 0..self.features {
-                let alevel = self.act_levels[b * self.features + i];
+                let alevel = levels[b * self.features + i];
                 if alevel == 0 {
                     continue;
                 }
@@ -2230,49 +2614,373 @@ mod reference {
     }
 }
 
-/// Inference-time batch normalization: the folded per-channel affine
-/// quantized to `bits` (GEO's near-memory 8-bit BN), or exact when `bits`
-/// is `None`.
-fn quantized_batchnorm(
-    bn: &mut geo_nn::BatchNorm2d,
-    x: &Tensor,
-    bits: Option<u8>,
-) -> Result<Tensor, GeoError> {
-    let affine = bn.folded_affine();
-    let (scales, shifts): (Vec<f32>, Vec<f32>) = affine.into_iter().unzip();
-    let (scales, shifts) = match bits {
-        Some(b) => {
-            let st = geo_nn::quant::fake_quantize(
-                &Tensor::from_vec(vec![scales.len()], scales).map_err(GeoError::Nn)?,
-                b,
-            );
-            let sh = geo_nn::quant::fake_quantize(
-                &Tensor::from_vec(vec![shifts.len()], shifts).map_err(GeoError::Nn)?,
-                b,
-            );
-            (st.into_data(), sh.into_data())
+/// Plain counters produced by the serial prepare phase. Returned by value
+/// (rather than written into `self.telemetry` in place) so the caller can
+/// fold them into whichever telemetry block owns the layer: the engine's
+/// for direct forwards, a [`PreparedModel`]'s for prepare-once serving.
+#[derive(Default)]
+struct ResolveStats {
+    resolve_ns: u64,
+    table_hits: u64,
+    table_misses: u64,
+    compacted_lanes: u64,
+    skipped_zero_lanes: u64,
+}
+
+impl ResolveStats {
+    fn apply(&self, tel: &LayerCounters) {
+        if !telemetry::enabled() {
+            return;
         }
-        None => (scales, shifts),
-    };
-    let s = x.shape();
-    if s.len() != 4 || s[1] != scales.len() {
+        tel.add_phase_ns(Phase::Resolve, self.resolve_ns);
+        tel.table_hits.add(self.table_hits);
+        tel.table_misses.add(self.table_misses);
+        tel.compacted_lanes.add(self.compacted_lanes);
+        tel.skipped_zero_lanes.add(self.skipped_zero_lanes);
+    }
+}
+
+/// Attributes faults injected since the `before` snapshot to
+/// `param_layer`, into caller-supplied reports (the prepare loop
+/// accumulates locally and absorbs into the engine afterwards).
+fn record_prepare_faults(
+    cache: &TableCache,
+    param_layer: u32,
+    before: FaultCounters,
+    telemetry_block: &mut EngineTelemetry,
+    resilience: &mut ResilienceReport,
+) {
+    if cache.fault_model().is_none() {
+        return;
+    }
+    let delta = cache.fault_counters().delta_since(&before);
+    if telemetry::enabled() {
+        telemetry_block
+            .layer(param_layer as usize)
+            .fault_events
+            .add(delta.total());
+    }
+    resilience.record(param_layer, delta);
+}
+
+/// Inference-time batch normalization, prepared once: the folded
+/// per-channel affine quantized to `bits` (GEO's near-memory 8-bit BN),
+/// or exact when `bits` is `None`.
+struct BnAffine {
+    scales: Vec<f32>,
+    shifts: Vec<f32>,
+}
+
+impl BnAffine {
+    fn prepare(bn: &geo_nn::BatchNorm2d, bits: Option<u8>) -> Result<BnAffine, GeoError> {
+        let affine = bn.folded_affine();
+        let (scales, shifts): (Vec<f32>, Vec<f32>) = affine.into_iter().unzip();
+        let (scales, shifts) = match bits {
+            Some(b) => {
+                let st = geo_nn::quant::fake_quantize(
+                    &Tensor::from_vec(vec![scales.len()], scales).map_err(GeoError::Nn)?,
+                    b,
+                );
+                let sh = geo_nn::quant::fake_quantize(
+                    &Tensor::from_vec(vec![shifts.len()], shifts).map_err(GeoError::Nn)?,
+                    b,
+                );
+                (st.into_data(), sh.into_data())
+            }
+            None => (scales, shifts),
+        };
+        Ok(BnAffine { scales, shifts })
+    }
+
+    fn apply(&self, x: &Tensor) -> Result<Tensor, GeoError> {
+        let s = x.shape();
+        if s.len() != 4 || s[1] != self.scales.len() {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {}, H, W)", self.scales.len()),
+                actual: s.to_vec(),
+            }));
+        }
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let mut out = Tensor::zeros(s);
+        for b in 0..n {
+            for ci in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        out.set4(
+                            b,
+                            ci,
+                            y,
+                            xx,
+                            self.scales[ci] * x.at4(b, ci, y, xx) + self.shifts[ci],
+                        );
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Shape contract shared by both 2×2 pools, replicating
+/// `geo_nn::AvgPool2d::forward`'s error exactly.
+fn pool_shape(s: &[usize]) -> Result<(usize, usize, usize, usize), GeoError> {
+    if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
         return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
-            expected: format!("(N, {}, H, W)", scales.len()),
+            expected: "(N, C, even H, even W)".into(),
             actual: s.to_vec(),
         }));
     }
-    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-    let mut out = Tensor::zeros(s);
+    Ok((s[0], s[1], s[2], s[3]))
+}
+
+/// 2×2 average pool, float-identical to `geo_nn::AvgPool2d::forward`
+/// (same tap order, same `/ 4.0`) but borrowing the input immutably — the
+/// prepared path cannot run `&mut` layer forwards.
+fn avg_pool_eval(x: &Tensor) -> Result<Tensor, GeoError> {
+    let (n, c, h, w) = pool_shape(x.shape())?;
+    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
     for b in 0..n {
         for ci in 0..c {
-            for y in 0..h {
-                for xx in 0..w {
-                    out.set4(b, ci, y, xx, scales[ci] * x.at4(b, ci, y, xx) + shifts[ci]);
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let (y, xx) = (oy * 2, ox * 2);
+                    let sum = x.at4(b, ci, y, xx)
+                        + x.at4(b, ci, y, xx + 1)
+                        + x.at4(b, ci, y + 1, xx)
+                        + x.at4(b, ci, y + 1, xx + 1);
+                    out.set4(b, ci, oy, ox, sum / 4.0);
                 }
             }
         }
     }
     Ok(out)
+}
+
+/// 2×2 max pool, float-identical to `geo_nn::MaxPool2d::forward`.
+fn max_pool_eval(x: &Tensor) -> Result<Tensor, GeoError> {
+    let (n, c, h, w) = pool_shape(x.shape())?;
+    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+    for b in 0..n {
+        for ci in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let v = x.at4(b, ci, oy * 2 + dy, ox * 2 + dx);
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out.set4(b, ci, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Flatten to `(N, rest)`, replicating `geo_nn::Flatten::forward`.
+fn flatten_eval(x: &Tensor) -> Result<Tensor, GeoError> {
+    let s = x.shape();
+    if s.len() < 2 {
+        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+            expected: "at least 2-d".into(),
+            actual: s.to_vec(),
+        }));
+    }
+    let n = s[0];
+    let rest: usize = s[1..].iter().product();
+    x.clone().reshape(vec![n, rest]).map_err(GeoError::Nn)
+}
+
+/// One step of a compiled network: either a prepared parametrized layer
+/// or a pure near-memory evaluation. Exhaustive over every
+/// `geo_nn::Layer` variant, so adding a layer kind fails compilation here
+/// rather than silently falling through.
+enum PreparedStep {
+    Conv {
+        layer: PreparedConv,
+        param_layer: u32,
+    },
+    Linear {
+        layer: PreparedLinear,
+        param_layer: u32,
+    },
+    BatchNorm {
+        affine: BnAffine,
+        /// Telemetry layer this near-memory step's time is attributed to.
+        tel_layer: usize,
+    },
+    Relu,
+    AvgPool {
+        tel_layer: usize,
+    },
+    MaxPool {
+        tel_layer: usize,
+    },
+    Flatten {
+        tel_layer: usize,
+    },
+}
+
+/// A network compiled once for serving: every input-independent resolve
+/// product of every layer, immutable and `Arc`-shareable across threads
+/// and requests.
+///
+/// Built by [`ScEngine::prepare`] (or
+/// [`crate::ProgramExecutor::prepare`] for ISA-programmed lengths).
+/// [`PreparedModel::forward`] borrows `&self`, so any number of requests
+/// may run concurrently; telemetry counters are atomics folded in place
+/// ([`crate::telemetry`]), keeping totals exact under concurrency.
+///
+/// Outputs are bit-identical to [`ScEngine::forward`] on the same engine
+/// state: prepare performs the exact table/fault draws of a direct
+/// forward, in the same order, and the compute phase never touches shared
+/// mutable state. One caveat follows from compiling *once*: TRNG tables
+/// and transient fault draws are frozen at prepare time, so every served
+/// request sees the one pass drawn here, where repeated direct forwards
+/// would redraw per call.
+///
+/// # Examples
+///
+/// ```
+/// use geo_core::{GeoConfig, ScEngine};
+/// use geo_nn::{models, Tensor};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), geo_core::GeoError> {
+/// let mut engine = ScEngine::new(GeoConfig::geo(32, 64))?;
+/// let mut model = models::lenet5(1, 8, 10, 0);
+/// model.set_training(false);
+/// let prepared = Arc::new(engine.prepare(&model, &[1, 1, 8, 8])?);
+/// let logits = prepared.forward(&Tensor::full(&[1, 1, 8, 8], 0.5))?;
+/// assert_eq!(logits.shape(), &[1, 10]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct PreparedModel {
+    config: GeoConfig,
+    input_shape: Vec<usize>,
+    steps: Vec<PreparedStep>,
+    telemetry: EngineTelemetry,
+    resilience: ResilienceReport,
+    /// Run the pre-compaction reference kernels (set when prepared by a
+    /// [`ScEngine::forward_reference`] pass).
+    reference: bool,
+}
+
+impl PreparedModel {
+    /// The configuration the model was prepared under.
+    pub fn config(&self) -> &GeoConfig {
+        &self.config
+    }
+
+    /// The input shape the model was prepared for. The batch dimension
+    /// (`shape[0]`) is free: requests of any `N` with matching trailing
+    /// dimensions are accepted.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Fault counts drawn during the prepare pass (frozen thereafter).
+    pub fn resilience_report(&self) -> &ResilienceReport {
+        &self.resilience
+    }
+
+    /// Snapshot of the telemetry accumulated by the prepare pass and
+    /// every forward served since. All-zero unless the crate is built
+    /// with the `telemetry` feature.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.telemetry.report("prepared-model")
+    }
+
+    /// Runs one request through the compiled network — pure compute
+    /// against immutable prepared state, callable concurrently from any
+    /// number of threads (`&self`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches (including a spatial-geometry check
+    /// against the prepared shape) and substrate errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, GeoError> {
+        self.telemetry.passes.incr();
+        let mut x = input.clone();
+        for step in &self.steps {
+            match step {
+                PreparedStep::Conv { layer, param_layer } => {
+                    let tel = self.telemetry.layer_shared(*param_layer as usize);
+                    let sw = Stopwatch::start();
+                    let batch = layer.quantize_acts(&x)?;
+                    if telemetry::enabled() {
+                        tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
+                    }
+                    let sw = Stopwatch::start();
+                    x = if self.reference {
+                        layer.compute_reference(&batch, tel)?
+                    } else {
+                        layer.compute(&batch, tel)
+                    };
+                    if telemetry::enabled() {
+                        tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
+                    }
+                }
+                PreparedStep::Linear { layer, param_layer } => {
+                    let tel = self.telemetry.layer_shared(*param_layer as usize);
+                    let sw = Stopwatch::start();
+                    let batch = layer.quantize_acts(&x)?;
+                    if telemetry::enabled() {
+                        tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
+                    }
+                    let sw = Stopwatch::start();
+                    x = if self.reference {
+                        layer.compute_reference(&batch, tel)?
+                    } else {
+                        layer.compute(&batch, tel)
+                    };
+                    if telemetry::enabled() {
+                        tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
+                    }
+                }
+                PreparedStep::BatchNorm { affine, tel_layer } => {
+                    let sw = Stopwatch::start();
+                    x = affine.apply(&x)?;
+                    self.flush_near_mem(*tel_layer, sw);
+                }
+                PreparedStep::Relu => {
+                    // ReLU, then saturate at 1.0: unipolar streams cannot
+                    // carry more (the straight-through clamp SC training
+                    // learns around).
+                    x = x.map(|v| v.clamp(0.0, 1.0));
+                }
+                PreparedStep::AvgPool { tel_layer } => {
+                    let sw = Stopwatch::start();
+                    x = avg_pool_eval(&x)?;
+                    self.flush_near_mem(*tel_layer, sw);
+                }
+                PreparedStep::MaxPool { tel_layer } => {
+                    let sw = Stopwatch::start();
+                    x = max_pool_eval(&x)?;
+                    self.flush_near_mem(*tel_layer, sw);
+                }
+                PreparedStep::Flatten { tel_layer } => {
+                    let sw = Stopwatch::start();
+                    x = flatten_eval(&x)?;
+                    self.flush_near_mem(*tel_layer, sw);
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    fn flush_near_mem(&self, tel_layer: usize, sw: Stopwatch) {
+        if telemetry::enabled() {
+            self.telemetry
+                .layer_shared(tel_layer)
+                .add_phase_ns(Phase::NearMem, sw.elapsed_ns());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2623,5 +3331,57 @@ mod tests {
         let _ = eng.forward(&mut model, &x, false).unwrap();
         // No cached inputs → backward fails.
         assert!(model.backward(&Tensor::full(&[1, 10], 1.0)).is_err());
+    }
+
+    #[test]
+    fn prepared_model_matches_forward_and_shares_across_threads() {
+        let mut model = models::lenet5(1, 8, 10, 0);
+        let x = Tensor::full(&[2, 1, 8, 8], 0.4);
+        let direct = engine(GeoConfig::geo(32, 64))
+            .forward(&mut model, &x, false)
+            .unwrap();
+        model.set_training(false);
+        let prepared = std::sync::Arc::new(
+            engine(GeoConfig::geo(32, 64))
+                .prepare(&model, x.shape())
+                .unwrap(),
+        );
+        assert_eq!(prepared.input_shape(), x.shape());
+        let served = prepared.forward(&x).unwrap();
+        assert_eq!(
+            direct
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            served
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        // Same prepared state, second request from another thread — the
+        // Arc-shared serve pattern — stays bit-identical too.
+        let (p2, x2) = (prepared.clone(), x.clone());
+        let threaded = std::thread::spawn(move || p2.forward(&x2).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(
+            served
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            threaded
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        if crate::telemetry::enabled() {
+            assert_eq!(prepared.telemetry_report().passes, 2);
+        }
+        // A batch with the wrong spatial geometry is rejected up front.
+        assert!(prepared.forward(&Tensor::full(&[1, 1, 6, 6], 0.4)).is_err());
     }
 }

@@ -20,6 +20,15 @@ pub enum GeoError {
     /// An engine invariant that should be unreachable was violated —
     /// indicates a bug in the engine itself, not in caller input.
     Internal(String),
+    /// A serve request was submitted to (or was in flight on) a server
+    /// that has shut down.
+    ServeShutdown,
+    /// The serve submission queue was full; the request was rejected to
+    /// bound memory, and the caller should retry or shed load.
+    ServeOverflow {
+        /// The queue bound that was hit ([`crate::ServeConfig::queue_depth`]).
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for GeoError {
@@ -30,6 +39,11 @@ impl fmt::Display for GeoError {
             GeoError::Artifact(e) => write!(f, "program artifact: {e}"),
             GeoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GeoError::Internal(msg) => write!(f, "engine invariant violated (bug): {msg}"),
+            GeoError::ServeShutdown => write!(f, "serve: server has shut down"),
+            GeoError::ServeOverflow { capacity } => write!(
+                f,
+                "serve: submission queue full ({capacity} requests); retry or shed load"
+            ),
         }
     }
 }
@@ -40,7 +54,10 @@ impl std::error::Error for GeoError {
             GeoError::Sc(e) => Some(e),
             GeoError::Nn(e) => Some(e),
             GeoError::Artifact(e) => Some(e),
-            GeoError::InvalidConfig(_) | GeoError::Internal(_) => None,
+            GeoError::InvalidConfig(_)
+            | GeoError::Internal(_)
+            | GeoError::ServeShutdown
+            | GeoError::ServeOverflow { .. } => None,
         }
     }
 }
@@ -84,5 +101,11 @@ mod tests {
         let e: GeoError = ArtifactError::BadMagic { found: [0; 4] }.into();
         assert!(e.to_string().contains("program artifact"));
         assert!(e.source().is_some());
+        let e = GeoError::ServeShutdown;
+        assert!(e.to_string().contains("shut down"));
+        assert!(e.source().is_none());
+        let e = GeoError::ServeOverflow { capacity: 64 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.source().is_none());
     }
 }

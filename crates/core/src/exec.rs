@@ -275,6 +275,66 @@ impl ProgramExecutor {
             })
     }
 
+    /// Resolves `model` once under program control into an immutable
+    /// [`PreparedModel`](crate::PreparedModel) — the program-path
+    /// analogue of [`ScEngine::prepare`]. Every parametrized layer's
+    /// stream length is decoded from the program's `GEN` instructions and
+    /// cross-checked against the engine plan exactly as
+    /// [`ProgramExecutor::forward`] does, so serving from the prepared
+    /// model stays bit-identical to program-driven forwards.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProgramExecutor::forward`]: layer-count mismatch, shape
+    /// re-trace mismatch, or stream-length disagreement between the
+    /// program and the engine plan; propagates resolve errors.
+    pub fn prepare(
+        &mut self,
+        model: &mut Sequential,
+        input_shape: &[usize],
+    ) -> Result<crate::PreparedModel, GeoError> {
+        let params = model
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
+            .count();
+        if params != self.lens.len() {
+            return Err(GeoError::InvalidConfig(format!(
+                "model has {params} parametrized layers but program '{}' encodes {}",
+                self.program.name,
+                self.lens.len()
+            )));
+        }
+        if let [_, c, h, w] = *input_shape {
+            let traced = NetworkDesc::from_model(&self.net.name, model, (c, h, w));
+            if traced.layers != self.net.layers {
+                return Err(GeoError::InvalidConfig(format!(
+                    "model shapes do not match network '{}' the program was compiled for",
+                    self.net.name
+                )));
+            }
+        }
+        model.set_training(false);
+        let lens = &self.lens;
+        let name = &self.program.name;
+        self.engine
+            .prepare_with_lens(model, input_shape, &mut |pl, planned| {
+                let len = lens.get(pl as usize).copied().ok_or_else(|| {
+                    GeoError::Internal(format!(
+                        "program '{name}' has no layer {pl} despite matching layer counts"
+                    ))
+                })?;
+                if len != planned {
+                    return Err(GeoError::InvalidConfig(format!(
+                        "program '{name}' runs layer {pl} at stream length {len}, \
+                         engine plan says {planned} — program compiled for different \
+                         {{sp, s}} lengths"
+                    )));
+                }
+                Ok(len)
+            })
+    }
+
     /// Top-1 accuracy of program-driven inference on `dataset` — the
     /// program-path analogue of [`crate::evaluate_sc`].
     ///
@@ -520,6 +580,30 @@ mod tests {
         let err = exec
             .forward(&mut other, &Tensor::full(&[1, 3, 8, 8], 0.5), false)
             .unwrap_err();
+        assert!(
+            err.to_string().contains("do not match network"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn prepared_program_matches_program_forward() {
+        let (mut model, mut exec) = thumb_exec();
+        let x = Tensor::full(&[2, 1, 8, 8], 0.4);
+        let via_program = exec.forward(&mut model, &x, false).unwrap();
+        let (mut model2, mut exec2) = thumb_exec();
+        let prepared = exec2.prepare(&mut model2, x.shape()).unwrap();
+        let served = prepared.forward(&x).unwrap();
+        assert_eq!(via_program.data(), served.data());
+        // A program at other stream lengths must refuse to prepare.
+        let net = NetworkDesc::from_model("lenet5-thumb", &model, (1, 8, 8));
+        let program = compiler::compile(&net, &AccelConfig::ulp_geo(16, 32));
+        let mut wrong = ProgramExecutor::new(GeoConfig::geo(32, 64), &net, program).unwrap();
+        let err = wrong.prepare(&mut model, &[1, 1, 8, 8]).err().unwrap();
+        assert!(matches!(err, GeoError::InvalidConfig(_)), "{err}");
+        // A different network of equal lengths must fail the re-trace.
+        let mut other = models::cnn4(3, 8, 10, 0);
+        let err = exec.prepare(&mut other, &[1, 3, 8, 8]).err().unwrap();
         assert!(
             err.to_string().contains("do not match network"),
             "unexpected error: {err}"

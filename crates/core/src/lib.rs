@@ -11,7 +11,11 @@
 //! * per-layer `{sp, s}` stream lengths with pooling computation skipping
 //!   and 128-cycle output layers (§IV),
 //! * 8-bit near-memory batch normalization (§III-B/C),
-//! * and **SC-in-the-loop training**: SC forward, float backward (§IV).
+//! * **SC-in-the-loop training**: SC forward, float backward (§IV),
+//! * and a **compile-once, serve-many** lifecycle: [`ScEngine::prepare`]
+//!   hoists every input-independent resolve product into an immutable,
+//!   `Arc`-shareable [`PreparedModel`], and [`serve`] batches concurrent
+//!   requests against it.
 //!
 //! # Examples
 //!
@@ -38,13 +42,15 @@ mod config;
 mod engine;
 mod error;
 mod exec;
+pub mod serve;
 mod tables;
 pub mod telemetry;
 mod training;
 
-pub use config::{Accumulation, GeoConfig};
-pub use engine::{ResilienceReport, ScEngine, FC_BINARY_WIDTH};
+pub use config::{Accumulation, GeoConfig, ServeConfig};
+pub use engine::{PreparedModel, ResilienceReport, ScEngine, FC_BINARY_WIDTH};
 pub use error::GeoError;
 pub use exec::ProgramExecutor;
+pub use serve::{Pending, ScServer, ServeResponse};
 pub use tables::{ProgressiveTable, TableCache};
 pub use training::{evaluate_sc, train_sc, ScHistory};

@@ -16,6 +16,18 @@
 //! SRAM bit errors) corrupt table contents — each table doubles as the
 //! model of that generator's stream-buffer SRAM. Tables with transient
 //! faults are invalidated every pass so each pass draws fresh upsets.
+//!
+//! **Frozen-pass semantics under prepare/serve:** one
+//! [`ScEngine::prepare`](crate::ScEngine::prepare) is one pass — it calls
+//! [`TableCache::begin_pass`] once, draws TRNG tables and transient
+//! faults then, and bakes the resulting streams into the immutable
+//! [`PreparedModel`](crate::PreparedModel). Every request served against
+//! that prepared model sees those same frozen draws; TRNG tables are not
+//! redrawn and transient upsets do not recur per request. Repeated
+//! *direct* forwards, by contrast, redraw per pass — so under
+//! `RngKind::Trng` or a transient fault model, serve-path outputs are
+//! bit-identical to the *first* direct forward after the same engine
+//! state, not to a fresh pass each time.
 
 use crate::error::GeoError;
 use geo_sc::fault::{self, FaultCounters, FaultInjector};

@@ -158,6 +158,48 @@ impl EngineTelemetry {
         &self.layers[idx]
     }
 
+    /// Pre-sizes the per-layer table to at least `n` blocks so the
+    /// shared-reference accessor [`EngineTelemetry::layer_shared`] can
+    /// serve concurrent readers without growth.
+    pub(crate) fn ensure_layers(&mut self, n: usize) {
+        if self.layers.len() < n {
+            self.layers.resize_with(n, LayerCounters::default);
+        }
+    }
+
+    /// The counter block of parametrized layer `idx` through a shared
+    /// reference — the per-request compute path of a prepared model,
+    /// where the table was pre-sized at prepare time and must not grow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was not covered by
+    /// [`EngineTelemetry::ensure_layers`]; prepared models size the table
+    /// from the traced layer count, so an out-of-range index is a bug.
+    pub(crate) fn layer_shared(&self, idx: usize) -> &LayerCounters {
+        &self.layers[idx]
+    }
+
+    /// Folds another telemetry block into this one, layer by layer
+    /// (growing as needed) — how a prepared model's locally accumulated
+    /// counters flow back into the engine that prepared it.
+    pub(crate) fn absorb(&mut self, other: &EngineTelemetry) {
+        for (idx, src) in other.layers.iter().enumerate() {
+            let dst = self.layer(idx);
+            dst.macs.add(src.macs.get());
+            dst.compacted_lanes.add(src.compacted_lanes.get());
+            dst.skipped_zero_lanes.add(src.skipped_zero_lanes.get());
+            dst.table_hits.add(src.table_hits.get());
+            dst.table_misses.add(src.table_misses.get());
+            dst.fault_events.add(src.fault_events.get());
+            dst.pingpong_bytes.add(src.pingpong_bytes.get());
+            for (d, s) in dst.phase_ns.iter().zip(&src.phase_ns) {
+                d.add(s.get());
+            }
+        }
+        self.passes.add(other.passes.get());
+    }
+
     /// Clears every counter and forgets all layers.
     pub fn reset(&mut self) {
         self.layers.clear();
@@ -404,6 +446,35 @@ mod tests {
         }
         t.reset();
         assert!(t.report("unit").layers.is_empty());
+    }
+
+    #[test]
+    fn absorb_folds_layers_and_passes() {
+        let mut src = EngineTelemetry::default();
+        src.layer(0).macs.add(3);
+        src.layer(1).table_hits.add(2);
+        src.layer(1).add_phase_ns(Phase::Compute, 7);
+        src.passes.add(1);
+        let mut dst = EngineTelemetry::default();
+        dst.layer(0).macs.add(4);
+        dst.passes.add(2);
+        dst.absorb(&src);
+        let report = dst.report("unit");
+        assert_eq!(report.layers.len(), 2);
+        if enabled() {
+            assert_eq!(report.passes, 3);
+            assert_eq!(report.layers[0].macs, 7);
+            assert_eq!(report.layers[1].table_hits, 2);
+            assert_eq!(report.layers[1].phase_ns[Phase::Compute.index()], 7);
+        }
+    }
+
+    #[test]
+    fn ensure_layers_presizes_for_shared_access() {
+        let mut t = EngineTelemetry::default();
+        t.ensure_layers(3);
+        t.layer_shared(2).macs.add(1);
+        assert_eq!(t.report("unit").layers.len(), 3);
     }
 
     #[test]

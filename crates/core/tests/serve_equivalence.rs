@@ -1,0 +1,211 @@
+//! The prepare/compute split must be *bit-identical* to the interleaved
+//! forward loop — not merely close. `ScEngine::prepare` performs every
+//! stateful draw (table construction, fault injection) in the same order
+//! the direct forward's resolve phase does, and `PreparedModel::forward`
+//! is pure, so a fresh engine's first direct forward and a fresh engine's
+//! prepare-then-compute must agree to the bit at every thread count.
+//! These tests pin that contract across both paper models, every
+//! accumulation mode, both generation modes, and 1–8 compute threads —
+//! and pin that concurrent *serving* (batched, multi-client) returns the
+//! same bits and telemetry totals as unbatched single requests.
+
+use geo_core::{Accumulation, GeoConfig, ScEngine, ScServer, ServeConfig};
+use geo_nn::{models, Sequential, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+use std::sync::Arc;
+
+/// The two paper models at thumbnail scale: LeNet-5 (1×8×8 input) and
+/// CNN-4 (3×8×8 input).
+fn paper_model(which: usize, seed: u64) -> (Sequential, Vec<usize>) {
+    match which {
+        0 => (models::lenet5(1, 8, 10, seed), vec![2, 1, 8, 8]),
+        _ => (models::cnn4(3, 8, 10, seed), vec![2, 3, 8, 8]),
+    }
+}
+
+fn input(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fan_in: usize = shape[1..].iter().product();
+    let mut x = Tensor::kaiming(shape, fan_in, &mut rng).map(|v| v.abs().min(1.0));
+    x.data_mut()[0] = 1.0;
+    x
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Direct forward on a fresh engine under a pool of `threads` workers.
+fn direct_bits(threads: usize, cfg: GeoConfig, which: usize, seed: u64) -> Vec<u32> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction never fails");
+    pool.install(|| {
+        let (mut model, shape) = paper_model(which, seed);
+        let x = input(&shape, seed ^ 0x5eed);
+        let mut engine = ScEngine::new(cfg).expect("valid config");
+        let y = engine.forward(&mut model, &x, false).expect("forward");
+        bits(&y)
+    })
+}
+
+/// Prepare-then-compute on a fresh engine under the same pool size.
+fn prepared_bits(threads: usize, cfg: GeoConfig, which: usize, seed: u64) -> Vec<u32> {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction never fails");
+    pool.install(|| {
+        let (mut model, shape) = paper_model(which, seed);
+        let x = input(&shape, seed ^ 0x5eed);
+        model.set_training(false);
+        let mut engine = ScEngine::new(cfg).expect("valid config");
+        let prepared = engine.prepare(&model, &shape).expect("prepare");
+        let y = prepared.forward(&x).expect("compute");
+        bits(&y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A fresh engine's prepare-then-compute agrees to the bit with a
+    /// fresh engine's direct forward for every model × accumulation mode
+    /// × generation mode × thread count.
+    #[test]
+    fn prepared_path_is_bit_identical_to_direct_forward(
+        seed in 0u64..500,
+        which in 0usize..2,
+        mode_idx in 0usize..5,
+        progressive in any::<bool>(),
+        threads in 1usize..9,
+    ) {
+        let cfg = GeoConfig::geo(32, 64)
+            .with_accumulation(Accumulation::ALL[mode_idx])
+            .with_progressive(progressive);
+        let direct = direct_bits(threads, cfg, which, seed);
+        let prepared = prepared_bits(threads, cfg, which, seed);
+        prop_assert_eq!(direct, prepared,
+            "prepared path diverged from direct forward at {} threads", threads);
+    }
+}
+
+/// Exhaustive sweep at fixed thread counts: both models under all five
+/// accumulation modes and both generation modes, prepared vs. direct at
+/// 1 and 4 workers.
+#[test]
+fn every_mode_matches_direct_at_fixed_thread_counts() {
+    for which in 0..2 {
+        for mode in Accumulation::ALL {
+            for progressive in [false, true] {
+                let cfg = GeoConfig::geo(32, 64)
+                    .with_accumulation(mode)
+                    .with_progressive(progressive);
+                for threads in [1, 4] {
+                    assert_eq!(
+                        direct_bits(threads, cfg, which, 42),
+                        prepared_bits(threads, cfg, which, 42),
+                        "model {which} {mode:?} progressive={progressive} \
+                         diverged at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One serve run: `clients` threads each submit `per_client` distinct
+/// requests through a shared server and collect (input id, output bits).
+/// Returns the sorted transcript plus the prepared model's telemetry
+/// counter totals after the run.
+fn serve_run(
+    prepared: &Arc<geo_core::PreparedModel>,
+    serve_cfg: ServeConfig,
+    clients: usize,
+    per_client: usize,
+    shape: &[usize],
+) -> (Vec<(usize, Vec<u32>)>, [u64; 7]) {
+    let server = Arc::new(ScServer::spawn(Arc::clone(prepared), serve_cfg).expect("spawn"));
+    let mut transcript: Vec<(usize, Vec<u32>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let shape = shape.to_vec();
+                scope.spawn(move || {
+                    (0..per_client)
+                        .map(|i| {
+                            let id = c * per_client + i;
+                            let x = input(&shape, 1000 + id as u64);
+                            let response = loop {
+                                match server.infer(x.clone()) {
+                                    Ok(r) => break r,
+                                    Err(geo_core::GeoError::ServeOverflow { .. }) => {
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("serve failed: {e}"),
+                                }
+                            };
+                            (id, bits(&response.output))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    transcript.sort_by_key(|(id, _)| *id);
+    let report = prepared.telemetry_report();
+    let mut totals = [0u64; 7];
+    for layer in &report.layers {
+        for (t, c) in totals.iter_mut().zip(layer.counters()) {
+            *t += c;
+        }
+    }
+    let server = Arc::into_inner(server).expect("all client clones dropped");
+    server.shutdown().expect("shutdown");
+    (transcript, totals)
+}
+
+/// Concurrent batched serving is deterministic: every client's response
+/// is bit-identical to an unbatched `PreparedModel::forward` of the same
+/// input, and two independent serve runs over identically prepared
+/// models produce identical transcripts and identical telemetry counter
+/// totals (pass counts may differ — batch fusion is load-dependent; the
+/// work counters may not).
+#[test]
+fn concurrent_serve_is_deterministic_and_matches_unbatched() {
+    let cfg = GeoConfig::geo(32, 64);
+    let (clients, per_client) = (4, 6);
+    let shape = vec![1, 1, 8, 8];
+    let fresh_prepared = || {
+        let mut model = models::lenet5(1, 8, 10, 0);
+        model.set_training(false);
+        let mut engine = ScEngine::new(cfg).expect("valid config");
+        Arc::new(engine.prepare(&model, &shape).expect("prepare"))
+    };
+    let serve_cfg = ServeConfig::default().with_max_batch(4).with_queue_depth(8);
+
+    let reference = fresh_prepared();
+    let (run_a, totals_a) = serve_run(&fresh_prepared(), serve_cfg, clients, per_client, &shape);
+    let (run_b, totals_b) = serve_run(&fresh_prepared(), serve_cfg, clients, per_client, &shape);
+
+    assert_eq!(run_a.len(), clients * per_client);
+    for (id, served) in &run_a {
+        let x = input(&shape, 1000 + *id as u64);
+        let direct = reference.forward(&x).expect("direct");
+        assert_eq!(
+            served,
+            &bits(&direct),
+            "request {id} diverged from unbatched"
+        );
+    }
+    assert_eq!(run_a, run_b, "serve transcripts diverged across runs");
+    assert_eq!(totals_a, totals_b, "telemetry totals diverged across runs");
+}

@@ -37,5 +37,8 @@ run telemetry  cargo run --release -q -p geo-bench --features telemetry \
 # --artifact also saves each compiled program to $R/<model>.geoa,
 # reloads it through the validating from_artifact boundary, and asserts
 # the reloaded executor's outputs bit-identical (DESIGN.md §13).
-run perf       $B bench_forward -- --artifact $R --run-id full > $R/bench_forward.txt
+# --serve measures the compile-once, serve-many path (DESIGN.md §15):
+# per-inference cost, inf/sec, and p50/p99 at target batch 1/8/64, with
+# the batch-64-beats-batch-1 gate.
+run perf       $B bench_forward -- --artifact $R --serve --run-id full > $R/bench_forward.txt
 echo ALL_EXPERIMENTS_DONE
