@@ -27,6 +27,12 @@ pub struct Optimizations {
     pub near_memory: bool,
     /// Compute pipeline stage enabling the 0.81 V DVFS point (§III-D).
     pub pipeline_dvfs: bool,
+    /// Pooled-output computation skipping (§III-A): the output
+    /// converters' parallel counters add each 2×2 pooling window before
+    /// conversion, so pooled layers convert once per window instead of
+    /// once per pixel (the engine's conv→pool fusion models the same
+    /// transform in software).
+    pub pooled_conversion_skip: bool,
     /// LFSR width; the Base variant uses 16-bit LFSRs to emulate TRNG
     /// quality (§IV-B), GEO matches width to stream length (≤8).
     pub lfsr_bits: u8,
@@ -41,6 +47,7 @@ impl Optimizations {
             partial_binary: false,
             near_memory: false,
             pipeline_dvfs: false,
+            pooled_conversion_skip: false,
             lfsr_bits: 16,
         }
     }
@@ -53,6 +60,7 @@ impl Optimizations {
             partial_binary: false,
             near_memory: false,
             pipeline_dvfs: false,
+            pooled_conversion_skip: false,
             lfsr_bits: 8,
         }
     }
@@ -65,6 +73,7 @@ impl Optimizations {
             partial_binary: true,
             near_memory: true,
             pipeline_dvfs: true,
+            pooled_conversion_skip: true,
             lfsr_bits: 8,
         }
     }
@@ -227,6 +236,7 @@ impl AccelConfig {
                 partial_binary: false,
                 near_memory: false,
                 pipeline_dvfs: false,
+                pooled_conversion_skip: false,
                 lfsr_bits: 8,
             },
             ..Self::ulp_geo(stream, stream)
@@ -261,6 +271,7 @@ impl AccelConfig {
                 partial_binary: false,
                 near_memory: false,
                 pipeline_dvfs: false,
+                pooled_conversion_skip: false,
                 lfsr_bits: 8,
             },
             ..Self::lp_geo(stream, stream)

@@ -116,6 +116,13 @@ pub fn simulate(accel: &AccelConfig, program: &Program) -> SimReport {
                 cycles += c.max(pending_load) + start;
                 pending_load = 0;
                 let util = active_macs as f64 / accel.macs().max(1) as f64;
+                // §III-A computation skipping: pooled layers (identified
+                // by their shorter `sp` stream — the compiler emits
+                // `2·sp` Generate cycles only for them) convert once per
+                // 2×2 pooling window, quartering converter activity.
+                let pooled = accel.opts.pooled_conversion_skip
+                    && accel.stream_pooled != accel.stream_other
+                    && c == 2 * accel.stream_pooled as u64;
                 for &cat in &[
                     Category::ScMacArrays,
                     Category::ActSng,
@@ -127,6 +134,7 @@ pub fn simulate(accel: &AccelConfig, program: &Program) -> SimReport {
                     // MAC arrays and converters scale with utilization;
                     // generation machinery runs regardless.
                     let scale = match cat {
+                        Category::OutputConv if pooled => util * 0.25,
                         Category::ScMacArrays | Category::OutputConv => util,
                         _ => 1.0,
                     };
@@ -374,5 +382,44 @@ mod tests {
         assert!(with.energy_j < without.energy_j);
         // Same frequency → comparable cycle counts.
         assert!((with.cycles as f64 / without.cycles as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn pooled_conversion_skip_lowers_only_converter_energy() {
+        // §III-A: skipping conversion on pooled layers quarters the
+        // output converters' activity there and touches nothing else —
+        // cycles and every other category are identical with the flag
+        // off.
+        let net = NetworkDesc::cnn4_cifar();
+        let mut no_skip = AccelConfig::ulp_geo(32, 64);
+        no_skip.opts.pooled_conversion_skip = false;
+        no_skip.name = "GEO-no-skip".into();
+        let with = run(&AccelConfig::ulp_geo(32, 64), &net);
+        let without = run(&no_skip, &net);
+        assert_eq!(with.cycles, without.cycles);
+        for ((cat, w), (_, wo)) in with.breakdown_pj.iter().zip(&without.breakdown_pj) {
+            match cat {
+                Category::OutputConv => {
+                    assert!(*w < *wo, "converter energy did not drop: {w} vs {wo}")
+                }
+                _ => assert_eq!(w, wo, "{} changed", cat.label()),
+            }
+        }
+        assert!(with.energy_j < without.energy_j);
+    }
+
+    #[test]
+    fn equal_streams_defeat_pooled_detection() {
+        // With `sp == s` the compiler emits indistinguishable Generate
+        // cycles for pooled and unpooled layers, so the simulator cannot
+        // (and must not) discount any of them.
+        let net = NetworkDesc::cnn4_cifar();
+        let mut no_skip = AccelConfig::ulp_geo(64, 64);
+        no_skip.opts.pooled_conversion_skip = false;
+        no_skip.name = "GEO-equal-no-skip".into();
+        let with = run(&AccelConfig::ulp_geo(64, 64), &net);
+        let without = run(&no_skip, &net);
+        assert_eq!(with.cycles, without.cycles);
+        assert_eq!(with.breakdown_pj, without.breakdown_pj);
     }
 }

@@ -37,6 +37,13 @@ pub struct GeoConfig {
     pub bn_bits: Option<u8>,
     /// Base seed for the per-layer seed plans.
     pub base_seed: u32,
+    /// Fuse `Conv → [BatchNorm] → [ReLU] → AvgPool2d` chains into a single
+    /// prepared step that accumulates pooling windows in the counter domain
+    /// and converts once per pooled output (§III-A computation skipping),
+    /// and chain SC layers through quantized activation levels instead of
+    /// f32 round-trips. Float-identical to the unfused pipeline; disable
+    /// only to benchmark the unfused path.
+    pub fuse_pooling: bool,
 }
 
 impl GeoConfig {
@@ -62,6 +69,7 @@ impl GeoConfig {
             progressive: true,
             bn_bits: Some(8),
             base_seed: 0x9E37,
+            fuse_pooling: true,
         }
     }
 
@@ -78,6 +86,7 @@ impl GeoConfig {
             progressive: false,
             bn_bits: Some(8),
             base_seed: 0x9E37,
+            fuse_pooling: true,
         }
     }
 
@@ -142,6 +151,13 @@ impl GeoConfig {
     /// Returns a copy with progressive generation toggled.
     pub fn with_progressive(mut self, progressive: bool) -> Self {
         self.progressive = progressive;
+        self
+    }
+
+    /// Returns a copy with conv→pool fusion toggled (fused-vs-unfused
+    /// benchmarking and equivalence tests).
+    pub fn with_fuse_pooling(mut self, fuse_pooling: bool) -> Self {
+        self.fuse_pooling = fuse_pooling;
         self
     }
 }
@@ -229,7 +245,15 @@ mod tests {
         assert_eq!(c.output_stream_len, 128);
         assert!(c.progressive);
         assert_eq!(c.bn_bits, Some(8));
+        assert!(c.fuse_pooling);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fuse_pooling_toggles_and_defaults_on() {
+        assert!(GeoConfig::geo(32, 64).fuse_pooling);
+        assert!(GeoConfig::acoustic(128).fuse_pooling);
+        assert!(!GeoConfig::geo(32, 64).with_fuse_pooling(false).fuse_pooling);
     }
 
     #[test]

@@ -600,6 +600,63 @@ fn act_level(progressive: bool, x: f32, width: u8) -> u32 {
     }
 }
 
+/// What a parametrized step materializes for the next step (DESIGN.md
+/// §16): an f32 tensor (`Float` — the network boundary default), or the
+/// next SC consumer's quantized activation levels (`Levels` — the
+/// resident integer pipeline, assigned at prepare time when every step in
+/// between is level-transparent: ReLU is absorbed because
+/// `act_level(clamp(v)) == act_level(v)`, Flatten because levels carry
+/// their shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    /// Materialize an f32 tensor (non-SC boundary or network output).
+    Float,
+    /// Materialize the downstream SC layer's activation levels directly,
+    /// quantized with *its* generation mode and width — the exact values
+    /// its `quantize_acts` would have produced from the f32 tensor.
+    Levels {
+        /// Consumer's progressive-generation flag.
+        progressive: bool,
+        /// Consumer's quantization width (`log2` of its stream length).
+        width: u8,
+    },
+}
+
+/// Quantized activation levels flowing between chained SC layers in
+/// place of an f32 tensor: the producing layer ran [`act_level`] once per
+/// produced pixel with the consumer's parameters, so the consumer skips
+/// its quantization pass entirely.
+struct LevelTensor {
+    /// Logical tensor shape the levels stand in for (reshaped by
+    /// Flatten, validated by the consumer like a tensor shape).
+    shape: Vec<usize>,
+    /// Quantized levels, tensor order.
+    levels: Vec<u32>,
+}
+
+/// The activation value moving between prepared steps: an f32 tensor or
+/// a chained [`LevelTensor`]. Which variant reaches which step is decided
+/// at prepare time ([`Emit`]); a `Levels` value reaching a float-only
+/// step is an internal invariant violation, not a user error.
+enum Flow {
+    Float(Tensor),
+    Levels(LevelTensor),
+}
+
+impl Flow {
+    /// Unwraps the f32 tensor, erroring on a chained value — used by the
+    /// float-only steps (batch norm, pooling, network output), which the
+    /// prepare-time chaining pass never feeds levels by construction.
+    fn into_float(self, ctx: &str) -> Result<Tensor, GeoError> {
+        match self {
+            Flow::Float(t) => Ok(t),
+            Flow::Levels(_) => Err(GeoError::Internal(format!(
+                "level-chained activations reached float-only {ctx}"
+            ))),
+        }
+    }
+}
+
 // The compute phase hands these to scoped worker threads by shared
 // reference, and `PreparedModel` is additionally shared across requests
 // (`Arc`, the serve path); pin the auto-trait obligations at compile time
@@ -612,6 +669,8 @@ const _: () = {
     assert_send_sync::<CompactKernel>();
     assert_send_sync::<PreparedConv>();
     assert_send_sync::<PreparedLinear>();
+    assert_send_sync::<Emit>();
+    assert_send_sync::<LevelTensor>();
     assert_send_sync::<PreparedModel>();
 };
 
@@ -1162,6 +1221,35 @@ impl PreparedConv {
         Ok(ActBatch { n: s[0], levels })
     }
 
+    /// Accepts either activation form: an f32 tensor is quantized as
+    /// always; chained levels (produced upstream with this layer's width
+    /// and generation mode) skip quantization and only re-validate shape
+    /// and range, so `act_level` runs once per pixel across the chain.
+    fn accept(&self, flow: Flow) -> Result<ActBatch, GeoError> {
+        let lt = match flow {
+            Flow::Float(t) => return self.quantize_acts(&t),
+            Flow::Levels(lt) => lt,
+        };
+        let s = &lt.shape;
+        if s.len() != 4 || s[1] != self.cin {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {}, H, W)", self.cin),
+                actual: s.clone(),
+            }));
+        }
+        if s[2] != self.h || s[3] != self.w {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {}, {}, {})", self.cin, self.h, self.w),
+                actual: s.clone(),
+            }));
+        }
+        validate_act_levels(&self.act_tables, &lt.levels)?;
+        Ok(ActBatch {
+            n: lt.shape[0],
+            levels: lt.levels,
+        })
+    }
+
     /// Phase 2: computes the whole output tensor, parallelizing over
     /// spatial rows `(b, oy)` so one activation gather is shared by every
     /// output channel (DESIGN.md §14). Workers write a `[n, oh, cout, ow]`
@@ -1172,6 +1260,29 @@ impl PreparedConv {
     /// Infallible — every lookup the compacted kernels perform was
     /// validated at prepare/quantize time.
     fn compute(&self, batch: &ActBatch, tel: &LayerCounters) -> Tensor {
+        let tmp = self.compute_rows(batch, tel);
+        self.transpose_stage(&tmp, batch.n, self.oh, self.ow)
+    }
+
+    /// [`PreparedConv::compute`], emitting the downstream SC layer's
+    /// quantized levels instead of an f32 tensor: `act_level` runs inside
+    /// the serial transpose, so the chained consumer skips its whole
+    /// quantization pass. Values quantized are bit-identical to the f32
+    /// tensor [`PreparedConv::compute`] would have produced.
+    fn compute_levels(
+        &self,
+        batch: &ActBatch,
+        tel: &LayerCounters,
+        progressive: bool,
+        width: u8,
+    ) -> LevelTensor {
+        let tmp = self.compute_rows(batch, tel);
+        self.transpose_stage_levels(&tmp, batch.n, self.oh, self.ow, progressive, width)
+    }
+
+    /// The parallel half of [`PreparedConv::compute`]: fills the
+    /// `[n, oh, cout, ow]` staging buffer, one spatial row per chunk.
+    fn compute_rows(&self, batch: &ActBatch, tel: &LayerCounters) -> Vec<f32> {
         let row_elems = self.cout * self.ow;
         let mut tmp = vec![0f32; batch.n * self.oh * row_elems];
         tmp.par_chunks_mut(row_elems.max(1))
@@ -1193,18 +1304,101 @@ impl PreparedConv {
                     }
                 },
             );
-        let mut out = Tensor::zeros(&[batch.n, self.cout, self.oh, self.ow]);
+        tmp
+    }
+
+    /// Fused conv→avg-pool compute (§III-A computation skipping): workers
+    /// produce both full-resolution rows of one *pooled* row, apply the
+    /// absorbed batch-norm affine and ReLU clamp per full-res pixel in
+    /// the exact unfused op order, and combine each 2×2 window once —
+    /// the full-resolution tensor is never materialized and the serial
+    /// transpose shrinks 4×. Returns the `[n, oh/2, cout, ow/2]` staging
+    /// buffer. Bit-identical to the unfused
+    /// compute → BnAffine::apply → clamp → `avg_pool2x2` pipeline: every
+    /// float op runs in the same order on the same values, and the mode
+    /// kernels (border masking, APC polarity paths included) are the
+    /// unfused ones via the shared [`PreparedConv::gather_row`].
+    fn compute_pooled(
+        &self,
+        batch: &ActBatch,
+        bn: Option<&BnAffine>,
+        relu: bool,
+        tel: &LayerCounters,
+    ) -> Vec<f32> {
+        let (poh, pow2) = (self.oh / 2, self.ow / 2);
+        let row_elems = self.cout * pow2;
+        let epi = FusedEpilogue { bn, relu };
+        let mut tmp = vec![0f32; batch.n * poh * row_elems];
+        tmp.par_chunks_mut(row_elems.max(1))
+            .enumerate()
+            .for_each_init(
+                || PoolWorker {
+                    scratch: self.scratch.take(),
+                    stage: vec![0f32; 2 * self.cout * self.ow],
+                },
+                |worker, (prow, chunk)| match self.mode {
+                    Accumulation::Or => self
+                        .compute_spatial_pooled::<OrKernel>(prow, chunk, batch, worker, epi, tel),
+                    Accumulation::Pbw | Accumulation::Pbhw => self
+                        .compute_spatial_pooled::<GroupedKernel>(
+                            prow, chunk, batch, worker, epi, tel,
+                        ),
+                    Accumulation::Fxp => self
+                        .compute_spatial_pooled::<FxpKernel>(prow, chunk, batch, worker, epi, tel),
+                    Accumulation::Apc => self
+                        .compute_spatial_pooled::<ApcKernel>(prow, chunk, batch, worker, epi, tel),
+                },
+            );
+        tmp
+    }
+
+    /// Serial transpose of a `[n, r, cout, c]` staging buffer into the
+    /// `[n, cout, r, c]` output tensor (`r`/`c` are full-resolution or
+    /// pooled dims).
+    fn transpose_stage(&self, tmp: &[f32], n: usize, r: usize, c: usize) -> Tensor {
+        let row_elems = self.cout * c;
+        let mut out = Tensor::zeros(&[n, self.cout, r, c]);
         let data = out.data_mut();
-        for b in 0..batch.n {
-            for oy in 0..self.oh {
-                let src = &tmp[(b * self.oh + oy) * row_elems..][..row_elems];
+        for b in 0..n {
+            for y in 0..r {
+                let src = &tmp[(b * r + y) * row_elems..][..row_elems];
                 for co in 0..self.cout {
-                    let dst = ((b * self.cout + co) * self.oh + oy) * self.ow;
-                    data[dst..dst + self.ow].copy_from_slice(&src[co * self.ow..][..self.ow]);
+                    let dst = ((b * self.cout + co) * r + y) * c;
+                    data[dst..dst + c].copy_from_slice(&src[co * c..][..c]);
                 }
             }
         }
         out
+    }
+
+    /// [`PreparedConv::transpose_stage`] fused with the chained
+    /// consumer's [`act_level`] quantization.
+    fn transpose_stage_levels(
+        &self,
+        tmp: &[f32],
+        n: usize,
+        r: usize,
+        c: usize,
+        progressive: bool,
+        width: u8,
+    ) -> LevelTensor {
+        let row_elems = self.cout * c;
+        let mut levels = vec![0u32; n * self.cout * r * c];
+        for b in 0..n {
+            for y in 0..r {
+                let src = &tmp[(b * r + y) * row_elems..][..row_elems];
+                for co in 0..self.cout {
+                    let dst = ((b * self.cout + co) * r + y) * c;
+                    for (d, &v) in levels[dst..dst + c].iter_mut().zip(&src[co * c..][..c]) {
+                        *d = act_level(progressive, v, width);
+                    }
+                }
+            }
+        }
+        LevelTensor {
+            shape: vec![n, self.cout, r, c],
+            levels,
+        }
     }
 
     /// Gathers the activation words of every (kernel position, output
@@ -1288,10 +1482,30 @@ impl PreparedConv {
     ) {
         let oy = row % self.oh.max(1);
         let b = row / self.oh.max(1);
+        self.compute_row_into::<M>(b, oy, chunk, batch, scratch);
+        if telemetry::enabled() {
+            tel.macs.add(scratch.pix.macs);
+            scratch.pix.macs = 0;
+        }
+        scratch.debug_check();
+    }
+
+    /// Computes full-resolution spatial row `(b, oy)` into `out`
+    /// (`cout·ow`, channel-major): one shared activation gather, then each
+    /// output channel's pixels read the kernel's static SoA arrays. MACs
+    /// accumulate into `scratch.pix.macs`; the caller flushes them.
+    fn compute_row_into<M: ModeKernel>(
+        &self,
+        b: usize,
+        oy: usize,
+        out: &mut [f32],
+        batch: &ActBatch,
+        scratch: &mut Scratch,
+    ) {
         let ck = &self.compact;
         let Scratch { act, pix } = scratch;
         self.gather_row(b, oy, &batch.levels, act);
-        for (co, out_row) in chunk.chunks_mut(self.ow.max(1)).enumerate() {
+        for (co, out_row) in out.chunks_mut(self.ow.max(1)).enumerate() {
             let range = ck.row_range(co);
             let (pos_aoff, pos_w) = ck.row_pos_list(co);
             let (neg_aoff, neg_w) = ck.row_neg_list(co);
@@ -1318,12 +1532,75 @@ impl PreparedConv {
                 }
             }
         }
-        if telemetry::enabled() {
-            tel.macs.add(pix.macs);
-            pix.macs = 0;
-        }
-        scratch.debug_check();
     }
+
+    /// Computes one *pooled* output row `(b, poy)`: both full-resolution
+    /// rows land in the worker's staging buffer, the absorbed batch-norm
+    /// affine and ReLU clamp run per full-res pixel (same elementwise ops,
+    /// same order as the unfused steps), and each 2×2 window is combined
+    /// once in `avg_pool2x2`'s tap order.
+    fn compute_spatial_pooled<M: ModeKernel>(
+        &self,
+        prow: usize,
+        chunk: &mut [f32],
+        batch: &ActBatch,
+        worker: &mut PoolWorker<'_>,
+        epi: FusedEpilogue<'_>,
+        tel: &LayerCounters,
+    ) {
+        let poh = (self.oh / 2).max(1);
+        let pow2 = (self.ow / 2).max(1);
+        let poy = prow % poh;
+        let b = prow / poh;
+        let half_elems = self.cout * self.ow;
+        for half in 0..2 {
+            let stage_row = &mut worker.stage[half * half_elems..][..half_elems];
+            self.compute_row_into::<M>(b, 2 * poy + half, stage_row, batch, &mut worker.scratch);
+            for co in 0..self.cout {
+                let row = &mut stage_row[co * self.ow..][..self.ow];
+                if let Some(bn) = epi.bn {
+                    let (sc, sh) = (bn.scales[co], bn.shifts[co]);
+                    for v in row.iter_mut() {
+                        *v = sc * *v + sh;
+                    }
+                }
+                if epi.relu {
+                    for v in row.iter_mut() {
+                        *v = v.clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        let (s0, s1) = worker.stage.split_at(half_elems);
+        for (co, out_row) in chunk.chunks_mut(pow2).enumerate() {
+            let r0 = &s0[co * self.ow..][..self.ow];
+            let r1 = &s1[co * self.ow..][..self.ow];
+            for (pox, out_v) in out_row.iter_mut().enumerate() {
+                let sum = r0[2 * pox] + r0[2 * pox + 1] + r1[2 * pox] + r1[2 * pox + 1];
+                *out_v = sum / 4.0;
+            }
+        }
+        if telemetry::enabled() {
+            tel.macs.add(worker.scratch.pix.macs);
+            worker.scratch.pix.macs = 0;
+        }
+        worker.scratch.debug_check();
+    }
+}
+
+/// Per-worker state of the fused pooled compute: the pooled scratch plus
+/// the two-full-res-row staging buffer the 2×2 combine reads.
+struct PoolWorker<'a> {
+    scratch: PooledScratch<'a>,
+    stage: Vec<f32>,
+}
+
+/// The near-memory steps a fused conv→pool step absorbed, applied per
+/// full-resolution pixel before the pooled combine.
+#[derive(Clone, Copy)]
+struct FusedEpilogue<'a> {
+    bn: Option<&'a BnAffine>,
+    relu: bool,
 }
 
 impl PreparedLinear {
@@ -1344,6 +1621,25 @@ impl PreparedLinear {
             .collect();
         validate_act_levels(&self.act_tables, &levels)?;
         Ok(ActBatch { n, levels })
+    }
+
+    /// Accepts either activation form (see [`PreparedConv::accept`]).
+    fn accept(&self, flow: Flow) -> Result<ActBatch, GeoError> {
+        let lt = match flow {
+            Flow::Float(t) => return self.quantize_acts(&t),
+            Flow::Levels(lt) => lt,
+        };
+        if lt.shape.len() != 2 || lt.shape[1] != self.features {
+            return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                expected: format!("(N, {})", self.features),
+                actual: lt.shape.clone(),
+            }));
+        }
+        validate_act_levels(&self.act_tables, &lt.levels)?;
+        Ok(ActBatch {
+            n: lt.shape[0],
+            levels: lt.levels,
+        })
     }
 
     /// Phase 2: computes the whole output tensor. Output neurons
@@ -1385,6 +1681,27 @@ impl PreparedLinear {
                 },
             );
         out
+    }
+
+    /// [`PreparedLinear::compute`], emitting the downstream SC layer's
+    /// quantized levels (a serial map over the small `[n, outf]` output;
+    /// see [`PreparedConv::compute_levels`]).
+    fn compute_levels(
+        &self,
+        batch: &ActBatch,
+        tel: &LayerCounters,
+        progressive: bool,
+        width: u8,
+    ) -> LevelTensor {
+        let out = self.compute(batch, tel);
+        LevelTensor {
+            shape: vec![batch.n, self.outf],
+            levels: out
+                .data()
+                .iter()
+                .map(|&v| act_level(progressive, v, width))
+                .collect(),
+        }
     }
 
     /// Gathers batch element `b`'s activation words — one unit per input
@@ -1619,6 +1936,12 @@ impl ScEngine {
     /// "before" side of the `bench_forward` perf trajectory. Outputs are
     /// bit-for-bit equal to [`ScEngine::forward`] at every thread count.
     ///
+    /// Reference passes stay on the *unfused* pipeline by construction:
+    /// conv→pool fusion and level chaining are gated on
+    /// `!reference_kernels` in `prepare_with_lens`, so an oracle
+    /// comparison can never silently take the fast path it is supposed
+    /// to check.
+    ///
     /// # Errors
     ///
     /// Propagates substrate errors and shape mismatches, exactly as
@@ -1767,14 +2090,20 @@ impl ScEngine {
         if self.fault_model().is_some() {
             resilience.passes = 1;
         }
-        let mut steps = Vec::with_capacity(model.layers().len());
+        // Conv→pool fusion and level chaining are config-gated and never
+        // applied to reference prepares, which must stay on the unfused
+        // oracle path by construction.
+        let fuse = self.config.fuse_pooling && !self.reference_kernels;
+        let layers = model.layers();
+        let mut steps = Vec::with_capacity(layers.len());
         let mut shape: Vec<usize> = input_shape.to_vec();
         let mut param_layer = 0u32;
-        for (i, layer) in model.layers().iter().enumerate() {
+        let mut i = 0;
+        while i < layers.len() {
             // Near-memory steps are attributed to the parametrized layer
             // whose outputs they transform, as in the interleaved loop.
             let tel_layer = param_layer.saturating_sub(1) as usize;
-            match layer {
+            match &layers[i] {
                 Layer::Conv2d(conv) => {
                     let len = len_for(param_layer, planned_len(&plan, i)?)?;
                     if shape.len() != 4 || shape[1] != conv.cin() {
@@ -1795,9 +2124,46 @@ impl ScEngine {
                         &mut resilience,
                     );
                     shape = vec![shape[0], prep.cout, prep.oh, prep.ow];
+                    // Fusion detection (§III-A): a `Conv → [BatchNorm] →
+                    // [ReLU] → AvgPool2d` run with even output dims fuses
+                    // into one step. Odd dims fall through — the unfused
+                    // AvgPool arm then raises the identical shape error.
+                    // Resolve order is unchanged: `prepare_conv` above drew
+                    // this layer's tables/faults, and `BnAffine::prepare`
+                    // touches neither the cache nor the RNG.
+                    if let Some((bn, relu, next)) = fuse
+                        .then(|| fusible_pool_run(layers, i + 1))
+                        .flatten()
+                        .filter(|_| prep.oh.is_multiple_of(2) && prep.ow.is_multiple_of(2))
+                    {
+                        let bn = bn
+                            .map(|b| {
+                                let affine = BnAffine::prepare(b, self.config.bn_bits)?;
+                                if shape[1] != affine.scales.len() {
+                                    return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                                        expected: format!("(N, {}, H, W)", affine.scales.len()),
+                                        actual: shape.clone(),
+                                    }));
+                                }
+                                Ok(affine)
+                            })
+                            .transpose()?;
+                        shape = vec![shape[0], prep.cout, prep.oh / 2, prep.ow / 2];
+                        steps.push(PreparedStep::ConvPooled {
+                            layer: prep,
+                            param_layer,
+                            bn,
+                            relu,
+                            emit: Emit::Float,
+                        });
+                        param_layer += 1;
+                        i = next;
+                        continue;
+                    }
                     steps.push(PreparedStep::Conv {
                         layer: prep,
                         param_layer,
+                        emit: Emit::Float,
                     });
                     param_layer += 1;
                 }
@@ -1823,6 +2189,7 @@ impl ScEngine {
                     steps.push(PreparedStep::Linear {
                         layer: prep,
                         param_layer,
+                        emit: Emit::Float,
                     });
                     param_layer += 1;
                 }
@@ -1840,7 +2207,7 @@ impl ScEngine {
                 Layer::AvgPool2d(_) | Layer::MaxPool2d(_) => {
                     let (n, c, h, w) = pool_shape(&shape)?;
                     shape = vec![n, c, h / 2, w / 2];
-                    steps.push(if matches!(layer, Layer::AvgPool2d(_)) {
+                    steps.push(if matches!(&layers[i], Layer::AvgPool2d(_)) {
                         PreparedStep::AvgPool { tel_layer }
                     } else {
                         PreparedStep::MaxPool { tel_layer }
@@ -1858,6 +2225,10 @@ impl ScEngine {
                     steps.push(PreparedStep::Flatten { tel_layer });
                 }
             }
+            i += 1;
+        }
+        if fuse {
+            assign_level_chaining(&mut steps);
         }
         // Pre-size the per-layer counters: `PreparedModel::forward` only
         // holds `&self`, so it cannot grow the vector on first use. Near-
@@ -1894,7 +2265,11 @@ impl ScEngine {
     ///
     /// Uses the same stream plan, seeds, and tables as a full forward, so
     /// the result is bit-identical to that layer's contribution in
-    /// [`ScEngine::forward`].
+    /// [`ScEngine::forward`]. Single-layer runs are *unfused by
+    /// construction* — they call the conv/linear datapath directly and
+    /// never build a `PreparedStep` sequence, so conv→pool fusion and
+    /// level chaining cannot apply and per-layer oracle comparisons see
+    /// the layer's raw full-resolution output.
     ///
     /// # Errors
     ///
@@ -2721,64 +3096,23 @@ impl BnAffine {
     }
 }
 
-/// Shape contract shared by both 2×2 pools, replicating
-/// `geo_nn::AvgPool2d::forward`'s error exactly.
+/// Shape contract shared by both 2×2 pools — `geo_nn::pool2x2_shape`
+/// with the error lifted into [`GeoError`], so the prepared path raises
+/// exactly `geo_nn::AvgPool2d::forward`'s error.
 fn pool_shape(s: &[usize]) -> Result<(usize, usize, usize, usize), GeoError> {
-    if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
-        return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
-            expected: "(N, C, even H, even W)".into(),
-            actual: s.to_vec(),
-        }));
-    }
-    Ok((s[0], s[1], s[2], s[3]))
+    geo_nn::pool2x2_shape(s).map_err(GeoError::Nn)
 }
 
-/// 2×2 average pool, float-identical to `geo_nn::AvgPool2d::forward`
-/// (same tap order, same `/ 4.0`) but borrowing the input immutably — the
+/// 2×2 average pool: the single shared `geo_nn::avg_pool2x2` kernel (the
+/// fused conv→pool path's oracle), borrowing the input immutably — the
 /// prepared path cannot run `&mut` layer forwards.
 fn avg_pool_eval(x: &Tensor) -> Result<Tensor, GeoError> {
-    let (n, c, h, w) = pool_shape(x.shape())?;
-    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
-    for b in 0..n {
-        for ci in 0..c {
-            for oy in 0..h / 2 {
-                for ox in 0..w / 2 {
-                    let (y, xx) = (oy * 2, ox * 2);
-                    let sum = x.at4(b, ci, y, xx)
-                        + x.at4(b, ci, y, xx + 1)
-                        + x.at4(b, ci, y + 1, xx)
-                        + x.at4(b, ci, y + 1, xx + 1);
-                    out.set4(b, ci, oy, ox, sum / 4.0);
-                }
-            }
-        }
-    }
-    Ok(out)
+    geo_nn::avg_pool2x2(x).map_err(GeoError::Nn)
 }
 
-/// 2×2 max pool, float-identical to `geo_nn::MaxPool2d::forward`.
+/// 2×2 max pool: the shared `geo_nn::max_pool2x2` kernel.
 fn max_pool_eval(x: &Tensor) -> Result<Tensor, GeoError> {
-    let (n, c, h, w) = pool_shape(x.shape())?;
-    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
-    for b in 0..n {
-        for ci in 0..c {
-            for oy in 0..h / 2 {
-                for ox in 0..w / 2 {
-                    let mut best = f32::NEG_INFINITY;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let v = x.at4(b, ci, oy * 2 + dy, ox * 2 + dx);
-                            if v > best {
-                                best = v;
-                            }
-                        }
-                    }
-                    out.set4(b, ci, oy, ox, best);
-                }
-            }
-        }
-    }
-    Ok(out)
+    geo_nn::max_pool2x2(x).map_err(GeoError::Nn)
 }
 
 /// Flatten to `(N, rest)`, replicating `geo_nn::Flatten::forward`.
@@ -2795,6 +3129,69 @@ fn flatten_eval(x: &Tensor) -> Result<Tensor, GeoError> {
     x.clone().reshape(vec![n, rest]).map_err(GeoError::Nn)
 }
 
+/// Scans a fusible `[BatchNorm2d] → [ReLU] → AvgPool2d` run starting at
+/// `layers[from]` (each prefix step optional, the average pool required):
+/// returns the optional batch-norm layer, the ReLU flag, and the index
+/// one past the consumed pool. `None` when the run does not end in an
+/// adjacent average pool — max pools and non-adjacent pools stay unfused.
+fn fusible_pool_run(
+    layers: &[Layer],
+    from: usize,
+) -> Option<(Option<&geo_nn::BatchNorm2d>, bool, usize)> {
+    let mut j = from;
+    let mut bn = None;
+    if let Some(Layer::BatchNorm2d(b)) = layers.get(j) {
+        bn = Some(b);
+        j += 1;
+    }
+    let mut relu = false;
+    if let Some(Layer::Relu(_)) = layers.get(j) {
+        relu = true;
+        j += 1;
+    }
+    match layers.get(j) {
+        Some(Layer::AvgPool2d(_)) => Some((bn, relu, j + 1)),
+        _ => None,
+    }
+}
+
+/// Prepare-time level-chaining pass (DESIGN.md §16): for each SC producer
+/// whose downstream steps up to the next SC consumer are all
+/// level-transparent — ReLU, because `act_level(clamp(v)) ==
+/// act_level(v)`; Flatten, because levels carry their logical shape —
+/// switch its [`Emit`] to the consumer's quantized levels, keeping
+/// activations resident in the integer domain across the chain.
+fn assign_level_chaining(steps: &mut [PreparedStep]) {
+    for idx in 0..steps.len() {
+        let mut j = idx + 1;
+        let target = loop {
+            match steps.get(j) {
+                Some(PreparedStep::Relu | PreparedStep::Flatten { .. }) => j += 1,
+                Some(PreparedStep::Conv { layer, .. } | PreparedStep::ConvPooled { layer, .. }) => {
+                    break Some(Emit::Levels {
+                        progressive: layer.progressive,
+                        width: layer.width,
+                    })
+                }
+                Some(PreparedStep::Linear { layer, .. }) => {
+                    break Some(Emit::Levels {
+                        progressive: layer.progressive,
+                        width: layer.width,
+                    })
+                }
+                _ => break None,
+            }
+        };
+        let Some(levels) = target else { continue };
+        match &mut steps[idx] {
+            PreparedStep::Conv { emit, .. }
+            | PreparedStep::ConvPooled { emit, .. }
+            | PreparedStep::Linear { emit, .. } => *emit = levels,
+            _ => {}
+        }
+    }
+}
+
 /// One step of a compiled network: either a prepared parametrized layer
 /// or a pure near-memory evaluation. Exhaustive over every
 /// `geo_nn::Layer` variant, so adding a layer kind fails compilation here
@@ -2803,10 +3200,27 @@ enum PreparedStep {
     Conv {
         layer: PreparedConv,
         param_layer: u32,
+        emit: Emit,
+    },
+    /// A `Conv → [BatchNorm] → [ReLU] → AvgPool2d` chain fused at prepare
+    /// time (§III-A computation skipping): the mode kernels produce
+    /// full-resolution counts per worker, the absorbed near-memory steps
+    /// run per pixel, and each 2×2 window converts once. Absorbed steps
+    /// need no `tel_layer` — they attributed to this conv's `param_layer`
+    /// unfused too.
+    ConvPooled {
+        layer: PreparedConv,
+        param_layer: u32,
+        /// Absorbed batch-norm affine, applied per full-res pixel.
+        bn: Option<BnAffine>,
+        /// Absorbed ReLU clamp, applied per full-res pixel.
+        relu: bool,
+        emit: Emit,
     },
     Linear {
         layer: PreparedLinear,
         param_layer: u32,
+        emit: Emit,
     },
     BatchNorm {
         affine: BnAffine,
@@ -2906,38 +3320,104 @@ impl PreparedModel {
     /// against the prepared shape) and substrate errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, GeoError> {
         self.telemetry.passes.incr();
-        let mut x = input.clone();
+        let mut flow = Flow::Float(input.clone());
         for step in &self.steps {
             match step {
-                PreparedStep::Conv { layer, param_layer } => {
+                PreparedStep::Conv {
+                    layer,
+                    param_layer,
+                    emit,
+                } => {
                     let tel = self.telemetry.layer_shared(*param_layer as usize);
                     let sw = Stopwatch::start();
-                    let batch = layer.quantize_acts(&x)?;
+                    let batch = layer.accept(flow)?;
                     if telemetry::enabled() {
                         tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
                     }
                     let sw = Stopwatch::start();
-                    x = if self.reference {
-                        layer.compute_reference(&batch, tel)?
+                    flow = if self.reference {
+                        // Reference models never level-chain (the chaining
+                        // pass is gated off), so `emit` is always `Float`.
+                        debug_assert_eq!(*emit, Emit::Float);
+                        Flow::Float(layer.compute_reference(&batch, tel)?)
                     } else {
-                        layer.compute(&batch, tel)
+                        match *emit {
+                            Emit::Float => Flow::Float(layer.compute(&batch, tel)),
+                            Emit::Levels { progressive, width } => {
+                                Flow::Levels(layer.compute_levels(&batch, tel, progressive, width))
+                            }
+                        }
                     };
                     if telemetry::enabled() {
                         tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
                     }
                 }
-                PreparedStep::Linear { layer, param_layer } => {
+                PreparedStep::ConvPooled {
+                    layer,
+                    param_layer,
+                    bn,
+                    relu,
+                    emit,
+                } => {
+                    // Fusion is gated off for reference prepares
+                    // (`ScEngine::forward_reference`), so the oracle always
+                    // takes the unfused `Conv` + near-memory steps.
+                    debug_assert!(!self.reference, "reference models never fuse");
                     let tel = self.telemetry.layer_shared(*param_layer as usize);
                     let sw = Stopwatch::start();
-                    let batch = layer.quantize_acts(&x)?;
+                    let batch = layer.accept(flow)?;
                     if telemetry::enabled() {
                         tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
                     }
                     let sw = Stopwatch::start();
-                    x = if self.reference {
-                        layer.compute_reference(&batch, tel)?
+                    let (poh, pow2) = (layer.oh / 2, layer.ow / 2);
+                    let tmp = layer.compute_pooled(&batch, bn.as_ref(), *relu, tel);
+                    if telemetry::enabled() {
+                        // §III-A skipped conversions, counted serially (one
+                        // add per pass) so the total is thread-invariant:
+                        // every full-res pixel beyond the pooled outputs.
+                        let skipped = batch.n * layer.cout * (layer.oh * layer.ow - poh * pow2);
+                        tel.conversions_skipped.add(skipped as u64);
+                    }
+                    flow = match *emit {
+                        Emit::Float => Flow::Float(layer.transpose_stage(&tmp, batch.n, poh, pow2)),
+                        Emit::Levels { progressive, width } => {
+                            Flow::Levels(layer.transpose_stage_levels(
+                                &tmp,
+                                batch.n,
+                                poh,
+                                pow2,
+                                progressive,
+                                width,
+                            ))
+                        }
+                    };
+                    if telemetry::enabled() {
+                        tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
+                    }
+                }
+                PreparedStep::Linear {
+                    layer,
+                    param_layer,
+                    emit,
+                } => {
+                    let tel = self.telemetry.layer_shared(*param_layer as usize);
+                    let sw = Stopwatch::start();
+                    let batch = layer.accept(flow)?;
+                    if telemetry::enabled() {
+                        tel.add_phase_ns(Phase::Convert, sw.elapsed_ns());
+                    }
+                    let sw = Stopwatch::start();
+                    flow = if self.reference {
+                        debug_assert_eq!(*emit, Emit::Float);
+                        Flow::Float(layer.compute_reference(&batch, tel)?)
                     } else {
-                        layer.compute(&batch, tel)
+                        match *emit {
+                            Emit::Float => Flow::Float(layer.compute(&batch, tel)),
+                            Emit::Levels { progressive, width } => {
+                                Flow::Levels(layer.compute_levels(&batch, tel, progressive, width))
+                            }
+                        }
                     };
                     if telemetry::enabled() {
                         tel.add_phase_ns(Phase::Compute, sw.elapsed_ns());
@@ -2945,33 +3425,54 @@ impl PreparedModel {
                 }
                 PreparedStep::BatchNorm { affine, tel_layer } => {
                     let sw = Stopwatch::start();
-                    x = affine.apply(&x)?;
+                    flow = Flow::Float(affine.apply(&flow.into_float("batch norm")?)?);
                     self.flush_near_mem(*tel_layer, sw);
                 }
                 PreparedStep::Relu => {
                     // ReLU, then saturate at 1.0: unipolar streams cannot
                     // carry more (the straight-through clamp SC training
-                    // learns around).
-                    x = x.map(|v| v.clamp(0.0, 1.0));
+                    // learns around). On a chained level flow this is a
+                    // no-op: `act_level` already clamps to [0, 1], so
+                    // `act_level(clamp(v)) == act_level(v)`.
+                    if let Flow::Float(x) = flow {
+                        flow = Flow::Float(x.map(|v| v.clamp(0.0, 1.0)));
+                    }
                 }
                 PreparedStep::AvgPool { tel_layer } => {
                     let sw = Stopwatch::start();
-                    x = avg_pool_eval(&x)?;
+                    flow = Flow::Float(avg_pool_eval(&flow.into_float("average pool")?)?);
                     self.flush_near_mem(*tel_layer, sw);
                 }
                 PreparedStep::MaxPool { tel_layer } => {
                     let sw = Stopwatch::start();
-                    x = max_pool_eval(&x)?;
+                    flow = Flow::Float(max_pool_eval(&flow.into_float("max pool")?)?);
                     self.flush_near_mem(*tel_layer, sw);
                 }
                 PreparedStep::Flatten { tel_layer } => {
                     let sw = Stopwatch::start();
-                    x = flatten_eval(&x)?;
+                    flow = match flow {
+                        Flow::Float(x) => Flow::Float(flatten_eval(&x)?),
+                        // Levels carry their logical shape: flattening is
+                        // a metadata reshape, no data pass at all.
+                        Flow::Levels(mut lt) => {
+                            if lt.shape.len() < 2 {
+                                return Err(GeoError::Nn(geo_nn::NnError::ShapeMismatch {
+                                    expected: "at least 2-d".into(),
+                                    actual: lt.shape.clone(),
+                                }));
+                            }
+                            let rest: usize = lt.shape[1..].iter().product();
+                            lt.shape = vec![lt.shape[0], rest];
+                            Flow::Levels(lt)
+                        }
+                    };
                     self.flush_near_mem(*tel_layer, sw);
                 }
             }
         }
-        Ok(x)
+        // The chaining pass only assigns `Levels` when a downstream SC
+        // consumer exists, so the network output is always a float tensor.
+        flow.into_float("network output")
     }
 
     fn flush_near_mem(&self, tel_layer: usize, sw: Stopwatch) {

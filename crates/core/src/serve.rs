@@ -16,6 +16,12 @@
 //! work with [`GeoError::ServeOverflow`] instead of growing without
 //! bound.
 //!
+//! The dispatcher is agnostic to conv→pool fusion (DESIGN.md §16): a
+//! `PreparedModel` prepared with `fuse_pooling` on simply carries
+//! `ConvPooled`/level-chained steps, and every batched or unbatched
+//! request takes the fused path with bit-identical outputs — no serve
+//! code dispatches on it.
+//!
 //! [`ScEngine::prepare`]: crate::ScEngine::prepare
 //!
 //! # Examples

@@ -128,7 +128,7 @@ fn serve_run(
     clients: usize,
     per_client: usize,
     shape: &[usize],
-) -> (Vec<(usize, Vec<u32>)>, [u64; 7]) {
+) -> (Vec<(usize, Vec<u32>)>, [u64; 8]) {
     let server = Arc::new(ScServer::spawn(Arc::clone(prepared), serve_cfg).expect("spawn"));
     let mut transcript: Vec<(usize, Vec<u32>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -162,7 +162,7 @@ fn serve_run(
     });
     transcript.sort_by_key(|(id, _)| *id);
     let report = prepared.telemetry_report();
-    let mut totals = [0u64; 7];
+    let mut totals = [0u64; 8];
     for layer in &report.layers {
         for (t, c) in totals.iter_mut().zip(layer.counters()) {
             *t += c;

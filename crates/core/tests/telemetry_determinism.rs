@@ -74,7 +74,7 @@ fn layer_telemetry(
     })
 }
 
-fn counters(layers: &[LayerTelemetry]) -> Vec<[u64; 7]> {
+fn counters(layers: &[LayerTelemetry]) -> Vec<[u64; 8]> {
     layers.iter().map(LayerTelemetry::counters).collect()
 }
 

@@ -13,7 +13,7 @@ mod pool;
 pub use batchnorm::BatchNorm2d;
 pub use conv::Conv2d;
 pub use linear::Linear;
-pub use pool::{AvgPool2d, MaxPool2d};
+pub use pool::{avg_pool2x2, max_pool2x2, pool2x2_shape, AvgPool2d, MaxPool2d};
 
 use crate::error::NnError;
 use crate::tensor::{Param, Tensor};

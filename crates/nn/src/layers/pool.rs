@@ -9,6 +9,81 @@ use crate::error::NnError;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Shape contract shared by both 2×2 pools: 4-d with even spatial
+/// dimensions, returned unpacked.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] otherwise.
+pub fn pool2x2_shape(s: &[usize]) -> Result<(usize, usize, usize, usize), NnError> {
+    if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
+        return Err(NnError::ShapeMismatch {
+            expected: "(N, C, even H, even W)".into(),
+            actual: s.to_vec(),
+        });
+    }
+    Ok((s[0], s[1], s[2], s[3]))
+}
+
+/// 2×2 stride-2 average pool as a free function — the single shared
+/// implementation behind [`AvgPool2d::forward`] and the inference
+/// engine's prepared/fused pooling paths, which must stay float-identical
+/// to it (same tap order, same `/ 4.0`).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] unless the input is 4-d with even
+/// spatial dimensions.
+pub fn avg_pool2x2(input: &Tensor) -> Result<Tensor, NnError> {
+    let (n, c, h, w) = pool2x2_shape(input.shape())?;
+    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+    for b in 0..n {
+        for ci in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let sum = input.at4(b, ci, 2 * oy, 2 * ox)
+                        + input.at4(b, ci, 2 * oy, 2 * ox + 1)
+                        + input.at4(b, ci, 2 * oy + 1, 2 * ox)
+                        + input.at4(b, ci, 2 * oy + 1, 2 * ox + 1);
+                    out.set4(b, ci, oy, ox, sum / 4.0);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2×2 stride-2 max pool as a free function (no argmax bookkeeping) —
+/// shared by [`MaxPool2d::forward`] and the inference engine.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] unless the input is 4-d with even
+/// spatial dimensions.
+pub fn max_pool2x2(input: &Tensor) -> Result<Tensor, NnError> {
+    let (n, c, h, w) = pool2x2_shape(input.shape())?;
+    let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+    for b in 0..n {
+        for ci in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let v = input.at4(b, ci, 2 * oy + dy, 2 * ox + dx);
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out.set4(b, ci, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// 2×2 average pooling with stride 2 over `(N, C, H, W)` tensors.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AvgPool2d {
@@ -31,29 +106,8 @@ impl AvgPool2d {
     /// Returns [`NnError::ShapeMismatch`] unless the input is 4-d with even
     /// spatial dimensions.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
-        let s = input.shape();
-        if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
-            return Err(NnError::ShapeMismatch {
-                expected: "(N, C, even H, even W)".into(),
-                actual: s.to_vec(),
-            });
-        }
-        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-        let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
-        for b in 0..n {
-            for ci in 0..c {
-                for oy in 0..h / 2 {
-                    for ox in 0..w / 2 {
-                        let sum = input.at4(b, ci, 2 * oy, 2 * ox)
-                            + input.at4(b, ci, 2 * oy, 2 * ox + 1)
-                            + input.at4(b, ci, 2 * oy + 1, 2 * ox)
-                            + input.at4(b, ci, 2 * oy + 1, 2 * ox + 1);
-                        out.set4(b, ci, oy, ox, sum / 4.0);
-                    }
-                }
-            }
-        }
-        self.input_shape = Some(s.to_vec());
+        let out = avg_pool2x2(input)?;
+        self.input_shape = Some(input.shape().to_vec());
         Ok(out)
     }
 
@@ -103,15 +157,10 @@ impl MaxPool2d {
     /// Returns [`NnError::ShapeMismatch`] unless the input is 4-d with even
     /// spatial dimensions.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
-        let s = input.shape();
-        if s.len() != 4 || !s[2].is_multiple_of(2) || !s[3].is_multiple_of(2) {
-            return Err(NnError::ShapeMismatch {
-                expected: "(N, C, even H, even W)".into(),
-                actual: s.to_vec(),
-            });
-        }
-        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-        let mut out = Tensor::zeros(&[n, c, h / 2, w / 2]);
+        // Output values come from the shared kernel; the extra pass here
+        // only records argmax positions for backward (training-only cost).
+        let out = max_pool2x2(input)?;
+        let (n, c, h, w) = pool2x2_shape(input.shape())?;
         self.argmax = vec![0; n * c * (h / 2) * (w / 2)];
         let mut flat = 0usize;
         for b in 0..n {
@@ -130,14 +179,14 @@ impl MaxPool2d {
                                 }
                             }
                         }
-                        out.set4(b, ci, oy, ox, best);
+                        debug_assert_eq!(best, out.at4(b, ci, oy, ox));
                         self.argmax[flat] = best_idx;
                         flat += 1;
                     }
                 }
             }
         }
-        self.input_shape = Some(s.to_vec());
+        self.input_shape = Some(input.shape().to_vec());
         Ok(out)
     }
 
@@ -213,6 +262,24 @@ mod tests {
         assert_eq!(grad.at4(0, 0, 3, 1), 3.0);
         assert_eq!(grad.at4(0, 0, 3, 3), 4.0);
         assert_eq!(grad.at4(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn free_fns_match_layer_forwards() {
+        let x = sample();
+        let mut a = AvgPool2d::new();
+        assert_eq!(
+            avg_pool2x2(&x).unwrap().data(),
+            a.forward(&x).unwrap().data()
+        );
+        let mut m = MaxPool2d::new();
+        assert_eq!(
+            max_pool2x2(&x).unwrap().data(),
+            m.forward(&x).unwrap().data()
+        );
+        assert!(avg_pool2x2(&Tensor::zeros(&[1, 1, 3, 4])).is_err());
+        assert!(max_pool2x2(&Tensor::zeros(&[1, 1, 4, 3])).is_err());
+        assert_eq!(pool2x2_shape(&[2, 3, 4, 6]).unwrap(), (2, 3, 4, 6));
     }
 
     #[test]

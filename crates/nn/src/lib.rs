@@ -47,7 +47,10 @@ mod tensor;
 pub mod train;
 
 pub use error::NnError;
-pub use layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer, Linear, MaxPool2d, Relu};
+pub use layers::{
+    avg_pool2x2, max_pool2x2, pool2x2_shape, AvgPool2d, BatchNorm2d, Conv2d, Flatten, Layer,
+    Linear, MaxPool2d, Relu,
+};
 pub use model::Sequential;
 pub use models::{ModelSpec, SpecLayer};
 pub use tensor::{Param, Tensor};

@@ -8,7 +8,12 @@ R=results
 # telemetry artifacts follow the documented telemetry_<scale>.json
 # naming, and only the full-scale one is regenerated here — smoke/quick
 # files are transient CI/dev probes that must not linger as if current.
-rm -f $R/queue.log $R/telemetry_smoke.json $R/telemetry_quick.json
+# telemetry_full.json is removed up front rather than trusting the
+# overwrite: a pre-fusion (unfused-pipeline) artifact lacks the
+# conversions_skipped counter and must not survive a failed telemetry
+# pass looking current.
+rm -f $R/queue.log $R/telemetry_smoke.json $R/telemetry_quick.json \
+      $R/telemetry_full.json
 run() { echo "=== $1 ==="; shift; "$@" 2>&1; }
 B="cargo run --release -q -p geo-bench --bin"
 run fig5       $B fig5_mac_area                 > $R/fig5.txt
@@ -40,5 +45,10 @@ run telemetry  cargo run --release -q -p geo-bench --features telemetry \
 # --serve measures the compile-once, serve-many path (DESIGN.md §15):
 # per-inference cost, inf/sec, and p50/p99 at target batch 1/8/64, with
 # the batch-64-beats-batch-1 gate.
+# The same pass also times the fused conv→pool pipeline (DESIGN.md §16):
+# every workload × mode gets a "<model>+fused" cell pinned bit-identical
+# to its unfused twin, gated by the fused speedup floor, riding the same
+# BENCH_forward.json history entry — no separate unfused artifact exists
+# to go stale.
 run perf       $B bench_forward -- --artifact $R --serve --run-id full > $R/bench_forward.txt
 echo ALL_EXPERIMENTS_DONE
