@@ -372,6 +372,59 @@ mod tests {
     }
 
     #[test]
+    fn vgg_pricing_consistent_with_static_traffic_at_both_design_points() {
+        // The compiled paper-scale VGG-16 program, priced on the on-chip
+        // ULP and the external-memory LP design points: the simulator's
+        // energy split must track the static per-layer traffic accounting
+        // (external energy iff the program moves external bytes), and the
+        // static per-layer totals must reconcile with the program's own
+        // aggregate counters.
+        let net = NetworkDesc::vgg16_scaled_cifar();
+        for accel in [AccelConfig::ulp_geo(32, 64), AccelConfig::lp_geo(64, 128)] {
+            let program = crate::compiler::compile(&net, &accel);
+            let per_layer = memory_traffic(&program);
+            assert_eq!(per_layer.len(), program.layer_count(), "{}", accel.name);
+            let (ext, wgt, act, wb) = program.traffic();
+            assert_eq!(per_layer.iter().map(|t| t.external_bytes).sum::<u64>(), ext);
+            assert_eq!(per_layer.iter().map(|t| t.weight_bytes).sum::<u64>(), wgt);
+            assert_eq!(
+                per_layer
+                    .iter()
+                    .map(|t| t.activation_load_bytes)
+                    .sum::<u64>(),
+                act
+            );
+            assert_eq!(per_layer.iter().map(|t| t.writeback_bytes).sum::<u64>(), wb);
+            let r = simulate(&accel, &program);
+            assert_eq!(
+                ext > 0,
+                r.external_pj > 0.0,
+                "{}: external energy must track external traffic",
+                accel.name
+            );
+            assert_eq!(
+                accel.external.is_some(),
+                ext > 0,
+                "{}: only LP design points move external bytes",
+                accel.name
+            );
+            assert!(r.fps > 10.0, "{}: VGG fps {}", accel.name, r.fps);
+            assert!(r.energy_j > 0.0 && r.energy_j < 1e-2);
+        }
+        // Depth sanity: 13 convs move strictly more on-chip bytes than
+        // the 4-conv CIFAR network on the same design point.
+        let ulp = AccelConfig::ulp_geo(32, 64);
+        let pingpong = |net: &NetworkDesc| -> u64 {
+            memory_traffic(&crate::compiler::compile(net, &ulp))
+                .iter()
+                .map(LayerTraffic::pingpong_bytes)
+                .sum()
+        };
+        let (vgg, cnn4) = (pingpong(&net), pingpong(&NetworkDesc::cnn4_cifar()));
+        assert!(vgg > cnn4, "vgg {vgg} bytes vs cnn4 {cnn4} bytes");
+    }
+
+    #[test]
     fn dvfs_lowers_energy_not_speed() {
         let net = NetworkDesc::cnn4_cifar();
         let mut no_dvfs = AccelConfig::ulp_geo(32, 64);

@@ -4,13 +4,24 @@
 //!
 //! Run: `cargo run --release -p geo-bench --bin ablation_sweeps [-- --quick]`
 
-use geo_bench::runs::{dataset, pct, train_and_eval, Scale};
+use geo_bench::runs::{dataset, pct, train_and_eval, RunError, Scale};
 use geo_core::{Accumulation, GeoConfig};
 use geo_nn::datasets::DatasetSpec;
 use geo_nn::models;
 use geo_sc::SharingLevel;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation_sweeps: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), RunError> {
     let scale = Scale::from_args();
     let (_, _, epochs) = scale.sizing();
 
@@ -40,7 +51,7 @@ fn main() {
             let cfg = GeoConfig::geo(len, len)
                 .with_progressive(false)
                 .with_accumulation(mode);
-            let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs).1;
+            let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs)?.1;
             print!(" {:>8}", pct(acc));
         }
         println!();
@@ -68,7 +79,7 @@ fn main() {
                 ..GeoConfig::geo(64, 64)
             }
             .with_sharing(sharing);
-            accs.push(train_and_eval(&model, cfg, &tr, &te, epochs).1);
+            accs.push(train_and_eval(&model, cfg, &tr, &te, epochs)?.1);
         }
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
         let spread = accs.iter().map(|a| (a - mean).abs()).fold(0.0f32, f32::max);
@@ -92,7 +103,7 @@ fn main() {
             &train_ds,
             &test_ds,
             epochs,
-        )
+        )?
         .1;
         let progressive = train_and_eval(
             &model,
@@ -100,7 +111,7 @@ fn main() {
             &train_ds,
             &test_ds,
             epochs,
-        )
+        )?
         .1;
         println!(
             "stream {len:<4} normal {:>7}  progressive {:>7}",
@@ -108,4 +119,5 @@ fn main() {
             pct(progressive)
         );
     }
+    Ok(())
 }

@@ -6,13 +6,17 @@
 //! Each variant trains fault-free with SC-in-the-loop training, then the
 //! trained model is re-evaluated with `FaultModel::with_stream_ber`
 //! installed at each rate. The rate-0 row is asserted bit-identical to the
-//! fault-free engine before anything is reported. Curves land in
-//! `results/fault_sweep.json`.
+//! fault-free engine before anything is reported. LeNet-5 sweeps all five
+//! modes; the scaled VGG-16 thumbnail sweeps the two representative modes
+//! (PBW, the paper's default partial-binary scheme, and FXP, the
+//! binary-heaviest) so the 13-conv depth is covered without quintupling
+//! the run. Curves land in `results/fault_sweep.json` under a `models`
+//! array, one entry per swept network.
 //!
 //! Run: `cargo run --release -p geo-bench --bin fault_sweep [-- --quick]`
 
 use geo_arch::tech::OperatingPoint;
-use geo_bench::runs::{dataset, eval_with_faults, pct, train_and_eval, Scale};
+use geo_bench::runs::{dataset, eval_with_faults, pct, train_and_eval, RunError, Scale};
 use geo_core::{Accumulation, GeoConfig, ScEngine};
 use geo_nn::datasets::{Dataset, DatasetSpec};
 use geo_nn::models;
@@ -35,6 +39,13 @@ struct SweepPoint {
 struct ModeCurve {
     mode: Accumulation,
     points: Vec<SweepPoint>,
+}
+
+/// One swept network's full result set, as it lands in the JSON.
+struct ModelCurves {
+    model: &'static str,
+    dataset: &'static str,
+    curves: Vec<ModeCurve>,
 }
 
 /// Asserts that a zero-rate fault model leaves the engine bit-identical to
@@ -68,12 +79,53 @@ fn assert_zero_rate_identical(config: GeoConfig, model: &Sequential, test_ds: &D
     );
 }
 
-fn json_curves(curves: &[ModeCurve], dvfs: &[(f64, f64, f32)], scale: Scale) -> String {
+/// Trains one model per accumulation mode and sweeps every BER, printing
+/// the paper-style row as it goes. Returns the curves plus the model
+/// trained under `keep` (for the DVFS tie-in).
+fn sweep(
+    model: &Sequential,
+    modes: &[Accumulation],
+    keep: Accumulation,
+    train_ds: &Dataset,
+    test_ds: &Dataset,
+    epochs: usize,
+) -> Result<(Vec<ModeCurve>, Option<Sequential>), RunError> {
+    let config_for = |mode: Accumulation| {
+        GeoConfig::geo(32, 64)
+            .with_progressive(false)
+            .with_accumulation(mode)
+    };
+    let mut curves = Vec::new();
+    let mut kept = None;
+    for &mode in modes {
+        let config = config_for(mode);
+        let (trained, _) = train_and_eval(model, config, train_ds, test_ds, epochs)?;
+        assert_zero_rate_identical(config, &trained, test_ds);
+        let mut points = Vec::new();
+        print!("{:<6}", mode.label());
+        for ber in BERS {
+            let faults = FaultModel::with_stream_ber(ber, FAULT_SEED);
+            let (accuracy, counters) = eval_with_faults(&trained, config, faults, test_ds)?;
+            print!(" {:>10}", pct(accuracy));
+            points.push(SweepPoint {
+                ber,
+                accuracy,
+                bits_flipped: counters.stream_bits_flipped,
+            });
+        }
+        println!();
+        if mode == keep {
+            kept = Some(trained);
+        }
+        curves.push(ModeCurve { mode, points });
+    }
+    Ok((curves, kept))
+}
+
+fn json_curves(swept: &[ModelCurves], dvfs: &[(f64, f64, f32)], scale: Scale) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"fault_sweep\",");
-    let _ = writeln!(out, "  \"model\": \"lenet5\",");
-    let _ = writeln!(out, "  \"dataset\": \"mnist_like\",");
     let _ = writeln!(
         out,
         "  \"scale\": \"{}\",",
@@ -85,27 +137,38 @@ fn json_curves(curves: &[ModeCurve], dvfs: &[(f64, f64, f32)], scale: Scale) -> 
     );
     let _ = writeln!(out, "  \"stream\": {{\"sp\": 32, \"s\": 64}},");
     let _ = writeln!(out, "  \"fault_seed\": {FAULT_SEED},");
-    out.push_str("  \"modes\": [\n");
-    for (m, curve) in curves.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    {{\"mode\": \"{}\", \"points\": [",
-            curve.mode.label()
-        );
-        for (i, p) in curve.points.iter().enumerate() {
-            let _ = write!(
+    out.push_str("  \"models\": [\n");
+    for (s, entry) in swept.iter().enumerate() {
+        let _ = writeln!(out, "    {{\"model\": \"{}\",", entry.model);
+        let _ = writeln!(out, "     \"dataset\": \"{}\",", entry.dataset);
+        out.push_str("     \"modes\": [\n");
+        for (m, curve) in entry.curves.iter().enumerate() {
+            let _ = writeln!(
                 out,
-                "      {{\"ber\": {}, \"accuracy\": {:.6}, \"stream_bits_flipped\": {}}}",
-                p.ber, p.accuracy, p.bits_flipped
+                "      {{\"mode\": \"{}\", \"points\": [",
+                curve.mode.label()
             );
-            out.push_str(if i + 1 < curve.points.len() {
+            for (i, p) in curve.points.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"ber\": {}, \"accuracy\": {:.6}, \"stream_bits_flipped\": {}}}",
+                    p.ber, p.accuracy, p.bits_flipped
+                );
+                out.push_str(if i + 1 < curve.points.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ]}");
+            out.push_str(if m + 1 < entry.curves.len() {
                 ",\n"
             } else {
                 "\n"
             });
         }
-        out.push_str("    ]}");
-        out.push_str(if m + 1 < curves.len() { ",\n" } else { "\n" });
+        out.push_str("     ]}");
+        out.push_str(if s + 1 < swept.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
     out.push_str("  \"dvfs\": [\n");
@@ -121,15 +184,20 @@ fn json_curves(curves: &[ModeCurve], dvfs: &[(f64, f64, f32)], scale: Scale) -> 
 }
 
 fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fault_sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let scale = Scale::from_args();
     let (_, _, epochs) = scale.sizing();
     let (train_ds, test_ds) = dataset(DatasetSpec::mnist_like(31), scale);
     let model = models::lenet5(1, 8, 10, 2);
-    let config_for = |mode: Accumulation| {
-        GeoConfig::geo(32, 64)
-            .with_progressive(false)
-            .with_accumulation(mode)
-    };
 
     println!("Fault sweep — LeNet-5, MNIST-like, GEO-32,64, transient stream faults");
     println!("{:-<78}", "");
@@ -146,37 +214,57 @@ fn main() -> ExitCode {
         Accumulation::Apc,
         Accumulation::Fxp,
     ];
-    let mut curves = Vec::new();
-    let mut pbw_model = None;
-    for mode in modes {
-        let config = config_for(mode);
-        let (trained, _) = train_and_eval(&model, config, &train_ds, &test_ds, epochs);
-        assert_zero_rate_identical(config, &trained, &test_ds);
-        let mut points = Vec::new();
-        print!("{:<6}", mode.label());
-        for ber in BERS {
-            let faults = FaultModel::with_stream_ber(ber, FAULT_SEED);
-            let (accuracy, counters) = eval_with_faults(&trained, config, faults, &test_ds);
-            print!(" {:>10}", pct(accuracy));
-            points.push(SweepPoint {
-                ber,
-                accuracy,
-                bits_flipped: counters.stream_bits_flipped,
-            });
-        }
-        println!();
-        if mode == Accumulation::Pbw {
-            pbw_model = Some(trained);
-        }
-        curves.push(ModeCurve { mode, points });
+    let (curves, pbw_model) = sweep(
+        &model,
+        &modes,
+        Accumulation::Pbw,
+        &train_ds,
+        &test_ds,
+        epochs,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut swept = vec![ModelCurves {
+        model: "lenet5",
+        dataset: "mnist_like",
+        curves,
+    }];
+
+    // VGG-16 at 13-conv depth: the paper's third workload, swept on the
+    // representative mode pair so depth-dependent fault accumulation is
+    // covered without quintupling the training budget.
+    println!();
+    println!("Fault sweep — VGG-16 (scaled), CIFAR-like, GEO-32,64, transient stream faults");
+    println!("{:-<78}", "");
+    print!("{:<6}", "mode");
+    for ber in BERS {
+        print!(" {:>10}", format!("BER {ber}"));
     }
+    println!();
+    let (cifar_train, cifar_test) = dataset(DatasetSpec::cifar_like(21), scale);
+    let vgg = models::vgg16_small(3, 8, 10, 1);
+    let (vgg_curves, _) = sweep(
+        &vgg,
+        &[Accumulation::Pbw, Accumulation::Fxp],
+        Accumulation::Pbw,
+        &cifar_train,
+        &cifar_test,
+        epochs,
+    )
+    .map_err(|e| e.to_string())?;
+    swept.push(ModelCurves {
+        model: "vgg16",
+        dataset: "cifar_like",
+        curves: vgg_curves,
+    });
 
     // DVFS tie-in: map undervolted operating points through the
     // voltage→BER curve and re-evaluate the PBW-trained model there.
     println!();
     println!("DVFS operating points → datapath BER → PBW accuracy");
-    let pbw_model = pbw_model.expect("PBW is in the mode list");
-    let pbw_config = config_for(Accumulation::Pbw);
+    let pbw_model = pbw_model.ok_or("PBW is in the mode list")?;
+    let pbw_config = GeoConfig::geo(32, 64)
+        .with_progressive(false)
+        .with_accumulation(Accumulation::Pbw);
     let mut dvfs = Vec::new();
     for voltage in [0.9, 0.87, 0.84, 0.81, 0.78, 0.75, 0.72] {
         let point = OperatingPoint {
@@ -189,7 +277,8 @@ fn main() -> ExitCode {
             pbw_config,
             FaultModel::with_stream_ber(ber, FAULT_SEED),
             &test_ds,
-        );
+        )
+        .map_err(|e| e.to_string())?;
         let tag = if voltage == 0.81 {
             "  ← GEO DVFS point"
         } else {
@@ -202,21 +291,17 @@ fn main() -> ExitCode {
         dvfs.push((voltage, ber, accuracy));
     }
 
-    let json = json_curves(&curves, &dvfs, scale);
-    if let Err(e) = std::fs::create_dir_all("results") {
-        eprintln!("fault_sweep: cannot create results/: {e}");
-        return ExitCode::FAILURE;
-    }
-    if let Err(e) = std::fs::write("results/fault_sweep.json", &json) {
-        eprintln!("fault_sweep: cannot write results/fault_sweep.json: {e}");
-        return ExitCode::FAILURE;
-    }
+    let json = json_curves(&swept, &dvfs, scale);
+    std::fs::create_dir_all("results").map_err(|e| format!("cannot create results/: {e}"))?;
+    std::fs::write("results/fault_sweep.json", &json)
+        .map_err(|e| format!("cannot write results/fault_sweep.json: {e}"))?;
     println!();
     println!("Curves written to results/fault_sweep.json");
     println!(
         "Expected shape: accuracy flat through BER ≈ 1e-3 (SC's redundancy \
          absorbs sparse flips), degrading toward chance by 5e-2; binary-heavy \
-         modes (FXP) degrade fastest per flipped stream bit."
+         modes (FXP) degrade fastest per flipped stream bit; the 13-conv VGG \
+         knee sits at a lower BER than LeNet's (more stream bits per decision)."
     );
-    ExitCode::SUCCESS
+    Ok(())
 }

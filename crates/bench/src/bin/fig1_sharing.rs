@@ -7,11 +7,12 @@
 //!
 //! Run: `cargo run --release -p geo-bench --bin fig1_sharing [-- --quick]`
 
-use geo_bench::runs::{dataset, eval_under, pct, train_and_eval, Scale};
+use geo_bench::runs::{dataset, eval_under, pct, train_and_eval, RunError, Scale};
 use geo_core::{Accumulation, GeoConfig};
 use geo_nn::datasets::DatasetSpec;
 use geo_nn::models;
 use geo_sc::{RngKind, SharingLevel};
+use std::process::ExitCode;
 
 fn config(len: usize, rng: RngKind, sharing: SharingLevel) -> GeoConfig {
     GeoConfig {
@@ -23,7 +24,17 @@ fn config(len: usize, rng: RngKind, sharing: SharingLevel) -> GeoConfig {
     .with_sharing(sharing)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig1_sharing: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), RunError> {
     let scale = Scale::from_args();
     let (_, _, epochs) = scale.sizing();
     let (train_ds, test_ds) = dataset(DatasetSpec::svhn_like(11), scale);
@@ -45,7 +56,7 @@ fn main() {
                     &train_ds,
                     &test_ds,
                     epochs,
-                );
+                )?;
                 row.push(pct(acc));
             }
             println!(
@@ -71,8 +82,8 @@ fn main() {
                 &train_ds,
                 &test_ds,
                 epochs,
-            );
-            let lfsr_acc = eval_under(&trained, config(len, RngKind::Lfsr, sharing), &test_ds);
+            )?;
+            let lfsr_acc = eval_under(&trained, config(len, RngKind::Lfsr, sharing), &test_ds)?;
             println!(
                 "stream {len:<4} sharing {:<9} trained-on-TRNG {:>7}  validated-on-LFSR {:>7}",
                 format!("{sharing:?}"),
@@ -86,4 +97,5 @@ fn main() {
         "Expected shape (paper): LFSR+moderate peaks (up to +6.1 pts vs unshared TRNG); \
          extreme sharing collapses for both; untrained-for LFSR gains nothing from sharing."
     );
+    Ok(())
 }

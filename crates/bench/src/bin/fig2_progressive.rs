@@ -5,13 +5,14 @@
 //!
 //! Run: `cargo run --release -p geo-bench --bin fig2_progressive [-- --network|--schedule|--quick]`
 
-use geo_bench::runs::{dataset, pct, train_and_eval, Scale};
+use geo_bench::runs::{dataset, pct, train_and_eval, RunError, Scale};
 use geo_core::{Accumulation, GeoConfig};
 use geo_nn::datasets::DatasetSpec;
 use geo_nn::models;
 use geo_sc::{metrics, progressive, Lfsr, ProgressiveSng};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::process::ExitCode;
 
 /// Running RMS error of AND multiplication vs. the 8-bit integer product,
 /// as a function of cycles elapsed.
@@ -70,7 +71,7 @@ fn schedule() {
     );
 }
 
-fn network(scale: Scale) {
+fn network(scale: Scale) -> Result<(), RunError> {
     println!("§II-B network-level worst case — all streams progressive (CNN-4, SVHN-like)");
     let (_, _, epochs) = scale.sizing();
     let (train_ds, test_ds) = dataset(DatasetSpec::svhn_like(11), scale);
@@ -89,17 +90,18 @@ fn network(scale: Scale) {
             &train_ds,
             &test_ds,
             epochs,
-        );
+        )?;
         let (_, prog_acc) = train_and_eval(
             &model,
             base.with_progressive(true),
             &train_ds,
             &test_ds,
             epochs,
-        );
+        )?;
         // Also record the unadapted drop: the normal-trained model run
         // with progressive streams it never saw.
-        let swap_acc = geo_bench::runs::eval_under(&trained, base.with_progressive(true), &test_ds);
+        let swap_acc =
+            geo_bench::runs::eval_under(&trained, base.with_progressive(true), &test_ds)?;
         println!(
             "stream {len:<4} normal {:>7}  progressive(trained) {:>7}  delta {:+.2} pts \
              (paper: ≤0.42 @32, ≤0.16 @64); unadapted swap {:>7}",
@@ -109,17 +111,23 @@ fn network(scale: Scale) {
             pct(swap_acc)
         );
     }
+    Ok(())
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--schedule") {
         schedule();
-        return;
+        return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--network") {
-        network(Scale::from_args());
-        return;
+        return match network(Scale::from_args()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fig2_progressive: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let pairs = if Scale::from_args() == Scale::Quick {
         500
@@ -151,4 +159,5 @@ fn main() {
          confined to the first {} cycles (paper: 'accurate after eight cycles at most')",
         progressive::first_exact_cycle(7) + 2
     );
+    ExitCode::SUCCESS
 }

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p geo-bench --bin table1_accuracy [-- --quick --ablations]`
 
 use geo_arch::AccelConfig;
-use geo_bench::runs::{dataset, pct, train_and_eval, train_and_eval_program, Scale};
+use geo_bench::runs::{dataset, pct, train_and_eval, train_and_eval_program, RunError, Scale};
 use geo_core::{Accumulation, GeoConfig};
 use geo_nn::datasets::{Dataset, DatasetSpec};
 use geo_nn::models;
@@ -18,6 +18,7 @@ use geo_nn::quant::{quantize_weights, QuantConfig};
 use geo_nn::train::{evaluate_quantized, train, TrainConfig};
 use geo_nn::Sequential;
 use geo_sc::RngKind;
+use std::process::ExitCode;
 
 fn eyeriss_accuracy(
     model: &Sequential,
@@ -25,7 +26,7 @@ fn eyeriss_accuracy(
     test_ds: &Dataset,
     bits: u8,
     epochs: usize,
-) -> f32 {
+) -> Result<f32, RunError> {
     let mut m = model.clone();
     let mut opt = Optimizer::paper_default();
     let cfg = TrainConfig {
@@ -33,9 +34,10 @@ fn eyeriss_accuracy(
         batch_size: 16,
         seed: 0,
     };
-    train(&mut m, train_ds, &mut opt, &cfg).expect("float training succeeds");
+    train(&mut m, train_ds, &mut opt, &cfg).map_err(|e| RunError::new("float training", e))?;
     quantize_weights(&mut m, bits);
-    evaluate_quantized(&mut m, test_ds, QuantConfig::uniform(bits)).expect("evaluation succeeds")
+    evaluate_quantized(&mut m, test_ds, QuantConfig::uniform(bits))
+        .map_err(|e| RunError::new("quantized evaluation", e))
 }
 
 fn row(
@@ -45,16 +47,16 @@ fn row(
     train_ds: &Dataset,
     test_ds: &Dataset,
     epochs: usize,
-) {
-    let e8 = eyeriss_accuracy(model, train_ds, test_ds, 8, epochs);
-    let e4 = eyeriss_accuracy(model, train_ds, test_ds, 4, epochs);
-    let a256 = train_and_eval(model, GeoConfig::acoustic(256), train_ds, test_ds, epochs).1;
-    let a128 = train_and_eval(model, GeoConfig::acoustic(128), train_ds, test_ds, epochs).1;
+) -> Result<(), RunError> {
+    let e8 = eyeriss_accuracy(model, train_ds, test_ds, 8, epochs)?;
+    let e4 = eyeriss_accuracy(model, train_ds, test_ds, 4, epochs)?;
+    let a256 = train_and_eval(model, GeoConfig::acoustic(256), train_ds, test_ds, epochs)?.1;
+    let a128 = train_and_eval(model, GeoConfig::acoustic(128), train_ds, test_ds, epochs)?.1;
     // GEO accuracy comes from program-driven inference: the same compiled
     // ISA stream that perfsim prices in Tables II–III also produces these
     // numbers (bit-identical to the direct engine path).
-    let geo = |sp: usize, s: usize| {
-        train_and_eval_program(
+    let geo = |sp: usize, s: usize| -> Result<f32, RunError> {
+        Ok(train_and_eval_program(
             model,
             GeoConfig::geo(sp, s).with_progressive(false),
             &AccelConfig::ulp_geo(sp, s),
@@ -62,12 +64,12 @@ fn row(
             train_ds,
             test_ds,
             epochs,
-        )
-        .1
+        )?
+        .1)
     };
-    let g64 = geo(64, 128);
-    let g32 = geo(32, 64);
-    let g16 = geo(16, 32);
+    let g64 = geo(64, 128)?;
+    let g32 = geo(32, 64)?;
+    let g16 = geo(16, 32)?;
     println!(
         "{:<22} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
         name,
@@ -79,9 +81,10 @@ fn row(
         pct(g32),
         pct(g16)
     );
+    Ok(())
 }
 
-fn ablations(scale: Scale) {
+fn ablations(scale: Scale) -> Result<(), RunError> {
     println!();
     println!("§IV-A ablation — CNN-4, SVHN-like, GEO-32,64");
     println!("{:-<70}", "");
@@ -94,7 +97,7 @@ fn ablations(scale: Scale) {
         &train_ds,
         &test_ds,
         epochs,
-    )
+    )?
     .1;
     let no_pbw = train_and_eval(
         &model,
@@ -104,7 +107,7 @@ fn ablations(scale: Scale) {
         &train_ds,
         &test_ds,
         epochs,
-    )
+    )?
     .1;
     let trng = train_and_eval(
         &model,
@@ -115,7 +118,7 @@ fn ablations(scale: Scale) {
         &train_ds,
         &test_ds,
         epochs,
-    )
+    )?
     .1;
     println!(
         "GEO-32,64 (full)            {:>7}  (paper: 90.8%)",
@@ -142,14 +145,25 @@ fn ablations(scale: Scale) {
             let cfg = GeoConfig::geo(len, len)
                 .with_progressive(false)
                 .with_accumulation(mode);
-            let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs).1;
+            let acc = train_and_eval(&model, cfg, &train_ds, &test_ds, epochs)?.1;
             accs.push(format!("{} {}", mode.label(), pct(acc)));
         }
         println!("  stream {len:<4}: {}", accs.join("  "));
     }
+    Ok(())
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("table1_accuracy: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), RunError> {
     let scale = Scale::from_args();
     let (_, _, epochs) = scale.sizing();
 
@@ -168,7 +182,7 @@ fn main() {
         &cifar_train,
         &cifar_test,
         epochs,
-    );
+    )?;
     row(
         "CIFAR-like  VGG-16",
         &models::vgg16_small(3, 8, 10, 1),
@@ -176,7 +190,7 @@ fn main() {
         &cifar_train,
         &cifar_test,
         epochs,
-    );
+    )?;
 
     let (svhn_train, svhn_test) = dataset(DatasetSpec::svhn_like(11), scale);
     row(
@@ -186,7 +200,7 @@ fn main() {
         &svhn_train,
         &svhn_test,
         epochs,
-    );
+    )?;
     row(
         "SVHN-like   VGG-16",
         &models::vgg16_small(3, 8, 10, 1),
@@ -194,7 +208,7 @@ fn main() {
         &svhn_train,
         &svhn_test,
         epochs,
-    );
+    )?;
 
     let (mnist_train, mnist_test) = dataset(DatasetSpec::mnist_like(31), scale);
     row(
@@ -204,7 +218,7 @@ fn main() {
         &mnist_train,
         &mnist_test,
         epochs,
-    );
+    )?;
 
     println!();
     println!("Reported comparison points (carried from the paper, as the paper does):");
@@ -223,6 +237,7 @@ fn main() {
     );
 
     if std::env::args().any(|a| a == "--ablations") {
-        ablations(scale);
+        ablations(scale)?;
     }
+    Ok(())
 }

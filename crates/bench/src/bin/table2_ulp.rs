@@ -15,6 +15,7 @@ struct Column {
     clock: f64,
     cifar: Option<(f64, f64)>,
     lenet: Option<(f64, f64)>,
+    vgg: Option<(f64, f64)>,
     gops: f64,
     tops_w: f64,
 }
@@ -25,8 +26,10 @@ fn geo_column(accel: &AccelConfig) -> Column {
     // (Table I accuracy comes through that path).
     let cifar_prog = compiler::compile(&NetworkDesc::cnn4_cifar(), accel);
     let lenet_prog = compiler::compile(&NetworkDesc::lenet5_mnist(), accel);
+    let vgg_prog = compiler::compile(&NetworkDesc::vgg16_scaled_cifar(), accel);
     let cifar = perfsim::simulate(accel, &cifar_prog);
     let lenet = perfsim::simulate(accel, &lenet_prog);
+    let vgg = perfsim::simulate(accel, &vgg_prog);
     let gops = accel.peak_gops();
     Column {
         name: accel.name.clone(),
@@ -36,6 +39,7 @@ fn geo_column(accel: &AccelConfig) -> Column {
         clock: accel.operating_point().freq_mhz,
         cifar: Some((cifar.fps, cifar.frames_per_joule)),
         lenet: Some((lenet.fps, lenet.frames_per_joule)),
+        vgg: Some((vgg.fps, vgg.frames_per_joule)),
         gops,
         tops_w: gops / cifar.power_mw,
     }
@@ -44,6 +48,7 @@ fn geo_column(accel: &AccelConfig) -> Column {
 fn eyeriss_column(e: &EyerissConfig) -> Column {
     let cifar = e.simulate(&NetworkDesc::cnn4_cifar());
     let lenet = e.simulate(&NetworkDesc::lenet5_mnist());
+    let vgg = e.simulate(&NetworkDesc::vgg16_scaled_cifar());
     let gops = e.peak_gops();
     Column {
         name: e.name.clone(),
@@ -53,6 +58,7 @@ fn eyeriss_column(e: &EyerissConfig) -> Column {
         clock: e.op.freq_mhz,
         cifar: Some((cifar.fps, cifar.frames_per_joule)),
         lenet: Some((lenet.fps, lenet.frames_per_joule)),
+        vgg: Some((vgg.fps, vgg.frames_per_joule)),
         gops,
         tops_w: gops / cifar.power_mw,
     }
@@ -107,6 +113,14 @@ fn print_columns(title: &str, cols: &[Column]) {
             "LeNet5 Fr/J",
             Box::new(|c: &Column| c.lenet.map_or("---".into(), |(_, j)| si(j))),
         ),
+        (
+            "VGG16 Fr/s",
+            Box::new(|c: &Column| c.vgg.map_or("---".into(), |(f, _)| si(f))),
+        ),
+        (
+            "VGG16 Fr/J",
+            Box::new(|c: &Column| c.vgg.map_or("---".into(), |(_, j)| si(j))),
+        ),
         ("Peak GOPS", Box::new(|c: &Column| format!("{:.0}", c.gops))),
         (
             "Peak TOPS/W",
@@ -136,6 +150,7 @@ fn reported_column(p: &geo_arch::baselines::ReportedPoint) -> Column {
         clock: p.clock_mhz.unwrap_or(f64::NAN),
         cifar: None,
         lenet: p.lenet_fps.zip(p.lenet_fpj),
+        vgg: None,
         gops: p.peak_gops.unwrap_or(f64::NAN),
         tops_w: p.peak_tops_w.unwrap_or(f64::NAN),
     }
@@ -171,4 +186,11 @@ fn main() {
         gf / af,
         gj / aj
     );
+    if let (Some((gvf, gvj)), Some((evf, evj))) = (geo.vgg, eyeriss.vgg) {
+        println!(
+            "GEO-ULP-32,64 vs Eyeriss-4bit, VGG-16 (scaled): {:.1}x throughput, {:.1}x energy efficiency",
+            gvf / evf,
+            gvj / evj
+        );
+    }
 }

@@ -5,6 +5,7 @@
 //! print paper-style rows; EXPERIMENTS.md records paper-vs-measured.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod json;
 pub mod runs;

@@ -1,12 +1,59 @@
 //! Shared experiment plumbing: dataset/model/training presets used by the
 //! per-figure binaries, with a `--quick` scale for smoke runs.
+//!
+//! Engine and compiler failures surface as typed [`RunError`]s rather
+//! than panics: the library stages report *which* stage died and wrap
+//! the underlying [`GeoError`], and the experiment binaries translate
+//! that into a message on stderr plus a nonzero `ExitCode` — the same
+//! treatment `fault_sweep`/`thread_scaling` already received.
 
 use geo_arch::{compiler, AccelConfig, NetworkDesc};
-use geo_core::{evaluate_sc, train_sc, GeoConfig, ProgramExecutor, ScEngine};
+use geo_core::{evaluate_sc, train_sc, GeoConfig, GeoError, ProgramExecutor, ScEngine};
 use geo_nn::datasets::{generate, Dataset, DatasetSpec};
 use geo_nn::optim::Optimizer;
 use geo_nn::train::TrainConfig;
 use geo_nn::Sequential;
+use std::fmt;
+
+/// A failed experiment stage: which stage died, wrapping the engine /
+/// compiler error that killed it. Binaries print it and exit nonzero.
+#[derive(Debug)]
+pub struct RunError {
+    stage: &'static str,
+    source: GeoError,
+}
+
+impl RunError {
+    /// Wraps an engine / network / compiler error with the experiment
+    /// stage it occurred in.
+    pub fn new(stage: &'static str, source: impl Into<GeoError>) -> RunError {
+        RunError {
+            stage,
+            source: source.into(),
+        }
+    }
+
+    fn at(stage: &'static str) -> impl FnOnce(GeoError) -> RunError {
+        move |source| RunError { stage, source }
+    }
+
+    /// The experiment stage that failed (e.g. `"training"`).
+    pub fn stage(&self) -> &'static str {
+        self.stage
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed: {}", self.stage, self.source)
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Experiment scale: quick smoke runs vs. full runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,28 +91,25 @@ pub fn dataset(spec_base: DatasetSpec, scale: Scale) -> (Dataset, Dataset) {
 
 /// Trains a fresh copy of `model` under `config` with SC-in-the-loop
 /// training and returns `(trained model, test accuracy)`.
-///
-/// # Panics
-///
-/// Panics on engine/configuration errors (experiment binaries fail fast).
 pub fn train_and_eval(
     model: &Sequential,
     config: GeoConfig,
     train_ds: &Dataset,
     test_ds: &Dataset,
     epochs: usize,
-) -> (Sequential, f32) {
+) -> Result<(Sequential, f32), RunError> {
     let mut model = model.clone();
-    let mut engine = ScEngine::new(config).expect("valid experiment config");
+    let mut engine = ScEngine::new(config).map_err(RunError::at("engine construction"))?;
     let mut opt = Optimizer::paper_default();
     let cfg = TrainConfig {
         epochs,
         batch_size: 16,
         seed: 0,
     };
-    train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg).expect("training succeeds");
-    let acc = evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds");
-    (model, acc)
+    train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg)
+        .map_err(RunError::at("training"))?;
+    let acc = evaluate_sc(&mut engine, &mut model, test_ds).map_err(RunError::at("evaluation"))?;
+    Ok((model, acc))
 }
 
 /// As [`train_and_eval`], but the test accuracy comes from *program-driven*
@@ -76,11 +120,6 @@ pub fn train_and_eval(
 /// bit-identical to [`evaluate_sc`] on the direct engine path.
 ///
 /// `input` is the per-sample `(C, H, W)` shape used to trace the model.
-///
-/// # Panics
-///
-/// Panics on engine/compiler/configuration errors (experiment binaries fail
-/// fast).
 pub fn train_and_eval_program(
     model: &Sequential,
     config: GeoConfig,
@@ -89,55 +128,53 @@ pub fn train_and_eval_program(
     train_ds: &Dataset,
     test_ds: &Dataset,
     epochs: usize,
-) -> (Sequential, f32) {
+) -> Result<(Sequential, f32), RunError> {
     let mut model = model.clone();
-    let mut engine = ScEngine::new(config).expect("valid experiment config");
+    let mut engine = ScEngine::new(config).map_err(RunError::at("engine construction"))?;
     let mut opt = Optimizer::paper_default();
     let cfg = TrainConfig {
         epochs,
         batch_size: 16,
         seed: 0,
     };
-    train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg).expect("training succeeds");
+    train_sc(&mut engine, &mut model, train_ds, &mut opt, &cfg)
+        .map_err(RunError::at("training"))?;
     let net = NetworkDesc::from_model(&accel.name, &model, input);
     let program = compiler::compile(&net, accel);
     let mut exec = ProgramExecutor::with_engine(engine, &net, program)
-        .expect("compiled program matches the traced network");
+        .map_err(RunError::at("program adoption"))?;
     let acc = exec
         .evaluate(&mut model, test_ds)
-        .expect("evaluation succeeds");
-    (model, acc)
+        .map_err(RunError::at("program-driven evaluation"))?;
+    Ok((model, acc))
 }
 
 /// Evaluates an already-trained model under a different engine config
 /// (e.g. validating an LFSR-trained model with TRNG generation).
-///
-/// # Panics
-///
-/// Panics on engine/configuration errors.
-pub fn eval_under(model: &Sequential, config: GeoConfig, test_ds: &Dataset) -> f32 {
+pub fn eval_under(
+    model: &Sequential,
+    config: GeoConfig,
+    test_ds: &Dataset,
+) -> Result<f32, RunError> {
     let mut model = model.clone();
-    let mut engine = ScEngine::new(config).expect("valid experiment config");
-    evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds")
+    let mut engine = ScEngine::new(config).map_err(RunError::at("engine construction"))?;
+    evaluate_sc(&mut engine, &mut model, test_ds).map_err(RunError::at("evaluation"))
 }
 
 /// Evaluates an already-trained model with a fault model installed in the
 /// engine, returning the accuracy and the total injected-fault counters.
-///
-/// # Panics
-///
-/// Panics on engine/configuration errors.
 pub fn eval_with_faults(
     model: &Sequential,
     config: GeoConfig,
     faults: geo_sc::FaultModel,
     test_ds: &Dataset,
-) -> (f32, geo_sc::FaultCounters) {
+) -> Result<(f32, geo_sc::FaultCounters), RunError> {
     let mut model = model.clone();
-    let mut engine = ScEngine::with_faults(config, faults).expect("valid experiment config");
-    let acc = evaluate_sc(&mut engine, &mut model, test_ds).expect("evaluation succeeds");
+    let mut engine =
+        ScEngine::with_faults(config, faults).map_err(RunError::at("engine construction"))?;
+    let acc = evaluate_sc(&mut engine, &mut model, test_ds).map_err(RunError::at("evaluation"))?;
     let counters = engine.resilience_report().total;
-    (acc, counters)
+    Ok((acc, counters))
 }
 
 /// Formats a percentage with one decimal, the paper's table style.

@@ -13,7 +13,8 @@ fn program_path_accuracy_matches_direct_path() {
     let (train_ds, test_ds) = generate(&DatasetSpec::svhn_like(11).with_samples(32, 16));
     let model = models::cnn4(3, 8, 10, 0);
     let cfg = GeoConfig::geo(32, 64).with_progressive(false);
-    let (_, direct) = train_and_eval(&model, cfg, &train_ds, &test_ds, 2);
+    let (_, direct) =
+        train_and_eval(&model, cfg, &train_ds, &test_ds, 2).expect("direct path trains");
     let (_, via_program) = train_and_eval_program(
         &model,
         cfg,
@@ -22,6 +23,7 @@ fn program_path_accuracy_matches_direct_path() {
         &train_ds,
         &test_ds,
         2,
-    );
+    )
+    .expect("program path trains");
     assert_eq!(direct.to_bits(), via_program.to_bits());
 }

@@ -3310,6 +3310,19 @@ impl PreparedModel {
         self.telemetry.report("prepared-model")
     }
 
+    /// Number of `Conv → [BatchNorm] → [ReLU] → AvgPool2d` chains the
+    /// prepare pass collapsed into fused steps (§III-A pooled-conversion
+    /// skipping, DESIGN.md §16). Zero when fusion is disabled or no
+    /// avg-pool sits directly behind a conv block — max pools never
+    /// fuse. Lets callers assert fusion actually engaged on a workload
+    /// instead of inferring it from timing.
+    pub fn fused_conv_pool_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, PreparedStep::ConvPooled { .. }))
+            .count()
+    }
+
     /// Runs one request through the compiled network — pure compute
     /// against immutable prepared state, callable concurrently from any
     /// number of threads (`&self`).

@@ -23,22 +23,26 @@ use rayon::ThreadPoolBuilder;
 enum Net {
     Lenet5,
     Cnn4,
+    /// The scaled VGG-16 thumbnail: 13 convs in five blocks, avg pools
+    /// after the first three — the depth case for counter pre-sizing.
+    Vgg16,
 }
 
-const NETS: [Net; 2] = [Net::Lenet5, Net::Cnn4];
+const NETS: [Net; 3] = [Net::Lenet5, Net::Cnn4, Net::Vgg16];
 
 impl Net {
     fn model(self, seed: u64) -> Sequential {
         match self {
             Net::Lenet5 => models::lenet5(1, 8, 10, seed),
             Net::Cnn4 => models::cnn4(3, 8, 10, seed),
+            Net::Vgg16 => models::vgg16_small(3, 8, 10, seed),
         }
     }
 
     fn input(self, seed: u64) -> Tensor {
         let c = match self {
             Net::Lenet5 => 1,
-            Net::Cnn4 => 3,
+            Net::Cnn4 | Net::Vgg16 => 3,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let mut x = Tensor::kaiming(&[2, c, 8, 8], c * 64, &mut rng).map(|v| v.abs().min(1.0));
@@ -95,6 +99,75 @@ proptest! {
         let parallel = counters(&layer_telemetry(threads, cfg, net, seed, false));
         prop_assert_eq!(serial, parallel, "{net:?} {mode:?} threads={threads}");
     }
+}
+
+/// §III-A skipped-conversion accounting at 13-conv depth: on the VGG
+/// thumbnail, the conv closing each avg-pooled block skips exactly
+/// `n · cout · (oh·ow − poh·pow)` conversions per pass — a static
+/// count, bit-identical at every thread count — and every other layer
+/// skips none.
+#[test]
+fn vgg_conversions_skipped_matches_static_prediction() {
+    let skipped = |threads: usize| -> Vec<u64> {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool construction never fails");
+        pool.install(|| {
+            let mut model = Net::Vgg16.model(2);
+            let x = Net::Vgg16.input(4);
+            let mut engine = ScEngine::new(GeoConfig::geo(16, 32)).expect("valid test config");
+            engine.forward(&mut model, &x, false).expect("forward");
+            engine
+                .telemetry_report()
+                .layers
+                .iter()
+                .map(|l| l.conversions_skipped)
+                .collect()
+        })
+    };
+    // Thumbnail on 8×8 inputs, batch 2: block 1's closing conv (cout 8,
+    // 8×8 pooled to 4×4) skips 2·8·(64−16) = 768; block 2's (cout 16,
+    // 4×4→2×2) 2·16·(16−4) = 384; block 3's (cout 24, 2×2→1×1)
+    // 2·24·(4−1) = 144. Blocks 4–5 are unpooled; linears never skip.
+    let expected = vec![0, 768, 0, 384, 0, 0, 144, 0, 0, 0, 0, 0, 0, 0, 0];
+    for threads in [1usize, 2, 4, 8] {
+        assert_eq!(
+            skipped(threads),
+            expected,
+            "thread-variant skip count at {threads} threads"
+        );
+    }
+}
+
+/// The same static prediction on the paper-scale spec (batch 1,
+/// 3×16×16): four avg-pooled blocks skip 12288 / 6144 / 3072 / 1536
+/// conversions; the fifth block and the classifier skip none.
+/// Release-only heavy case.
+#[test]
+fn paper_scale_vgg_conversions_skipped_matches_static_prediction() {
+    let skip_heavy = std::env::var("GEO_SKIP_HEAVY_TESTS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if skip_heavy || cfg!(debug_assertions) {
+        eprintln!("skipped: GEO_SKIP_HEAVY_TESTS set or debug build (paper-scale VGG is heavy)");
+        return;
+    }
+    let mut model = models::spec::vgg16_scaled_cifar()
+        .build(1)
+        .expect("paper-scale spec builds");
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = Tensor::kaiming(&[1, 3, 16, 16], 16, &mut rng).map(|v| v.abs().min(1.0));
+    let mut engine = ScEngine::new(GeoConfig::geo(16, 32)).expect("valid test config");
+    engine.forward(&mut model, &x, false).expect("forward");
+    let skipped: Vec<u64> = engine
+        .telemetry_report()
+        .layers
+        .iter()
+        .map(|l| l.conversions_skipped)
+        .collect();
+    // conv2 (cout 64, 16²→8²): 1·64·(256−64) = 12288; conv4 (128, 8²→4²):
+    // 6144; conv7 (256, 4²→2²): 3072; conv10 (512, 2²→1²): 1536.
+    let expected = vec![0, 12288, 0, 6144, 0, 0, 3072, 0, 0, 1536, 0, 0, 0, 0, 0, 0];
+    assert_eq!(skipped, expected);
 }
 
 /// MAC and lane totals agree between `forward` and `forward_reference`

@@ -196,11 +196,13 @@ pub mod spec {
     ///
     /// # Panics
     ///
-    /// Panics unless `size` is divisible by 4 (two pooling stages).
+    /// Panics unless `size` is nonzero and divisible by 4 (two pooling
+    /// stages), *before* any shape composition — a spec returned from
+    /// here always builds.
     pub fn cnn4(channels: usize, size: usize, classes: usize) -> ModelSpec {
         assert!(
-            size.is_multiple_of(4),
-            "cnn4 needs size divisible by 4, got {size}"
+            size != 0 && size.is_multiple_of(4),
+            "cnn4 needs a nonzero size divisible by 4, got {size}"
         );
         ModelSpec {
             name: "CNN-4 (thumbnail)".into(),
@@ -239,11 +241,12 @@ pub mod spec {
     ///
     /// # Panics
     ///
-    /// Panics unless `size` is divisible by 4.
+    /// Panics unless `size` is nonzero and divisible by 4, before any
+    /// shape composition.
     pub fn lenet5(channels: usize, size: usize, classes: usize) -> ModelSpec {
         assert!(
-            size.is_multiple_of(4),
-            "lenet5 needs size divisible by 4, got {size}"
+            size != 0 && size.is_multiple_of(4),
+            "lenet5 needs a nonzero size divisible by 4, got {size}"
         );
         ModelSpec {
             name: "LeNet-5 (thumbnail)".into(),
@@ -281,11 +284,15 @@ pub mod spec {
     ///
     /// # Panics
     ///
-    /// Panics unless `size` is divisible by 8 (three pooling stages).
+    /// Panics unless `size` is nonzero and divisible by 8 (three pooling
+    /// stages). The check lives here, *before* shape composition: a
+    /// `size` of 0 is divisible by 8 but underflows the first conv, and
+    /// used to surface as the builder's unrelated "spec shapes compose"
+    /// panic instead of this documented message.
     pub fn vgg16_small(channels: usize, size: usize, classes: usize) -> ModelSpec {
         assert!(
-            size.is_multiple_of(8),
-            "vgg16_small needs size divisible by 8, got {size}"
+            size != 0 && size.is_multiple_of(8),
+            "vgg16_small needs a nonzero size divisible by 8, got {size}"
         );
         let widths: [&[usize]; 5] = [
             &[8, 8],
@@ -476,7 +483,10 @@ pub fn lenet5(channels: usize, size: usize, classes: usize, seed: u64) -> Sequen
 ///
 /// # Panics
 ///
-/// Panics unless `size` is divisible by 8 (three pooling stages).
+/// Panics unless `size` is nonzero and divisible by 8 (three pooling
+/// stages) — validated by [`spec::vgg16_small`] before shape composition,
+/// so the builder's `.expect` on [`ModelSpec::build`] is unreachable for
+/// any spec this function constructs.
 pub fn vgg16_small(channels: usize, size: usize, classes: usize, seed: u64) -> Sequential {
     spec::vgg16_small(channels, size, classes)
         .build(seed)
@@ -537,6 +547,38 @@ mod tests {
     #[should_panic(expected = "divisible by 8")]
     fn vgg_rejects_bad_sizes() {
         let _ = vgg16_small(3, 12, 10, 0);
+    }
+
+    /// Size 0 *is* divisible by 8; without the nonzero check it slipped
+    /// past the old assert and underflowed the first conv, panicking with
+    /// the builder's unrelated "spec shapes compose" message. The spec
+    /// must reject it with the documented message before composition.
+    #[test]
+    #[should_panic(expected = "nonzero size divisible by 8")]
+    fn vgg_rejects_size_zero_before_shape_composition() {
+        let _ = spec::vgg16_small(3, 0, 10);
+    }
+
+    /// The paper-scale VGG-16 spec builds: every downstream consumer
+    /// (prepare, compile, serve) starts from this call succeeding.
+    #[test]
+    fn vgg16_scaled_cifar_builds() {
+        for seed in [0u64, 1, 42] {
+            let model = spec::vgg16_scaled_cifar()
+                .build(seed)
+                .expect("paper-scale vgg16 spec shapes compose");
+            let convs = model
+                .layers()
+                .iter()
+                .filter(|l| l.kind() == "conv2d")
+                .count();
+            let pools = model
+                .layers()
+                .iter()
+                .filter(|l| l.kind() == "avgpool2d")
+                .count();
+            assert_eq!((convs, pools), (13, 4));
+        }
     }
 
     #[test]
